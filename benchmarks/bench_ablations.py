@@ -1,0 +1,104 @@
+"""Ablations on ssRec design choices (beyond the paper's own figures).
+
+DESIGN.md calls out three load-bearing design decisions; each gets an
+ablation here:
+
+- **Dirichlet smoothing mass** (Sec. IV-C): too little re-introduces the
+  zero-probability problem, too much washes out the MLE signal.
+- **Signature-tree fanout** (Sec. V-A): controls tree depth vs per-node
+  bound tightness in the branch-and-bound KNN.
+- **Entity expansion** (Sec. IV-B): the diversity mechanism's cost —
+  expansion widens queries, so each KNN touches more trees/slots.
+"""
+
+import time
+
+import pytest
+
+from conftest import MIN_TRUTH
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.partitions import partition_interactions
+from repro.eval.harness import StreamEvaluator
+
+
+def _precision_at_5(dataset, config):
+    stream = partition_interactions(dataset)
+    rec = SsRecRecommender(config=config, seed=1)
+    rec.fit(dataset, stream.training_interactions())
+    evaluator = StreamEvaluator(stream, ks=(5,), min_truth=MIN_TRUTH)
+    return evaluator.run(rec).p_at_k[5]
+
+
+def test_ablation_dirichlet_mass(benchmark, datasets, save_result):
+    """P@5 across smoothing masses — the default should be competitive."""
+    dataset = datasets["YTube"]
+
+    def run():
+        return {
+            mu: _precision_at_5(dataset, SsRecConfig(dirichlet_mu=mu))
+            for mu in (0.1, 1.0, 10.0, 100.0)
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation — Dirichlet smoothing mass (YTube, P@5)"]
+    for mu, p in result.items():
+        lines.append(f"  mu={mu:<6} P@5={p:.4f}")
+    save_result("ablation_dirichlet", "\n".join(lines))
+    default = result[10.0]
+    assert default >= max(result.values()) * 0.8
+
+
+def test_ablation_tree_fanout(benchmark, efficiency_datasets, save_result):
+    """Index query time across fanouts — all must stay correct and usable."""
+    dataset = efficiency_datasets["YTube"]
+
+    def run():
+        timings = {}
+        stream = partition_interactions(dataset)
+        items = stream.items_in_partition(2)[:40]
+        for fanout in (4, 8, 16, 32):
+            rec = SsRecRecommender(
+                config=SsRecConfig(tree_fanout=fanout), use_index=True, seed=1
+            )
+            rec.fit(dataset, stream.training_interactions())
+            started = time.perf_counter()
+            for item in items:
+                rec.index.knn(item, 30)
+            timings[fanout] = (time.perf_counter() - started) / len(items) * 1000
+        return timings
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation — signature-tree fanout (YTube, ms/item, k=30)"]
+    for fanout, ms in result.items():
+        lines.append(f"  fanout={fanout:<3} {ms:.3f} ms")
+    save_result("ablation_fanout", "\n".join(lines))
+    assert all(ms > 0 for ms in result.values())
+
+
+def test_ablation_expansion_cost(benchmark, datasets, save_result):
+    """Entity expansion buys diversity at bounded query-cost overhead."""
+    dataset = datasets["YTube"]
+
+    def run():
+        out = {}
+        for label, use_expansion in (("with-expansion", True), ("no-expansion", False)):
+            stream = partition_interactions(dataset)
+            rec = SsRecRecommender(
+                config=SsRecConfig(use_expansion=use_expansion), use_index=True, seed=1
+            )
+            rec.fit(dataset, stream.training_interactions())
+            items = stream.items_in_partition(2)[:40]
+            started = time.perf_counter()
+            for item in items:
+                rec.index.knn(item, 30)
+            out[label] = (time.perf_counter() - started) / len(items) * 1000
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation — expansion query-cost overhead (YTube, ms/item)"]
+    for label, ms in result.items():
+        lines.append(f"  {label:<16} {ms:.3f} ms")
+    save_result("ablation_expansion_cost", "\n".join(lines))
+    # Expansion may not exceed a generous constant-factor overhead.
+    assert result["with-expansion"] <= result["no-expansion"] * 5

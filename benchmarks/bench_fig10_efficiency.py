@@ -1,0 +1,29 @@
+"""Fig. 10: recommendation efficiency — CTT, UCD, CPPse-index.
+
+Mean per-item response time (ms) accumulated over 1..4 test partitions at
+k = 30.  Expected shape: the CPPse-index is fastest and flattest; CTT and
+UCD scan every user per item and pay growing model costs as data
+accumulates; UCD is slower than CTT ("due to the extra time cost from the
+diversity-based matching").
+"""
+
+import pytest
+
+from repro.eval import experiments as ex
+
+
+@pytest.mark.parametrize("name", ["YTube", "SynYTube", "MLens", "SynMLens"])
+def test_fig10_response_time(benchmark, efficiency_datasets, save_result, name):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig10(
+            efficiency_datasets[name], k=30, max_items_per_partition=25, min_truth=2
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(f"fig10_{name.lower()}", result.to_text())
+    final = {method: series[4] for method, series in result.time_ms.items()}
+    # Index beats both sequential scanners on accumulated mean time.
+    assert final["CPPse-index"] < final["UCD"]
+    assert final["CPPse-index"] < final["CTT"]
+    assert final["UCD"] > final["CTT"]

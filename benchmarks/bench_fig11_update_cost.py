@@ -1,0 +1,22 @@
+"""Fig. 11: efficiency of media updates over the CPPse-index.
+
+Seconds spent in Algorithm 2 while absorbing 1..4 test partitions of
+profile updates, per dataset.  Expected shape: "the cost increases steadily
+with the update size increase" — roughly linear growth, no blow-up.
+"""
+
+from repro.eval import experiments as ex
+
+
+def test_fig11_maintenance_cost(benchmark, datasets, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig11(datasets, sizes=(1, 2, 3, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig11", result.to_text())
+    for name, series in result.seconds.items():
+        costs = [series[n] for n in (1, 2, 3, 4)]
+        assert all(c > 0 for c in costs), name
+        # Steady growth: absorbing more partitions costs more.
+        assert costs[3] > costs[0], name

@@ -1,0 +1,31 @@
+"""Fig. 5: BiHMM vs single-layer HMM prediction accuracy, all 4 datasets.
+
+For each dataset, users are grouped by their per-user optimal HMM hidden-
+state count and the mean next-category prediction accuracy of both models is
+reported per group.  Expected shape: BiHMM >= HMM in (almost) every group —
+"the BiHMM is better than the HMM ... consumers' interests are dependent on
+the producers as well".
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import experiments as ex
+
+
+@pytest.mark.parametrize("name", ["YTube", "SynYTube", "MLens", "SynMLens"])
+def test_fig5_bihmm_vs_hmm(benchmark, datasets, save_result, name):
+    result = benchmark.pedantic(
+        lambda: ex.run_fig5(
+            datasets[name], max_users=16, max_states=4, min_history=25
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(f"fig5_{name.lower()}", result.to_text())
+    weights = result.users_by_group
+    total = sum(weights.values())
+    hmm_mean = sum(result.hmm_by_group[g] * weights[g] for g in weights) / total
+    bihmm_mean = sum(result.bihmm_by_group[g] * weights[g] for g in weights) / total
+    # Weighted-average shape claim, with a small noise allowance.
+    assert bihmm_mean >= hmm_mean - 0.02

@@ -1,0 +1,23 @@
+"""Table II: signature-size factors vs user-block count.
+
+Regenerates the paper's Table II rows (max entity / producer universe per
+signature entry at 1..50 user blocks) on the paper-sparsity YTube variant.
+Expected shape: both rows fall sharply as the block count grows, then
+flatten — "applying user blocking reduces the entry size in a tree by
+large".
+"""
+
+from repro.eval import experiments as ex
+
+
+def test_table2_signature_size_factors(benchmark, sparse_ytube, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_table2(sparse_ytube, block_counts=(1, 10, 20, 30, 40, 50)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("table2", result.to_text())
+    # Shape assertions: monotone-ish decrease from no-blocking to 50 blocks.
+    assert result.max_entities[0] > result.max_entities[-1]
+    assert result.max_entities[0] > 2 * result.max_entities[-1]
+    assert result.max_producers[0] >= result.max_producers[-1]

@@ -1,0 +1,24 @@
+"""Table III: overview of the four datasets.
+
+Regenerates the dataset-statistics table (|Up|, |Uc|, |E|, C, |IRact|, |V|)
+for YTube, SynYTube, MLens and SynMLens.  Expected shape: each synthetic set
+matches its source's universes with a slightly different interaction count
+(the paper's SynYTube has ~6% more interactions than YTube).
+"""
+
+from repro.eval import experiments as ex
+
+
+def test_table3_dataset_overview(benchmark, datasets, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_table3(datasets), rounds=1, iterations=1
+    )
+    save_result("table3", result.to_text())
+    rows = {row["Dataset"]: row for row in result.rows_}
+    for source, synth in (("YTube", "SynYTube"), ("MLens", "SynMLens")):
+        assert rows[synth]["|Up|"] == rows[source]["|Up|"]
+        assert rows[synth]["|Uc|"] == rows[source]["|Uc|"]
+        assert rows[synth]["C"] == rows[source]["C"]
+        assert rows[synth]["|V|"] == rows[source]["|V|"]
+        ratio = rows[synth]["|IRact|"] / rows[source]["|IRact|"]
+        assert 0.9 <= ratio <= 1.2

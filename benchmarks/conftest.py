@@ -1,0 +1,62 @@
+"""Benchmark fixtures: shared datasets and result persistence.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (``small`` | ``default`` |
+``paper_shape``); each benchmark runs its experiment driver once
+(``benchmark.pedantic``) and writes the regenerated table/figure text to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.ytube import YTubeConfig, generate_ytube
+from repro.eval import experiments as ex
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Ground-truth density threshold for effectiveness benches; shapes are
+#: insensitive to it, but levels need a few interactors per judged item.
+MIN_TRUTH = 3
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The paper's four datasets (Table III) at the configured scale."""
+    return ex.make_datasets(SCALE)
+
+
+@pytest.fixture(scope="session")
+def sparse_ytube():
+    """Paper-sparsity YTube variant (Table II's regime)."""
+    return generate_ytube(YTubeConfig.sparse())
+
+
+@pytest.fixture(scope="session")
+def efficiency_datasets():
+    """Datasets for the efficiency figures (10/11).
+
+    The index-vs-scan crossover needs a real user population: a sequential
+    scan over ~80 users beats any index.  These benches therefore run at
+    least at ``default`` scale (600 consumers) even when the effectiveness
+    benches run ``small``.
+    """
+    scale = "default" if SCALE == "small" else SCALE
+    return ex.make_datasets(scale)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist one regenerated artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Online Social Media Recommendation over Streams"
+(Zhou et al., ICDE 2019).
+
+The package implements the paper's ssRec framework end to end:
+
+- :mod:`repro.hmm` — discrete HMM substrate and the Bi-Layer HMM (BiHMM);
+- :mod:`repro.entities` — entity extraction and proximity-based expansion;
+- :mod:`repro.datasets` — synthetic YTube/MLens generators, synthpop,
+  stream partitioning;
+- :mod:`repro.stream` — a miniature Apache Storm (spouts/bolts/topologies);
+- :mod:`repro.core` — user profiles, interest prediction, entity-based
+  matching (Eq. 1-4) and the :class:`~repro.core.ssrec.SsRecRecommender`
+  facade;
+- :mod:`repro.index` — the CPPse-index (hashing, user blocks, extended
+  signature trees, branch-and-bound KNN, dynamic maintenance);
+- :mod:`repro.baselines` — CTT, UCD, naive scan, single-layer HMM;
+- :mod:`repro.eval` — metrics, the stream evaluation harness and one driver
+  per table/figure of the paper.
+
+Quickstart::
+
+    from repro import SsRecRecommender, generate_ytube, partition_interactions
+
+    dataset = generate_ytube()
+    stream = partition_interactions(dataset)
+    rec = SsRecRecommender().fit(dataset, stream.training_interactions())
+    item = stream.items_in_partition(2)[0]
+    print(rec.recommend(item, k=10))
+"""
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.mlens import MLensConfig, generate_mlens
+from repro.datasets.partitions import partition_interactions
+from repro.datasets.synthpop import synthesize_dataset
+from repro.datasets.ytube import YTubeConfig, generate_ytube
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SsRecConfig",
+    "SsRecRecommender",
+    "YTubeConfig",
+    "generate_ytube",
+    "MLensConfig",
+    "generate_mlens",
+    "synthesize_dataset",
+    "partition_interactions",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Baselines the paper compares against.
+
+- :class:`~repro.baselines.ctt.CTTRecommender` — CTT [17]: streaming
+  collaborative filtering fused with a type (category) factor and a
+  temporal decay.  No short-term interest model, no diversity — the
+  properties the paper attributes its losses to (Sec. VI-C.4).
+- :class:`~repro.baselines.ucd.UCDRecommender` — UCD [36]: a
+  diversity-by-design recommender whose user profiles are expanded with
+  their neighbours; static preferences, extra per-candidate neighbour cost
+  (why it trails CTT in Fig. 10).
+- :class:`~repro.baselines.knn_scan.NaiveScanRecommender` — the paper's
+  "naive method" reference: one relevance computation per user per item,
+  in a plain Python loop (the sequential cost CPPse-index beats).
+- :class:`~repro.baselines.hmm_rec.SingleLayerInterestModel` — per-user
+  single-layer HMM next-category prediction (the HMM side of Fig. 5).
+"""
+
+from repro.baselines.ctt import CTTConfig, CTTRecommender
+from repro.baselines.ucd import UCDConfig, UCDRecommender
+from repro.baselines.knn_scan import NaiveScanRecommender
+from repro.baselines.hmm_rec import SingleLayerInterestModel
+
+__all__ = [
+    "CTTConfig",
+    "CTTRecommender",
+    "UCDConfig",
+    "UCDRecommender",
+    "NaiveScanRecommender",
+    "SingleLayerInterestModel",
+]

@@ -1,0 +1,104 @@
+"""Per-user single-layer HMM interest prediction (the HMM side of Fig. 5).
+
+Fig. 5 compares next-category prediction accuracy between the classic HMM
+(consumer trajectory only) and the BiHMM (consumer trajectory + producer
+hidden states).  This module provides the single-layer side: one
+:class:`~repro.hmm.base.DiscreteHMM` per user over the user's category
+sequence, with the paper's per-user hidden-state-count tuning loop
+("we decide the optimal number of hidden states over HMM by testing the
+Accuracy of the model at different state number values").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmm.base import DiscreteHMM
+
+
+class SingleLayerInterestModel:
+    """One single-layer HMM per user over category sequences.
+
+    Args:
+        n_categories: category alphabet size.
+        n_states: hidden state count for newly trained models.
+        seed: base seed, derived per user.
+        n_iter: Baum-Welch iteration cap.
+    """
+
+    def __init__(
+        self, n_categories: int, n_states: int = 3, seed: int = 0, n_iter: int = 20
+    ) -> None:
+        self.n_categories = int(n_categories)
+        self.n_states = int(n_states)
+        self.seed = int(seed)
+        self.n_iter = int(n_iter)
+        self.models: dict[int, DiscreteHMM] = {}
+
+    def fit_user(self, user_id: int, categories: list[int]) -> DiscreteHMM:
+        """Train one user's HMM on their category browsing sequence."""
+        model = DiscreteHMM(
+            self.n_states, self.n_categories, seed=self.seed + 31 * (int(user_id) + 1)
+        )
+        model.fit([categories], n_iter=self.n_iter)
+        self.models[int(user_id)] = model
+        return model
+
+    def predict_next(self, user_id: int, history: list[int]) -> int:
+        """Most likely next category for the user given ``history``."""
+        model = self.models.get(int(user_id))
+        if model is None:
+            raise KeyError(f"user {user_id} has no trained model")
+        if not history:
+            return int(np.argmax(model.prior_distribution()))
+        dist = model.predict_next_distribution(history)
+        return int(np.argmax(dist))
+
+    @staticmethod
+    def sequential_accuracy(model: DiscreteHMM, test_categories: list[int], history: list[int]) -> float:
+        """Teacher-forced next-step accuracy over ``test_categories``.
+
+        For each test step the model predicts the next category given all
+        *true* previous observations, then the true category is appended —
+        the paper's "correct prediction percentage of a user's next interest
+        category among all".
+        """
+        if not test_categories:
+            return 0.0
+        context = list(history)
+        hits = 0
+        for actual in test_categories:
+            if context:
+                dist = model.predict_next_distribution(context)
+            else:
+                dist = model.prior_distribution()
+            if int(np.argmax(dist)) == int(actual):
+                hits += 1
+            context.append(int(actual))
+        return hits / len(test_categories)
+
+    @classmethod
+    def tune_states(
+        cls,
+        categories_train: list[int],
+        categories_valid: list[int],
+        n_categories: int,
+        max_states: int = 8,
+        seed: int = 0,
+        n_iter: int = 20,
+    ) -> tuple[int, float, DiscreteHMM]:
+        """The paper's per-user state-count search.
+
+        Trains HMMs with 1..``max_states`` hidden states and returns
+        ``(optimal_state_count, best_accuracy, best_model)`` measured by
+        sequential accuracy on the validation slice.
+        """
+        best: tuple[int, float, DiscreteHMM] | None = None
+        for n_states in range(1, max_states + 1):
+            model = DiscreteHMM(n_states, n_categories, seed=seed + n_states)
+            model.fit([categories_train], n_iter=n_iter)
+            acc = cls.sequential_accuracy(model, categories_valid, categories_train)
+            if best is None or acc > best[1]:
+                best = (n_states, acc, model)
+        assert best is not None
+        return best

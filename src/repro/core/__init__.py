@@ -1,0 +1,32 @@
+"""The paper's primary contribution: the ssRec framework.
+
+- :class:`~repro.core.config.SsRecConfig` — all tunables (|W|, lambda_s,
+  Dirichlet mass, expansion, blocking, index parameters).
+- :class:`~repro.core.profiles.UserProfile` / ``ProfileStore`` — the CPPse
+  user model: long-term interest list + fixed-size short-term window with
+  flush semantics (Sec. IV-B).
+- :class:`~repro.core.interest.InterestPredictor` — BiHMM-backed
+  ``p(c | u^c)`` for long-term and short-term interests, with incremental
+  filtered-state maintenance for streaming.
+- :class:`~repro.core.matching.MatchingScorer` — the entity-based item-user
+  relevance of Eq. 1-4 with Dirichlet smoothing and entity expansion.
+- :class:`~repro.core.ssrec.SsRecRecommender` — the end-to-end facade:
+  ``fit`` -> ``recommend`` -> ``update``.
+"""
+
+from repro.core.config import SsRecConfig
+from repro.core.profiles import ProfileStore, UserProfile, ProfileEvent
+from repro.core.interest import InterestPredictor
+from repro.core.matching import MatchingScorer, ScoreParts
+from repro.core.ssrec import SsRecRecommender
+
+__all__ = [
+    "SsRecConfig",
+    "ProfileStore",
+    "UserProfile",
+    "ProfileEvent",
+    "InterestPredictor",
+    "MatchingScorer",
+    "ScoreParts",
+    "SsRecRecommender",
+]

@@ -1,0 +1,76 @@
+"""Configuration for the ssRec framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SsRecConfig:
+    """All ssRec tunables, with the paper's optimal defaults.
+
+    Attributes:
+        window_size: short-term interest window size |W| (paper optimum: 5).
+        lambda_s: short-term weight in Eq. 3 (paper: 0.4 YTube / 0.3 MLens).
+        dirichlet_mu: Dirichlet smoothing mass for the MLE estimates of
+            ``p(u^p | u^c)`` and ``p(e | u^c)`` (Sec. IV-C).
+        n_consumer_states: b-HMM hidden state count ``N^(b)``.
+        n_producer_states: a-HMM hidden state count ``N^(a)``.
+        hmm_iterations: Baum-Welch iteration cap for both layers.
+        max_history_events: long-term events fed to the BiHMM when a user's
+            filtered state must be (re)computed from scratch.
+        use_expansion: entity expansion on/off (ssRec vs ssRec-ne, Fig. 8).
+        max_expansions: expansion entities per anchor entity.
+        expansion_alpha: proximity decay of the expansion credit.
+        expansion_min_weight: expansion entities below this weight are cut.
+        block_similarity_threshold: cosine threshold of the one-pass user
+            blocking (Sec. V-A).
+        max_blocks: cap on the number of user blocks (Table II sweeps this).
+        tree_fanout: extended-signature-tree node fanout.
+        hash_buckets: chained-hash-table bucket count (Eq. 5's ``T``).
+        signature_slack: reserved zero-filled share of each signature entry
+            for unseen entities (paper: "we reserve 20% space of each
+            entry").
+        default_k: top-k cutoff when none is given.
+    """
+
+    window_size: int = 5
+    lambda_s: float = 0.4
+    dirichlet_mu: float = 10.0
+    n_consumer_states: int = 3
+    n_producer_states: int = 3
+    hmm_iterations: int = 20
+    max_history_events: int = 60
+    use_expansion: bool = True
+    max_expansions: int = 5
+    expansion_alpha: float = 1.0
+    expansion_min_weight: float = 0.05
+    block_similarity_threshold: float = 0.6
+    max_blocks: int = 20
+    tree_fanout: int = 8
+    hash_buckets: int = 1024
+    signature_slack: float = 0.2
+    default_k: int = 30
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {self.window_size}")
+        if not (0.0 <= self.lambda_s <= 1.0):
+            raise ValueError(f"lambda_s must be in [0, 1], got {self.lambda_s}")
+        if self.dirichlet_mu <= 0:
+            raise ValueError(f"dirichlet_mu must be > 0, got {self.dirichlet_mu}")
+        if self.tree_fanout < 2:
+            raise ValueError(f"tree_fanout must be >= 2, got {self.tree_fanout}")
+        if self.hash_buckets < 1:
+            raise ValueError(f"hash_buckets must be >= 1, got {self.hash_buckets}")
+        if not (0.0 <= self.signature_slack < 1.0):
+            raise ValueError(f"signature_slack must be in [0, 1), got {self.signature_slack}")
+
+    def with_options(self, **overrides) -> "SsRecConfig":
+        """Copy with the given fields replaced (configs are frozen)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def for_mlens(cls) -> "SsRecConfig":
+        """The paper's MLens optimum (lambda_s = 0.3)."""
+        return cls(lambda_s=0.3)

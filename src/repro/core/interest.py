@@ -1,0 +1,157 @@
+"""BiHMM-backed user interest prediction with streaming-friendly caching.
+
+The matching function needs ``p(c | u^c)`` twice per candidate pair: once
+from the user's long-term interest list (Eq. 2) and once from the short-term
+window (Eq. 4).  Recomputing a full forward pass per score would dominate
+the stream cost, so this predictor maintains, per user:
+
+- an incrementally-advanced *filtered consumer state* over the long-term
+  list (one O(N^2) step per flushed event),
+- the producer hidden state of the user's most recent long-term item (the
+  lagged-z input that conditions the next transition), and
+- cached next-category distributions for both horizons, invalidated by the
+  profile's version counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SsRecConfig
+from repro.core.profiles import UserProfile
+from repro.hmm.bihmm import BiHMM
+from repro.hmm.utils import PROB_FLOOR
+
+
+class InterestPredictor:
+    """Per-user long/short-term category predictions over a trained BiHMM.
+
+    Args:
+        bihmm: a trained :class:`~repro.hmm.bihmm.BiHMM`.
+        config: ssRec configuration (history truncation, window size).
+    """
+
+    def __init__(self, bihmm: BiHMM, config: SsRecConfig | None = None) -> None:
+        self.bihmm = bihmm
+        self.config = config or SsRecConfig()
+        self.n_categories = bihmm.n_categories
+        self._long_alpha: dict[int, np.ndarray] = {}
+        self._long_last_z: dict[int, int] = {}
+        self._long_consumed: dict[int, int] = {}
+        self._long_dist: dict[int, np.ndarray] = {}
+        self._short_dist: dict[int, np.ndarray] = {}
+        self._short_version: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Internal state maintenance
+    # ------------------------------------------------------------------
+    def _advance_alpha(
+        self, alpha: np.ndarray, prev_z: int, category: int
+    ) -> np.ndarray:
+        """One forward step: transition/emission conditioned on the lagged z."""
+        model = self.bihmm.consumer_model
+        alpha_next = (alpha @ model.A[prev_z]) * model.B[prev_z][:, int(category)]
+        total = alpha_next.sum()
+        if total <= 0:
+            return np.full(model.n_states, 1.0 / model.n_states)
+        return alpha_next / total
+
+    def _dist_from_state(self, alpha: np.ndarray, last_z: int) -> np.ndarray:
+        """Next-category distribution given the filtered state and the
+        producer state of the most recent item."""
+        model = self.bihmm.consumer_model
+        dist = (alpha @ model.A[last_z]) @ model.B[last_z]
+        total = dist.sum()
+        if total <= 0:
+            return np.full(self.n_categories, 1.0 / self.n_categories)
+        return dist / total
+
+    def _unknown_z(self) -> int:
+        return self.bihmm.producer_layer.unknown_state
+
+    def _sync_long(self, profile: UserProfile) -> None:
+        """Catch the user's filtered long-term state up with the profile."""
+        uid = profile.user_id
+        layer = self.bihmm.producer_layer
+        consumed = self._long_consumed.get(uid)
+        if consumed is None:
+            alpha = self.bihmm.consumer_model.pi
+            last_z = self._unknown_z()
+            events = profile.long_term[-self.config.max_history_events :]
+            for ev in events:
+                alpha = self._advance_alpha(alpha, last_z, ev.category)
+                last_z = layer.state_of_item(ev.item_id)
+            self._long_alpha[uid] = alpha
+            self._long_last_z[uid] = last_z
+            self._long_consumed[uid] = profile.n_long_events
+            self._long_dist[uid] = self._dist_from_state(alpha, last_z)
+            return
+        if consumed < profile.n_long_events:
+            alpha = self._long_alpha[uid]
+            last_z = self._long_last_z[uid]
+            for ev in profile.long_term[consumed:]:
+                alpha = self._advance_alpha(alpha, last_z, ev.category)
+                last_z = layer.state_of_item(ev.item_id)
+            self._long_alpha[uid] = alpha
+            self._long_last_z[uid] = last_z
+            self._long_consumed[uid] = profile.n_long_events
+            self._long_dist[uid] = self._dist_from_state(alpha, last_z)
+
+    def _sync_short(self, profile: UserProfile) -> None:
+        uid = profile.user_id
+        if self._short_version.get(uid) == profile.version and uid in self._short_dist:
+            return
+        layer = self.bihmm.producer_layer
+        model = self.bihmm.consumer_model
+        recent = profile.recent_sequence()
+        alpha = model.pi
+        # The event preceding the window is the tail of the long-term list;
+        # its producer state seeds the lagged-z chain when available.
+        last_z = self._unknown_z()
+        if profile.window and profile.long_term:
+            last_z = layer.state_of_item(profile.long_term[-1].item_id)
+        for category, item_id in recent:
+            alpha = self._advance_alpha(alpha, last_z, category)
+            last_z = layer.state_of_item(item_id)
+        self._short_dist[uid] = self._dist_from_state(alpha, last_z)
+        self._short_version[uid] = profile.version
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def long_term_distribution(self, profile: UserProfile) -> np.ndarray:
+        """``p(c | u^c)`` over all categories from the long-term list."""
+        self._sync_long(profile)
+        return self._long_dist[profile.user_id]
+
+    def short_term_distribution(self, profile: UserProfile) -> np.ndarray:
+        """``p_s(c | u^c)`` over all categories from the recent window."""
+        self._sync_short(profile)
+        return self._short_dist[profile.user_id]
+
+    def long_term_probability(self, profile: UserProfile, category: int) -> float:
+        """Long-term ``p(c | u^c)`` for one category, floored above zero."""
+        dist = self.long_term_distribution(profile)
+        return float(max(dist[int(category)], PROB_FLOOR))
+
+    def short_term_probability(self, profile: UserProfile, category: int) -> float:
+        """Short-term ``p_s(c | u^c)`` for one category, floored above zero."""
+        dist = self.short_term_distribution(profile)
+        return float(max(dist[int(category)], PROB_FLOOR))
+
+    def observe_new_item(self, producer_id: int, item_id: int, category: int) -> None:
+        """Forward a newly streamed item to the producer layer so its hidden
+        state is decoded and available for later z-lookups."""
+        self.bihmm.producer_layer.observe_created_item(producer_id, item_id, category)
+
+    def forget_user(self, user_id: int) -> None:
+        """Drop all cached state for a user (used by tests and rebuilds)."""
+        for cache in (
+            self._long_alpha,
+            self._long_last_z,
+            self._long_consumed,
+            self._long_dist,
+            self._short_dist,
+            self._short_version,
+        ):
+            cache.pop(int(user_id), None)

@@ -1,0 +1,300 @@
+"""Entity-based item-user matching: Equations 1-4 of the paper.
+
+The relevance of item ``v = <c, u^p, E>`` to consumer ``u^c`` is::
+
+    R_l(v, u^c) = log p(c|u^c) + log p^(u^p|u^c) + log sum_{e in E u E'} w_e * p^(e|u^c)   (Eq. 2)
+    R_s(v, u^c) = log p_s(c|u^c)                                                          (Eq. 4)
+    R(v, u^c)   = (1 - lambda_s) * R_l + lambda_s * R_s                                   (Eq. 3)
+
+with ``p(c|u^c)`` / ``p_s(c|u^c)`` from the BiHMM, ``p^`` Dirichlet-smoothed
+MLE over the long-term list ("To prevent the zero probability, we apply the
+Dirichlet smoothing technique to both producer and entities"), and ``E'``
+the proximity-expansion set with weights ``w_e`` (original entities weigh
+1, repetitions counted — Example 1).
+
+Two scorer implementations share the exact same arithmetic:
+
+- :class:`MatchingScorer` — per-(item, user) reference implementation; the
+  CPPse-index leaf scoring must agree with it bit-for-bit, which the tests
+  assert.
+- :class:`VectorizedMatcher` — NumPy batch scorer over all users at once,
+  used by the naive-scan recommender and by the evaluation harness's
+  lambda-sweep (R_l and R_s are returned separately so Eq. 3 can be
+  recombined for free).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SsRecConfig
+from repro.core.interest import InterestPredictor
+from repro.core.profiles import ProfileStore, UserProfile
+from repro.datasets.schema import SocialItem
+from repro.entities.expansion import EntityExpander
+from repro.hmm.utils import PROB_FLOOR
+
+
+@dataclass(frozen=True)
+class ScoreParts:
+    """The four probabilities entering Eq. 2-4, before log/combination.
+
+    Keeping the parts separate lets callers sweep ``lambda_s`` without
+    rescoring (Fig. 7) and lets the index prove its upper bound per part.
+    """
+
+    p_long_category: float
+    p_producer: float
+    entity_sum: float
+    p_short_category: float
+
+    def long_score(self) -> float:
+        """R_l of Eq. 2 (log-space)."""
+        return (
+            math.log(max(self.p_long_category, PROB_FLOOR))
+            + math.log(max(self.p_producer, PROB_FLOOR))
+            + math.log(max(self.entity_sum, PROB_FLOOR))
+        )
+
+    def short_score(self) -> float:
+        """R_s of Eq. 4 (log-space)."""
+        return math.log(max(self.p_short_category, PROB_FLOOR))
+
+    def combine(self, lambda_s: float) -> float:
+        """R of Eq. 3."""
+        return (1.0 - lambda_s) * self.long_score() + lambda_s * self.short_score()
+
+
+class MatchingScorer:
+    """Reference per-pair scorer for Eq. 1-4.
+
+    Args:
+        interest: the BiHMM-backed predictor supplying ``p(c|u^c)``.
+        expander: entity expander; ignored when ``config.use_expansion`` is
+            off (the ssRec-ne ablation).
+        config: ssRec tunables (lambda_s, Dirichlet mass, expansion).
+        n_producers: global producer vocabulary size (background model of
+            the producer smoothing).
+        n_entities: global entity vocabulary size (background model of the
+            entity smoothing).
+    """
+
+    def __init__(
+        self,
+        interest: InterestPredictor,
+        expander: EntityExpander | None,
+        config: SsRecConfig,
+        n_producers: int,
+        n_entities: int,
+    ) -> None:
+        if n_producers < 1:
+            raise ValueError(f"n_producers must be >= 1, got {n_producers}")
+        if n_entities < 1:
+            raise ValueError(f"n_entities must be >= 1, got {n_entities}")
+        self.interest = interest
+        self.expander = expander
+        self.config = config
+        self.n_producers = int(n_producers)
+        self.n_entities = int(n_entities)
+        self._query_cache: dict[int, list[tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Query construction
+    # ------------------------------------------------------------------
+    def expanded_query(self, item: SocialItem) -> list[tuple[int, float]]:
+        """``(entity_id, weight)`` pairs of ``E u E'``.
+
+        Original entities carry weight 1 and keep their multiplicity;
+        expansion entities carry their proximity weight (Sec. IV-B).
+        Cached per item id — queries are immutable.
+        """
+        cached = self._query_cache.get(item.item_id)
+        if cached is not None:
+            return cached
+        query: list[tuple[int, float]] = [(int(e), 1.0) for e in item.entities]
+        if self.expander is not None and self.config.use_expansion:
+            for expansion in self.expander.expand_set(item.category, item.entities):
+                query.append((expansion.entity_id, expansion.weight))
+        self._query_cache[item.item_id] = query
+        return query
+
+    # ------------------------------------------------------------------
+    # Smoothed MLE estimates (Sec. IV-C)
+    # ------------------------------------------------------------------
+    def producer_probability(self, profile: UserProfile, producer: int) -> float:
+        """Dirichlet-smoothed ``p^(u^p | u^c)`` over the long-term list."""
+        mu = self.config.dirichlet_mu
+        count = profile.producer_counts.get(int(producer), 0)
+        return (count + mu / self.n_producers) / (profile.n_long_events + mu)
+
+    def entity_probability(self, profile: UserProfile, entity: int) -> float:
+        """Dirichlet-smoothed ``p^(e | u^c)`` over the long-term list."""
+        mu = self.config.dirichlet_mu
+        count = profile.entity_counts.get(int(entity), 0)
+        return (count + mu / self.n_entities) / (profile.n_entity_tokens + mu)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_parts(self, item: SocialItem, profile: UserProfile) -> ScoreParts:
+        """The Eq. 2-4 probability parts for one (item, user) pair."""
+        entity_sum = 0.0
+        for entity_id, weight in self.expanded_query(item):
+            entity_sum += weight * self.entity_probability(profile, entity_id)
+        return ScoreParts(
+            p_long_category=self.interest.long_term_probability(profile, item.category),
+            p_producer=self.producer_probability(profile, item.producer),
+            entity_sum=entity_sum,
+            p_short_category=self.interest.short_term_probability(profile, item.category),
+        )
+
+    def score(self, item: SocialItem, profile: UserProfile) -> float:
+        """R(v, u^c) of Eq. 3."""
+        return self.score_parts(item, profile).combine(self.config.lambda_s)
+
+
+class VectorizedMatcher:
+    """Batch scorer: R_l and R_s for *all* registered users at once.
+
+    Maintains dense per-user count matrices synchronized lazily with the
+    profiles (via their version counters), so one item scores against U
+    users in a handful of NumPy gathers.  Produces numbers identical to
+    :class:`MatchingScorer` — asserted by tests.
+
+    Args:
+        scorer: the reference scorer (shares interest/expander/config).
+        profiles: the profile store to mirror.
+    """
+
+    def __init__(self, scorer: MatchingScorer, profiles: ProfileStore) -> None:
+        self.scorer = scorer
+        self.profiles = profiles
+        self._user_ids: list[int] = []
+        self._row_of: dict[int, int] = {}
+        self._versions: dict[int, int] = {}
+        self._capacity = 0
+        config = scorer.config
+        self._mu = config.dirichlet_mu
+        self._producer_counts = np.zeros((0, scorer.n_producers), dtype=np.float64)
+        self._entity_counts = np.zeros((0, scorer.n_entities), dtype=np.float64)
+        self._n_long = np.zeros(0, dtype=np.float64)
+        self._n_tokens = np.zeros(0, dtype=np.float64)
+        n_categories = scorer.interest.n_categories
+        self._long_dist = np.zeros((0, n_categories), dtype=np.float64)
+        self._short_dist = np.zeros((0, n_categories), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Row management
+    # ------------------------------------------------------------------
+    def _grow(self, new_capacity: int) -> None:
+        def grown(arr: np.ndarray) -> np.ndarray:
+            shape = (new_capacity,) + arr.shape[1:]
+            out = np.zeros(shape, dtype=arr.dtype)
+            out[: arr.shape[0]] = arr
+            return out
+
+        self._producer_counts = grown(self._producer_counts)
+        self._entity_counts = grown(self._entity_counts)
+        self._n_long = grown(self._n_long)
+        self._n_tokens = grown(self._n_tokens)
+        self._long_dist = grown(self._long_dist)
+        self._short_dist = grown(self._short_dist)
+        self._capacity = new_capacity
+
+    def _ensure_row(self, user_id: int) -> int:
+        row = self._row_of.get(user_id)
+        if row is not None:
+            return row
+        row = len(self._user_ids)
+        if row >= self._capacity:
+            self._grow(max(16, self._capacity * 2, row + 1))
+        self._user_ids.append(user_id)
+        self._row_of[user_id] = row
+        return row
+
+    def _refresh_row(self, profile: UserProfile) -> None:
+        row = self._ensure_row(profile.user_id)
+        if self._versions.get(profile.user_id) == profile.version:
+            return
+        self._producer_counts[row, :] = 0.0
+        for producer, count in profile.producer_counts.items():
+            if 0 <= producer < self.scorer.n_producers:
+                self._producer_counts[row, producer] = count
+        self._entity_counts[row, :] = 0.0
+        for entity, count in profile.entity_counts.items():
+            if 0 <= entity < self.scorer.n_entities:
+                self._entity_counts[row, entity] = count
+        self._n_long[row] = profile.n_long_events
+        self._n_tokens[row] = profile.n_entity_tokens
+        self._long_dist[row] = self.scorer.interest.long_term_distribution(profile)
+        self._short_dist[row] = self.scorer.interest.short_term_distribution(profile)
+        self._versions[profile.user_id] = profile.version
+
+    def sync(self) -> None:
+        """Bring every registered profile's row up to date."""
+        for profile in self.profiles:
+            self._refresh_row(profile)
+
+    @property
+    def user_ids(self) -> list[int]:
+        """Row order of the score arrays."""
+        return list(self._user_ids)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def score_components(self, item: SocialItem) -> tuple[np.ndarray, np.ndarray]:
+        """``(R_l, R_s)`` arrays over all users (row order: ``user_ids``).
+
+        Callers combine with Eq. 3 at any ``lambda_s``:
+        ``R = (1 - lam) * R_l + lam * R_s``.
+        """
+        self.sync()
+        n = len(self._user_ids)
+        if n == 0:
+            return np.zeros(0), np.zeros(0)
+        mu = self._mu
+        c = item.category
+        p_long = np.maximum(self._long_dist[:n, c], PROB_FLOOR)
+        p_short = np.maximum(self._short_dist[:n, c], PROB_FLOOR)
+        producer = item.producer
+        if 0 <= producer < self.scorer.n_producers:
+            producer_count = self._producer_counts[:n, producer]
+        else:
+            producer_count = np.zeros(n)
+        p_producer = (producer_count + mu / self.scorer.n_producers) / (self._n_long[:n] + mu)
+        entity_sum = np.zeros(n)
+        for entity_id, weight in self.scorer.expanded_query(item):
+            if 0 <= entity_id < self.scorer.n_entities:
+                count = self._entity_counts[:n, entity_id]
+            else:
+                count = np.zeros(n)
+            entity_sum += weight * (count + mu / self.scorer.n_entities) / (
+                self._n_tokens[:n] + mu
+            )
+        r_long = (
+            np.log(p_long)
+            + np.log(np.maximum(p_producer, PROB_FLOOR))
+            + np.log(np.maximum(entity_sum, PROB_FLOOR))
+        )
+        r_short = np.log(p_short)
+        return r_long, r_short
+
+    def score_all(self, item: SocialItem, lambda_s: float | None = None) -> np.ndarray:
+        """Eq. 3 scores over all users."""
+        lam = self.scorer.config.lambda_s if lambda_s is None else float(lambda_s)
+        r_long, r_short = self.score_components(item)
+        return (1.0 - lam) * r_long + lam * r_short
+
+    def top_k(self, item: SocialItem, k: int, lambda_s: float | None = None) -> list[tuple[int, float]]:
+        """Top-``k`` ``(user_id, score)`` pairs, ties broken by user id."""
+        scores = self.score_all(item, lambda_s=lambda_s)
+        if scores.size == 0:
+            return []
+        k = min(int(k), scores.size)
+        # Stable selection: sort by (-score, user_id) for deterministic ties.
+        order = np.lexsort((np.array(self._user_ids), -scores))
+        return [(self._user_ids[i], float(scores[i])) for i in order[:k]]

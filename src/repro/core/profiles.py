@@ -1,0 +1,211 @@
+"""CPPse user profiles: long-term interest list + short-term window.
+
+Section IV-B: "The short-term interest window of a user has a fixed-size,
+and keeps his latest interaction records, while his long-term interest list
+includes all the rest of records in his whole browsing history. ... When the
+short-term interest window is full, W_i will be flushed to L_i.  As such,
+each user profile is modelled as a pair of category-producer sequences
+(CPPse)."
+
+Besides the raw sequences, each profile maintains the long-term sufficient
+statistics the matching function needs: category, producer and entity
+frequency counters over ``L`` plus total event/entity-token counts (the MLE
+numerators and denominators of Eq. 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    """One browsing record: the ``<category, producer>`` pair of the paper's
+    CPPse sequences, plus the item id and entities needed for entity-level
+    MLE and BiHMM z-decoding."""
+
+    category: int
+    producer: int
+    item_id: int
+    entities: tuple[int, ...]
+    timestamp: float = 0.0
+
+
+class UserProfile:
+    """One consumer's profile.
+
+    Args:
+        user_id: the consumer id.
+        window_size: |W|, the fixed short-term window size.
+
+    Attributes:
+        long_term: the flushed long-term interest list ``L`` (event order).
+        window: the current short-term window ``W`` (< window_size events;
+            flushing empties it into ``long_term``).
+        version: increments on every mutation — downstream caches (interest
+            distributions, index signatures) key on it.
+    """
+
+    __slots__ = (
+        "user_id",
+        "window_size",
+        "long_term",
+        "window",
+        "category_counts",
+        "producer_counts",
+        "entity_counts",
+        "n_long_events",
+        "n_entity_tokens",
+        "version",
+    )
+
+    def __init__(self, user_id: int, window_size: int = 5) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.user_id = int(user_id)
+        self.window_size = int(window_size)
+        self.long_term: list[ProfileEvent] = []
+        self.window: list[ProfileEvent] = []
+        self.category_counts: Counter[int] = Counter()
+        self.producer_counts: Counter[int] = Counter()
+        self.entity_counts: Counter[int] = Counter()
+        self.n_long_events = 0
+        self.n_entity_tokens = 0
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def record(self, event: ProfileEvent) -> list[ProfileEvent]:
+        """Append one browsing event to the window; flush when full.
+
+        Returns the list of events flushed into the long-term list by this
+        record (empty most of the time) so callers — notably the interest
+        predictor's incremental filtered state — can advance on exactly the
+        events that became long-term.
+        """
+        self.window.append(event)
+        self.version += 1
+        flushed: list[ProfileEvent] = []
+        if len(self.window) >= self.window_size:
+            flushed = self.window
+            self.window = []
+            for ev in flushed:
+                self._absorb_long_term(ev)
+        return flushed
+
+    def _absorb_long_term(self, event: ProfileEvent) -> None:
+        self.long_term.append(event)
+        self.category_counts[event.category] += 1
+        self.producer_counts[event.producer] += 1
+        for entity in event.entities:
+            self.entity_counts[entity] += 1
+            self.n_entity_tokens += 1
+        self.n_long_events += 1
+
+    def bootstrap(self, events: Iterable[ProfileEvent]) -> None:
+        """Load a training history: all but the trailing ``window_size - 1``
+        events go straight to the long-term list, the tail seeds the window.
+
+        This reproduces the state the profile would reach by recording each
+        event one at a time, at bulk-load cost.
+        """
+        events = list(events)
+        # Replaying record() semantics: flush happens every window_size
+        # events, so after N events the window holds N mod window_size.
+        remainder = len(events) % self.window_size
+        head = events[: len(events) - remainder] if remainder else events
+        tail = events[len(events) - remainder :] if remainder else []
+        for ev in head:
+            self._absorb_long_term(ev)
+        self.window = list(tail)
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def long_term_sequence(self, max_events: int | None = None) -> list[tuple[int, int]]:
+        """``(category, item_id)`` pairs of the long-term list (BiHMM input)."""
+        events = self.long_term if max_events is None else self.long_term[-max_events:]
+        return [(ev.category, ev.item_id) for ev in events]
+
+    def recent_sequence(self) -> list[tuple[int, int]]:
+        """The most recent item sequence for short-term prediction.
+
+        The window when non-empty; otherwise the tail of the long-term list
+        (the window has just been flushed, so those *are* the latest
+        records).
+        """
+        if self.window:
+            return [(ev.category, ev.item_id) for ev in self.window]
+        tail = self.long_term[-self.window_size :]
+        return [(ev.category, ev.item_id) for ev in tail]
+
+    def all_events(self) -> list[ProfileEvent]:
+        """Long-term list followed by the current window."""
+        return list(self.long_term) + list(self.window)
+
+    def category_vector(self, n_categories: int) -> list[float]:
+        """Normalized long-term category frequencies (the blocking feature).
+
+        One-pass clustering groups users by "each user's long-term
+        categorical interests and cosine similarity" (Sec. V-A).
+        """
+        vec = [0.0] * n_categories
+        for cat, count in self.category_counts.items():
+            if 0 <= cat < n_categories:
+                vec[cat] = float(count)
+        total = sum(vec)
+        if total > 0:
+            vec = [v / total for v in vec]
+        return vec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UserProfile(user={self.user_id}, long={self.n_long_events}, "
+            f"window={len(self.window)}/{self.window_size})"
+        )
+
+
+class ProfileStore:
+    """All consumer profiles, keyed by user id.
+
+    Args:
+        window_size: |W| applied to every profile.
+    """
+
+    def __init__(self, window_size: int = 5) -> None:
+        self.window_size = int(window_size)
+        self._profiles: dict[int, UserProfile] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, user_id: int) -> bool:
+        return int(user_id) in self._profiles
+
+    def __iter__(self):
+        return iter(self._profiles.values())
+
+    def get(self, user_id: int) -> UserProfile | None:
+        return self._profiles.get(int(user_id))
+
+    def get_or_create(self, user_id: int) -> UserProfile:
+        """Profile for ``user_id``, creating an empty one for new users
+        (Sec. V-C: "new users may join social community")."""
+        profile = self._profiles.get(int(user_id))
+        if profile is None:
+            profile = UserProfile(user_id, window_size=self.window_size)
+            self._profiles[int(user_id)] = profile
+        return profile
+
+    def user_ids(self) -> list[int]:
+        return sorted(self._profiles)
+
+    def record(self, user_id: int, event: ProfileEvent) -> tuple[UserProfile, list[ProfileEvent]]:
+        """Record an event for ``user_id``; returns (profile, flushed)."""
+        profile = self.get_or_create(user_id)
+        flushed = profile.record(event)
+        return profile, flushed

@@ -1,0 +1,264 @@
+"""The ssRec facade: train once, then recommend/update over the stream.
+
+Ties together every component of Fig. 1: the BiHMM interest prediction
+(a), the entity-based item-user matching (b), and — when ``use_index`` is
+on — the CPPse-index (c) for sub-linear top-k search.
+
+Typical usage::
+
+    recommender = SsRecRecommender(config)
+    recommender.fit(dataset, train_interactions)
+    for item in item_stream:
+        recommender.observe_item(item)              # producer layer update
+        top_users = recommender.recommend(item, k=30)
+    recommender.update(interaction)                 # user profile update
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from repro.core.config import SsRecConfig
+from repro.core.interest import InterestPredictor
+from repro.core.matching import MatchingScorer, VectorizedMatcher
+from repro.core.profiles import ProfileEvent, ProfileStore
+from repro.datasets.schema import Dataset, Interaction, SocialItem
+from repro.entities.expansion import EntityExpander
+from repro.entities.extractor import EntityExtractor
+from repro.entities.vocabulary import EntityVocabulary
+from repro.hmm.bihmm import BiHMM
+
+
+class SsRecRecommender:
+    """End-to-end ssRec recommender.
+
+    Args:
+        config: ssRec tunables; defaults to the paper's optima.
+        use_index: route top-k queries through the CPPse-index (Sec. V).
+            When off, an exact vectorized sequential scan is used — the
+            results are identical, only the cost profile differs.
+        seed: seed for model initialization.
+    """
+
+    def __init__(
+        self,
+        config: SsRecConfig | None = None,
+        use_index: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or SsRecConfig()
+        self.use_index = bool(use_index)
+        self.seed = int(seed)
+        self.profiles = ProfileStore(window_size=self.config.window_size)
+        self.vocabulary = EntityVocabulary()
+        self.extractor = EntityExtractor(self.vocabulary)
+        self.expander: EntityExpander | None = None
+        self.bihmm: BiHMM | None = None
+        self.interest: InterestPredictor | None = None
+        self.scorer: MatchingScorer | None = None
+        self.matcher: VectorizedMatcher | None = None
+        self.index = None  # CPPseIndex, built lazily to avoid an import cycle
+        self._maintenance_pending: set[int] = set()
+        self.maintenance_interval = 200  # updates between index maintenance runs
+        self._updates_since_maintenance = 0
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: Dataset,
+        train_interactions: Sequence[Interaction] | None = None,
+        max_bihmm_sequences: int = 200,
+    ) -> "SsRecRecommender":
+        """Train every component from the training slice of ``dataset``.
+
+        Args:
+            dataset: supplies the entity universe, items and user sets.
+            train_interactions: the training partitions' interactions; when
+                None, all of ``dataset.interactions`` are used.
+            max_bihmm_sequences: cap on consumer sequences used to train the
+                shared b-HMM (training cost control; sequences are taken
+                from the most active consumers).
+        """
+        interactions = (
+            list(train_interactions)
+            if train_interactions is not None
+            else list(dataset.interactions)
+        )
+        interactions.sort(key=lambda i: (i.timestamp, i.item_id))
+        train_item_ids = {i.item_id for i in interactions}
+        last_time = interactions[-1].timestamp if interactions else float("inf")
+        train_items = [
+            it
+            for it in dataset.items
+            if it.timestamp <= last_time or it.item_id in train_item_ids
+        ]
+
+        # 1. Entity pipeline: gazetteer + expansion statistics.
+        self.extractor.add_phrases(dataset.entity_names)
+        self.expander = EntityExpander(
+            alpha=self.config.expansion_alpha,
+            max_expansions=self.config.max_expansions,
+            min_weight=self.config.expansion_min_weight,
+        )
+        for item in train_items:
+            mentions = self.extractor.annotate(item.text)
+            if mentions:
+                self.expander.observe(item.category, mentions)
+                self.vocabulary.observe_document(
+                    [m.entity_id for m in mentions], category=item.category
+                )
+            else:
+                # Items without recoverable text fall back to declared ids.
+                self.expander.observe_entity_list(item.category, item.entities)
+                self.vocabulary.observe_document(item.entities, category=item.category)
+
+        # 2. Profiles from the training interactions.
+        item_by_id = {it.item_id: it for it in dataset.items}
+        events_by_user: dict[int, list[ProfileEvent]] = defaultdict(list)
+        for inter in interactions:
+            item = item_by_id[inter.item_id]
+            events_by_user[inter.user_id].append(
+                ProfileEvent(
+                    category=inter.category,
+                    producer=inter.producer,
+                    item_id=inter.item_id,
+                    entities=item.entities,
+                    timestamp=inter.timestamp,
+                )
+            )
+        for user_id in dataset.consumer_ids:
+            profile = self.profiles.get_or_create(user_id)
+            events = events_by_user.get(user_id)
+            if events:
+                profile.bootstrap(events)
+
+        # 3. BiHMM: producer layer on training creations, shared b-HMM on
+        #    the most active consumers' sequences.
+        self.bihmm = BiHMM(
+            n_categories=dataset.n_categories,
+            n_consumer_states=self.config.n_consumer_states,
+            n_producer_states=self.config.n_producer_states,
+            seed=self.seed,
+        )
+        creations: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for it in sorted(train_items, key=lambda x: (x.timestamp, x.item_id)):
+            creations[it.producer].append((it.item_id, it.category))
+        by_activity = sorted(events_by_user.items(), key=lambda kv: -len(kv[1]))
+        consumer_sequences = [
+            [(ev.category, ev.item_id) for ev in events]
+            for _, events in by_activity[:max_bihmm_sequences]
+            if len(events) >= 2
+        ]
+        if not consumer_sequences:
+            raise ValueError("no consumer has enough training interactions")
+        self.bihmm.fit(
+            dict(creations), consumer_sequences, n_iter=self.config.hmm_iterations
+        )
+
+        # 4. Scorers.
+        self.interest = InterestPredictor(self.bihmm, self.config)
+        self.scorer = MatchingScorer(
+            self.interest,
+            self.expander,
+            self.config,
+            n_producers=max(len(dataset.producer_ids), 1),
+            n_entities=max(len(dataset.entity_names), 1),
+        )
+        self.matcher = VectorizedMatcher(self.scorer, self.profiles)
+        self.matcher.sync()
+
+        # 5. Optional CPPse-index.
+        if self.use_index:
+            from repro.index.cppse import CPPseIndex  # local: avoids cycle
+
+            self.index = CPPseIndex.build(
+                profiles=self.profiles,
+                scorer=self.scorer,
+                n_categories=dataset.n_categories,
+                config=self.config,
+            )
+        self._fitted = True
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before this operation")
+
+    # ------------------------------------------------------------------
+    # Streaming operations
+    # ------------------------------------------------------------------
+    def observe_item(self, item: SocialItem) -> None:
+        """Register a newly streamed item (the social-item stream).
+
+        Advances the producer layer's filtered state and feeds the item's
+        entity co-occurrences to the expander so future expansions reflect
+        recent content.
+        """
+        self._require_fitted()
+        assert self.interest is not None and self.expander is not None
+        self.interest.observe_new_item(item.producer, item.item_id, item.category)
+        mentions = self.extractor.annotate(item.text)
+        if mentions:
+            self.expander.observe(item.category, mentions)
+        else:
+            self.expander.observe_entity_list(item.category, item.entities)
+
+    def update(self, interaction: Interaction, item: SocialItem | None = None) -> None:
+        """Record one user-item interaction (the interaction stream).
+
+        Updates the user's CPPse profile; the CPPse-index is maintained
+        periodically per Algorithm 2 ("We maintain the CPPse-index
+        periodically by checking the activities of social users").
+        """
+        self._require_fitted()
+        entities = item.entities if item is not None else ()
+        event = ProfileEvent(
+            category=interaction.category,
+            producer=interaction.producer,
+            item_id=interaction.item_id,
+            entities=tuple(entities),
+            timestamp=interaction.timestamp,
+        )
+        profile, _ = self.profiles.record(interaction.user_id, event)
+        if self.index is not None:
+            self._maintenance_pending.add(profile.user_id)
+            self._updates_since_maintenance += 1
+            if self._updates_since_maintenance >= self.maintenance_interval:
+                self.run_maintenance()
+
+    def run_maintenance(self) -> int:
+        """Flush pending profile updates into the index (Algorithm 2).
+
+        Returns the number of user profiles refreshed.
+        """
+        self._require_fitted()
+        if self.index is None or not self._maintenance_pending:
+            self._maintenance_pending.clear()
+            self._updates_since_maintenance = 0
+            return 0
+        updated = self.index.maintain(sorted(self._maintenance_pending))
+        self._maintenance_pending.clear()
+        self._updates_since_maintenance = 0
+        return updated
+
+    def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
+        """Top-``k`` ``(user_id, score)`` for an incoming item (Eq. 3 order)."""
+        self._require_fitted()
+        assert self.matcher is not None
+        k = k or self.config.default_k
+        if self.index is not None:
+            # Serve fresh results: apply any pending profile maintenance
+            # before querying (queries between maintenance cycles would
+            # otherwise see slightly stale signatures).
+            if self._maintenance_pending:
+                self.run_maintenance()
+            return self.index.knn(item, k)
+        return self.matcher.top_k(item, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "index" if self.use_index else "scan"
+        return f"SsRecRecommender(fitted={self._fitted}, mode={mode}, users={len(self.profiles)})"

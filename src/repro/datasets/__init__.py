@@ -1,0 +1,40 @@
+"""Datasets substrate: schema, synthetic generators, synthpop, partitioning.
+
+The paper evaluates on four datasets (Table III): a crawled YouTube set
+(YTube), MovieLens-20M (MLens), and two synthpop-generated clones (SynYTube,
+SynMLens).  Offline we substitute seeded synthetic generators whose latent
+structure matches the paper's modelling assumptions — producers create items
+following per-producer hidden-state category patterns, consumers browse
+driven by their own interest chain *interrupted by followed producers* and
+by short external bursts (Fig. 2's scenario) — plus a sequential-conditional
+synthesizer standing in for the R synthpop package.
+"""
+
+from repro.datasets.schema import (
+    Dataset,
+    DatasetStats,
+    Interaction,
+    SocialItem,
+)
+from repro.datasets.ytube import YTubeConfig, generate_ytube
+from repro.datasets.mlens import MLensConfig, generate_mlens
+from repro.datasets.synthpop import SynthpopSynthesizer, synthesize_dataset
+from repro.datasets.partitions import PartitionedStream, partition_interactions
+from repro.datasets.io import load_dataset, save_dataset
+
+__all__ = [
+    "Dataset",
+    "DatasetStats",
+    "Interaction",
+    "SocialItem",
+    "YTubeConfig",
+    "generate_ytube",
+    "MLensConfig",
+    "generate_mlens",
+    "SynthpopSynthesizer",
+    "synthesize_dataset",
+    "PartitionedStream",
+    "partition_interactions",
+    "load_dataset",
+    "save_dataset",
+]

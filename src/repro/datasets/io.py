@@ -1,0 +1,116 @@
+"""Dataset persistence: JSON-lines export/import.
+
+Lets generated datasets be stored, shared and reloaded without re-running
+the generators (useful both for reproducibility — pin the exact evaluation
+data — and for plugging in real crawled data in the paper's format).
+
+Layout of a dataset directory::
+
+    meta.json           name, n_categories, producer/consumer ids
+    entities.jsonl      one {"id", "name"} per line
+    items.jsonl         one social item per line
+    interactions.jsonl  one interaction per line
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.schema import Dataset, Interaction, SocialItem
+
+
+def save_dataset(dataset: Dataset, directory: str | Path) -> Path:
+    """Write ``dataset`` to ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "name": dataset.name,
+        "n_categories": dataset.n_categories,
+        "producer_ids": dataset.producer_ids,
+        "consumer_ids": dataset.consumer_ids,
+    }
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    with (directory / "entities.jsonl").open("w") as fh:
+        for entity_id, name in enumerate(dataset.entity_names):
+            fh.write(json.dumps({"id": entity_id, "name": name}) + "\n")
+    with (directory / "items.jsonl").open("w") as fh:
+        for item in dataset.items:
+            fh.write(
+                json.dumps(
+                    {
+                        "item_id": item.item_id,
+                        "category": item.category,
+                        "producer": item.producer,
+                        "entities": list(item.entities),
+                        "text": item.text,
+                        "timestamp": item.timestamp,
+                    }
+                )
+                + "\n"
+            )
+    with (directory / "interactions.jsonl").open("w") as fh:
+        for inter in dataset.interactions:
+            fh.write(
+                json.dumps(
+                    {
+                        "user_id": inter.user_id,
+                        "item_id": inter.item_id,
+                        "category": inter.category,
+                        "producer": inter.producer,
+                        "timestamp": inter.timestamp,
+                    }
+                )
+                + "\n"
+            )
+    return directory
+
+
+def load_dataset(directory: str | Path) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Validates referential integrity on load; raises ``FileNotFoundError``
+    for missing files and ``ValueError`` for inconsistent content.
+    """
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    entity_names: list[str] = []
+    with (directory / "entities.jsonl").open() as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record["id"] != len(entity_names):
+                raise ValueError(
+                    f"entities.jsonl ids must be dense/ordered; got {record['id']} "
+                    f"at position {len(entity_names)}"
+                )
+            entity_names.append(record["name"])
+    items: list[SocialItem] = []
+    with (directory / "items.jsonl").open() as fh:
+        for line in fh:
+            record = json.loads(line)
+            items.append(
+                SocialItem(
+                    item_id=record["item_id"],
+                    category=record["category"],
+                    producer=record["producer"],
+                    entities=tuple(record["entities"]),
+                    text=record["text"],
+                    timestamp=record["timestamp"],
+                )
+            )
+    interactions: list[Interaction] = []
+    with (directory / "interactions.jsonl").open() as fh:
+        for line in fh:
+            record = json.loads(line)
+            interactions.append(Interaction(**record))
+    dataset = Dataset(
+        name=meta["name"],
+        n_categories=meta["n_categories"],
+        items=items,
+        interactions=interactions,
+        entity_names=entity_names,
+        producer_ids=list(meta["producer_ids"]),
+        consumer_ids=list(meta["consumer_ids"]),
+    )
+    dataset.validate()
+    return dataset

@@ -1,0 +1,191 @@
+"""Synthetic MLens-like dataset generator.
+
+The paper uses MovieLens-20M and, since MovieLens has no categories or
+producers, *derives* them: "We generate the category information by
+clustering all MLens movies based on their ratings, and regard the users who
+create social items for one category only and have frequent interactions as
+producers."  Our generator emits data that already exhibits the derived
+structure:
+
+- every producer creates items of exactly **one category** (the paper's
+  producer-selection criterion);
+- items (movies) are **front-loaded** on the timeline — the catalogue mostly
+  exists before the interaction stream ramps up, unlike YouTube's continuous
+  uploads;
+- consumer dynamics are **slower** than YTube (rarer bursts, less drift,
+  stickier interests), matching the paper's finding that the optimal
+  short-term weight is lower on MLens (0.3) than on YTube (0.4) because
+  "users' interests are less robust on YouTube".
+
+The consumer simulation is shared with the YTube generator so both datasets
+exercise identical code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.schema import Dataset, SocialItem
+from repro.datasets.text import compose_description
+from repro.datasets.ytube import (
+    YTubeConfig,
+    _Producer,
+    _build_consumers,
+    _build_entities,
+    _draw_item_entities,
+    _simulate_interactions,
+)
+
+
+@dataclass
+class MLensConfig(YTubeConfig):
+    """MLens-like generation knobs (inherits the YTube knob set).
+
+    The defaults encode the slower MovieLens dynamics described above.
+    """
+
+    name: str = "MLens"
+    seed: int = 13
+    n_categories: int = 10
+    n_producers: int = 30
+    n_consumers: int = 500
+    n_items: int = 2500
+    n_interactions: int = 35000
+    entities_per_category: int = 50
+    follow_prob: float = 0.35
+    burst_prob: float = 0.015
+    burst_length_mean: float = 4.0
+    drift_prob: float = 0.0008
+    consumer_self_transition: float = 0.88
+    #: per-state probability mass on a secondary "crossover" category.
+    #: Producers remain dominantly single-category (the paper's derivation
+    #: criterion) but cross genres in a state-patterned way, which is the
+    #: residual producer-trajectory signal on MovieLens-like data.
+    producer_crossover: float = 0.2
+
+    @classmethod
+    def small(cls, seed: int = 13) -> "MLensConfig":
+        """Tiny configuration for unit/integration tests."""
+        return cls(
+            seed=seed,
+            n_categories=5,
+            n_producers=10,
+            n_consumers=70,
+            n_items=300,
+            n_interactions=3500,
+            entities_per_category=20,
+            topics_per_category=3,
+        )
+
+    @classmethod
+    def paper_shape(cls, seed: int = 13) -> "MLensConfig":
+        """Paper's C=15 categories at laptop scale."""
+        return cls(
+            seed=seed,
+            n_categories=15,
+            n_producers=50,
+            n_consumers=900,
+            n_items=5000,
+            n_interactions=60000,
+        )
+
+
+def _build_single_category_producers(
+    config: MLensConfig, rng: np.random.Generator
+) -> list[_Producer]:
+    """Producers dominated by one home category.
+
+    States differ in their preferred entity *topic* and in a small
+    state-dependent crossover category, so the a-HMM has non-trivial
+    structure even though each producer is (nearly) single-category.
+    """
+    producers = []
+    for pid in range(config.n_producers):
+        S = config.producer_states
+        self_p = config.producer_self_transition if S > 1 else 1.0
+        cycle_p = config.producer_cycle_prob if S > 1 else 0.0
+        rest = max(0.0, 1.0 - self_p - cycle_p)
+        transition = np.full((S, S), rest / max(S - 1, 1) if S > 1 else 0.0)
+        for s in range(S):
+            transition[s, s] = self_p
+            if S > 1:
+                transition[s, (s + 1) % S] += cycle_p
+        transition /= transition.sum(axis=1, keepdims=True)
+        home = int(rng.integers(config.n_categories))
+        state_category = np.full((S, config.n_categories), 1e-6)
+        state_category[:, home] = 1.0 - config.producer_crossover
+        for s in range(S):
+            crossover = int(rng.integers(config.n_categories))
+            state_category[s, crossover] += config.producer_crossover
+        state_category /= state_category.sum(axis=1, keepdims=True)
+        state_topic = rng.integers(0, config.topics_per_category, size=S)
+        producers.append(
+            _Producer(
+                producer_id=pid,
+                transition=transition,
+                state_category=state_category,
+                state_topic=state_topic,
+                activity=float(rng.lognormal(0.0, 0.5)),
+                state=int(rng.integers(S)),
+            )
+        )
+    return producers
+
+
+def _build_frontloaded_items(
+    config: MLensConfig,
+    rng: np.random.Generator,
+    producers: list[_Producer],
+    pools,
+    entity_names: list[str],
+) -> list[SocialItem]:
+    """Item (movie) creation with a front-loaded upload schedule."""
+    weights = np.array([p.activity for p in producers])
+    weights /= weights.sum()
+    # Beta(1.2, 3) skews mass toward the start of the timeline: most of the
+    # catalogue exists before the bulk of the interactions.
+    times = np.sort(rng.beta(1.2, 3.0, size=config.n_items))
+    items: list[SocialItem] = []
+    for item_id in range(config.n_items):
+        producer = producers[int(rng.choice(len(producers), p=weights))]
+        S = producer.transition.shape[0]
+        producer.state = int(rng.choice(S, p=producer.transition[producer.state]))
+        category = int(np.argmax(producer.state_category[producer.state]))
+        topic = int(producer.state_topic[producer.state])
+        entities = _draw_item_entities(config, rng, pools, category, topic)
+        text = compose_description(rng, [entity_names[e] for e in entities])
+        items.append(
+            SocialItem(
+                item_id=item_id,
+                category=category,
+                producer=producer.producer_id,
+                entities=tuple(entities),
+                text=text,
+                timestamp=float(times[item_id]),
+            )
+        )
+    return items
+
+
+def generate_mlens(config: MLensConfig | None = None) -> Dataset:
+    """Generate an MLens-like :class:`Dataset` from ``config`` (seeded)."""
+    config = config or MLensConfig()
+    rng = np.random.default_rng(config.seed)
+    entity_names, pools = _build_entities(config, rng)
+    producers = _build_single_category_producers(config, rng)
+    items = _build_frontloaded_items(config, rng, producers, pools, entity_names)
+    consumers = _build_consumers(config, rng, producers)
+    interactions = _simulate_interactions(config, rng, items, consumers, pools)
+    dataset = Dataset(
+        name=config.name,
+        n_categories=config.n_categories,
+        items=items,
+        interactions=interactions,
+        entity_names=entity_names,
+        producer_ids=[p.producer_id for p in producers],
+        consumer_ids=[c.user_id for c in consumers],
+    )
+    dataset.validate()
+    return dataset

@@ -1,0 +1,193 @@
+"""Core data schema: social items, interactions, datasets.
+
+The paper describes a social item as a triplet ``v = <c, u^p, E>`` (category,
+producer, extracted entity set) and considers two streams: the social item
+stream (uploads) and the user-item interaction stream (browsing events).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SocialItem:
+    """One social item ``v = <c, u^p, E>`` plus its text and upload time.
+
+    Attributes:
+        item_id: unique id.
+        category: category index ``c`` in ``[0, n_categories)``.
+        producer: id of the producing user ``u^p``.
+        entities: entity ids extracted from (or embedded into) the item text.
+            Order and multiplicity are preserved — the query frequency
+            encoding of the index counts repetitions.
+        text: title/description string the extractor runs over.
+        timestamp: upload time (monotone event clock).
+    """
+
+    item_id: int
+    category: int
+    producer: int
+    entities: tuple[int, ...]
+    text: str
+    timestamp: float
+
+    def triplet(self) -> tuple[int, int, tuple[int, ...]]:
+        """The ``<c, u^p, E>`` triplet used throughout the paper."""
+        return (self.category, self.producer, self.entities)
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One consumer browsing event (an element of the interaction stream).
+
+    Attributes:
+        user_id: the consumer ``u^c``.
+        item_id: the item browsed.
+        category: denormalized item category (saves a lookup on hot paths).
+        producer: denormalized item producer.
+        timestamp: event time; the stream protocol orders by this.
+    """
+
+    user_id: int
+    item_id: int
+    category: int
+    producer: int
+    timestamp: float
+
+
+@dataclass
+class DatasetStats:
+    """Table III row: |U^p|, |U^c|, |E|, C, |IRact|, |V|."""
+
+    name: str
+    n_producers: int
+    n_consumers: int
+    n_entities: int
+    n_categories: int
+    n_interactions: int
+    n_items: int
+
+    def as_row(self) -> dict[str, object]:
+        """Column-name keyed row matching Table III's header."""
+        return {
+            "Dataset": self.name,
+            "|Up|": self.n_producers,
+            "|Uc|": self.n_consumers,
+            "|E|": self.n_entities,
+            "C": self.n_categories,
+            "|IRact|": self.n_interactions,
+            "|V|": self.n_items,
+        }
+
+
+@dataclass
+class Dataset:
+    """A full dataset: items, interactions, and the entity universe.
+
+    Attributes:
+        name: dataset label (``YTube``, ``MLens``, ``SynYTube``, ...).
+        n_categories: size of the category alphabet ``C``.
+        items: all social items, ordered by upload timestamp.
+        interactions: the full interaction stream, ordered by timestamp.
+        entity_names: entity id -> surface phrase (the gazetteer).
+        producer_ids: ids of users acting as producers (data sources).
+        consumer_ids: ids of users acting as consumers (recommendation
+            targets; per Definition 1, producer-only users receive none).
+    """
+
+    name: str
+    n_categories: int
+    items: list[SocialItem] = field(default_factory=list)
+    interactions: list[Interaction] = field(default_factory=list)
+    entity_names: list[str] = field(default_factory=list)
+    producer_ids: list[int] = field(default_factory=list)
+    consumer_ids: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._item_by_id: dict[int, SocialItem] | None = None
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def item(self, item_id: int) -> SocialItem:
+        """Item by id (index built lazily on first call)."""
+        if self._item_by_id is None or len(self._item_by_id) != len(self.items):
+            self._item_by_id = {it.item_id: it for it in self.items}
+        return self._item_by_id[item_id]
+
+    def producer_creations(self) -> dict[int, list[tuple[int, int]]]:
+        """Producer id -> ordered ``(item_id, category)`` creation list.
+
+        This is exactly the a-HMM training input.
+        """
+        created: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        for it in sorted(self.items, key=lambda x: (x.timestamp, x.item_id)):
+            created[it.producer].append((it.item_id, it.category))
+        return dict(created)
+
+    def consumer_histories(self) -> dict[int, list[Interaction]]:
+        """Consumer id -> temporally ordered interaction list."""
+        histories: dict[int, list[Interaction]] = defaultdict(list)
+        for inter in sorted(self.interactions, key=lambda x: (x.timestamp, x.item_id)):
+            histories[inter.user_id].append(inter)
+        return dict(histories)
+
+    def interactions_by_item(self) -> dict[int, set[int]]:
+        """Item id -> set of consumers who interacted with it (ground truth
+        for the P@k hit judgement)."""
+        by_item: dict[int, set[int]] = defaultdict(set)
+        for inter in self.interactions:
+            by_item[inter.item_id].add(inter.user_id)
+        return dict(by_item)
+
+    def category_counts(self) -> Counter[int]:
+        """Item count per category."""
+        return Counter(it.category for it in self.items)
+
+    # ------------------------------------------------------------------
+    # Stats (Table III)
+    # ------------------------------------------------------------------
+    def stats(self) -> DatasetStats:
+        entity_ids = set()
+        for it in self.items:
+            entity_ids.update(it.entities)
+        return DatasetStats(
+            name=self.name,
+            n_producers=len(self.producer_ids),
+            n_consumers=len(self.consumer_ids),
+            n_entities=len(entity_ids),
+            n_categories=self.n_categories,
+            n_interactions=len(self.interactions),
+            n_items=len(self.items),
+        )
+
+    def validate(self) -> None:
+        """Referential-integrity check; raises ``ValueError`` on breakage."""
+        item_ids = {it.item_id for it in self.items}
+        if len(item_ids) != len(self.items):
+            raise ValueError("duplicate item ids")
+        producers = set(self.producer_ids)
+        for it in self.items:
+            if it.producer not in producers:
+                raise ValueError(f"item {it.item_id} has unknown producer {it.producer}")
+            if not (0 <= it.category < self.n_categories):
+                raise ValueError(f"item {it.item_id} has invalid category {it.category}")
+            for e in it.entities:
+                if not (0 <= e < len(self.entity_names)):
+                    raise ValueError(f"item {it.item_id} references unknown entity {e}")
+        consumers = set(self.consumer_ids)
+        for inter in self.interactions:
+            if inter.item_id not in item_ids:
+                raise ValueError(f"interaction references unknown item {inter.item_id}")
+            if inter.user_id not in consumers:
+                raise ValueError(f"interaction references unknown consumer {inter.user_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"Dataset({self.name}: items={s.n_items}, interactions={s.n_interactions}, "
+            f"producers={s.n_producers}, consumers={s.n_consumers}, "
+            f"categories={s.n_categories}, entities={s.n_entities})"
+        )

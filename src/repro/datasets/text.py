@@ -1,0 +1,82 @@
+"""Synthetic title/description text with embedded entity phrases.
+
+The extractor (TagMe stand-in) must be able to recover each item's entity
+set from text, so the generator embeds entity phrases verbatim between
+filler words.  Entity phrases themselves are pronounceable pseudo-words so
+the corpus looks like real media titles rather than opaque ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_ONSETS = [
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k",
+    "kr", "l", "m", "n", "p", "pr", "r", "s", "sh", "st", "t", "tr", "v", "w", "z",
+]
+_NUCLEI = ["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"]
+_CODAS = ["", "n", "r", "s", "l", "m", "x", "nd", "rk", "st"]
+
+_FILLER = [
+    "the", "best", "new", "official", "full", "live", "top", "video",
+    "highlights", "review", "episode", "latest", "exclusive", "ultimate",
+    "amazing", "watch", "now", "today", "special", "world",
+]
+
+
+def pseudo_word(rng: np.random.Generator, syllables: int | None = None) -> str:
+    """One pronounceable pseudo-word, e.g. ``kranshou``."""
+    if syllables is None:
+        syllables = int(rng.integers(2, 4))
+    parts = []
+    for _ in range(syllables):
+        parts.append(
+            _ONSETS[rng.integers(len(_ONSETS))]
+            + _NUCLEI[rng.integers(len(_NUCLEI))]
+            + _CODAS[rng.integers(len(_CODAS))]
+        )
+    return "".join(parts)
+
+
+def pseudo_phrase(rng: np.random.Generator, max_tokens: int = 3) -> str:
+    """A 1..max_tokens entity phrase of pseudo-words, e.g. ``kran velsu``."""
+    n_tokens = int(rng.integers(1, max_tokens + 1))
+    return " ".join(pseudo_word(rng) for _ in range(n_tokens))
+
+
+def unique_phrases(rng: np.random.Generator, count: int, max_tokens: int = 3) -> list[str]:
+    """``count`` distinct entity phrases (collision-free by retry)."""
+    phrases: list[str] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(phrases) < count:
+        phrase = pseudo_phrase(rng, max_tokens=max_tokens)
+        attempts += 1
+        if attempts > count * 100:
+            raise RuntimeError("could not generate enough unique phrases")
+        if phrase in seen:
+            continue
+        seen.add(phrase)
+        phrases.append(phrase)
+    return phrases
+
+
+def compose_description(
+    rng: np.random.Generator,
+    entity_phrases: list[str],
+    filler_ratio: float = 0.5,
+) -> str:
+    """Interleave entity phrases with filler words into one description.
+
+    Entity phrase order is preserved (mention positions matter for the
+    proximity-based expansion); filler words are sprinkled between them.
+    """
+    tokens: list[str] = []
+    for phrase in entity_phrases:
+        n_filler = int(rng.binomial(3, filler_ratio))
+        for _ in range(n_filler):
+            tokens.append(_FILLER[rng.integers(len(_FILLER))])
+        tokens.append(phrase)
+    if not tokens:
+        tokens.append(_FILLER[rng.integers(len(_FILLER))])
+    return " ".join(tokens)

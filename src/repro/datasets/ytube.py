@@ -1,0 +1,547 @@
+"""Synthetic YTube-like dataset generator.
+
+The paper's YTube set was crawled from YouTube (787k videos, 3,146
+producers, 8.41M consumers, 49M interactions).  Offline we generate a
+laptop-scale dataset whose *latent structure* matches the behavioural
+assumptions the paper models (DESIGN.md, Substitutions):
+
+- each **producer** creates items following its own hidden-state category
+  pattern (a Markov chain over latent states, each peaked on one or two
+  categories and on a topic of entities) — the a-HMM's generative story;
+- each **consumer** browses driven by a mixture of (i) its own sticky
+  interest chain over a few preferred categories, (ii) the latest uploads
+  of the producers it follows (so the consumer trajectory is *interrupted
+  by producer state*, Fig. 2 — the b-HMM's generative story), and (iii)
+  occasional short external-event *bursts* into unrelated categories
+  (the short-term-interest phenomenon the window |W| captures);
+- consumer preferences **drift slowly** over the timeline, which is what
+  makes profile updates matter (Fig. 9);
+- within a category, item choice is biased toward the consumer's preferred
+  **entity topics** and toward recent uploads, so entity-level profile
+  matching and expansion carry signal (Fig. 8: ssRec vs ssRec-ne).
+
+Every distribution is seeded; the generator is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.schema import Dataset, Interaction, SocialItem
+from repro.datasets.text import compose_description, unique_phrases
+
+
+@dataclass
+class YTubeConfig:
+    """Knobs for the YTube-like generator.
+
+    Defaults are laptop scale; :meth:`small` is for tests, :meth:`paper_shape`
+    keeps the paper's category count (19) at moderate size.
+    """
+
+    name: str = "YTube"
+    seed: int = 7
+    n_categories: int = 12
+    n_producers: int = 48
+    n_consumers: int = 600
+    n_items: int = 4000
+    n_interactions: int = 40000
+    entities_per_category: int = 60
+    topics_per_category: int = 4
+    min_entities_per_item: int = 3
+    max_entities_per_item: int = 6
+    producer_states: int = 3
+    producer_self_transition: float = 0.7
+    #: probability mass on advancing to the *next* state (cyclically) rather
+    #: than an arbitrary one.  Real channels rotate through content themes
+    #: (match preview -> match -> analysis); the resulting predictable home-
+    #: category switches are the producer-trajectory signal the BiHMM layer
+    #: exploits (Fig. 5).
+    producer_cycle_prob: float = 0.25
+    #: strength of the entity-topic affinity bias when a consumer picks an
+    #: item within a category; higher values make entity-level profile
+    #: matching (and its expansion, Fig. 8) more informative.
+    affinity_choice_weight: float = 2.5
+    min_followed: int = 1
+    max_followed: int = 4
+    follow_prob: float = 0.5
+    burst_prob: float = 0.03
+    burst_length_mean: float = 5.0
+    drift_prob: float = 0.002
+    consumer_self_transition: float = 0.8
+    min_preferred_categories: int = 2
+    max_preferred_categories: int = 4
+    recent_pool: int = 25
+    duplicate_mention_prob: float = 0.15
+    stray_weight: float = 0.01  # browse weight of non-preferred categories
+    #: distinct home categories per producer (None = one per latent state,
+    #: drawn independently — broad producers).  Small values concentrate a
+    #: producer's output the way real channels specialize.
+    producer_home_categories: int | None = None
+    #: multiplicative preference for following producers whose home
+    #: categories overlap the consumer's interests.
+    follow_alignment: float = 5.0
+    #: probability that a follow-driven browse continues with the same
+    #: producer as the previous one — consumers ride a producer's creation
+    #: trajectory (Fig. 2's BBC-news story), which is the dependency the
+    #: BiHMM's producer layer captures.
+    producer_stickiness: float = 0.7
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "YTubeConfig":
+        """Tiny configuration for unit/integration tests."""
+        return cls(
+            seed=seed,
+            n_categories=6,
+            n_producers=12,
+            n_consumers=80,
+            n_items=400,
+            n_interactions=4000,
+            entities_per_category=24,
+            topics_per_category=3,
+        )
+
+    @classmethod
+    def paper_shape(cls, seed: int = 7) -> "YTubeConfig":
+        """Paper's C=19 categories at a scale a laptop handles."""
+        return cls(
+            seed=seed,
+            n_categories=19,
+            n_producers=80,
+            n_consumers=1200,
+            n_items=8000,
+            n_interactions=80000,
+            entities_per_category=80,
+        )
+
+    @classmethod
+    def sparse(cls, seed: int = 7) -> "YTubeConfig":
+        """The paper's natural YouTube sparsity: many consumers with few
+        interactions each and narrow interests.
+
+        Table II's blocking effect (per-block entity/producer universes
+        shrinking sharply with the block count) only manifests in this
+        regime — dense per-user histories union every block up to the full
+        vocabulary.
+        """
+        return cls(
+            seed=seed,
+            name="YTube-sparse",
+            n_categories=16,
+            n_producers=64,
+            n_consumers=2000,
+            n_items=5000,
+            n_interactions=12000,
+            entities_per_category=300,
+            min_preferred_categories=1,
+            max_preferred_categories=1,
+            follow_prob=0.6,
+            burst_prob=0.005,
+            drift_prob=0.0005,
+            consumer_self_transition=0.92,
+            stray_weight=0.001,
+            producer_home_categories=1,
+            follow_alignment=200.0,
+        )
+
+
+@dataclass
+class _Producer:
+    """Latent producer process: hidden-state chain over categories/topics."""
+
+    producer_id: int
+    transition: np.ndarray          # (S, S) state chain
+    state_category: np.ndarray      # (S, C) peaked category emission
+    state_topic: np.ndarray         # (S,) preferred topic index per state
+    activity: float                 # relative upload rate
+    state: int = 0
+
+
+@dataclass
+class _Consumer:
+    """Latent consumer process: preferences, follows, burst state."""
+
+    user_id: int
+    preferred: list[int]            # preferred categories, first = current
+    category_weights: np.ndarray    # (C,) browse weights over categories
+    followed: list[int]             # producer ids
+    topic_affinity: dict[int, int]  # category -> preferred topic
+    activity: float
+    current_category: int = 0
+    burst_remaining: int = 0
+    burst_category: int = -1
+    last_producer: int = -1
+    #: per-producer consumption pointer: index of the next unread item in
+    #: that producer's creation sequence.
+    read_pointer: dict[int, int] = field(default_factory=dict)
+
+
+def _build_entities(config: YTubeConfig, rng: np.random.Generator):
+    """Entity universe: per-category pools partitioned into topics.
+
+    Returns (entity_names, pools, topic_of) where ``pools[c][t]`` is the id
+    list of topic ``t`` in category ``c``.
+    """
+    total = config.n_categories * config.entities_per_category
+    names = unique_phrases(rng, total)
+    pools: list[list[list[int]]] = []
+    next_id = 0
+    per_topic = max(1, config.entities_per_category // config.topics_per_category)
+    for _ in range(config.n_categories):
+        topics: list[list[int]] = []
+        remaining = config.entities_per_category
+        for t in range(config.topics_per_category):
+            size = per_topic if t < config.topics_per_category - 1 else remaining
+            topics.append(list(range(next_id, next_id + size)))
+            next_id += size
+            remaining -= size
+        pools.append(topics)
+    return names, pools
+
+
+def _build_producers(config: YTubeConfig, rng: np.random.Generator) -> list[_Producer]:
+    producers = []
+    for pid in range(config.n_producers):
+        S = config.producer_states
+        # Sticky chain with a cyclic bias: stay, else advance to the next
+        # state, else jump anywhere.
+        self_p = config.producer_self_transition if S > 1 else 1.0
+        cycle_p = config.producer_cycle_prob if S > 1 else 0.0
+        rest = max(0.0, 1.0 - self_p - cycle_p)
+        transition = np.full((S, S), rest / max(S - 1, 1) if S > 1 else 0.0)
+        for s in range(S):
+            transition[s, s] = self_p
+            if S > 1:
+                transition[s, (s + 1) % S] += cycle_p
+        transition /= transition.sum(axis=1, keepdims=True)
+        # Each state peaks on one "home" category — distinct per state when
+        # the category alphabet allows, so state switches are visible.
+        if config.producer_home_categories is None:
+            homes = rng.choice(
+                config.n_categories, size=S, replace=S > config.n_categories
+            )
+        else:
+            n_homes = min(config.producer_home_categories, config.n_categories)
+            pool = rng.choice(config.n_categories, size=n_homes, replace=False)
+            homes = pool[rng.integers(0, n_homes, size=S)]
+        state_category = np.full((S, config.n_categories), 0.02)
+        for s, home in enumerate(homes):
+            state_category[s, home] += 1.0
+        state_category /= state_category.sum(axis=1, keepdims=True)
+        state_topic = rng.integers(0, config.topics_per_category, size=S)
+        producers.append(
+            _Producer(
+                producer_id=pid,
+                transition=transition,
+                state_category=state_category,
+                state_topic=state_topic,
+                activity=float(rng.lognormal(0.0, 0.6)),
+                state=int(rng.integers(S)),
+            )
+        )
+    return producers
+
+
+def _draw_item_entities(
+    config: YTubeConfig,
+    rng: np.random.Generator,
+    pools,
+    category: int,
+    topic: int,
+) -> list[int]:
+    """Entity list for one item: mostly from the topic, some category-wide,
+    with occasional repeated mentions (Example 1 repeats 'worldcup')."""
+    n_entities = int(rng.integers(config.min_entities_per_item, config.max_entities_per_item + 1))
+    topic_pool = pools[category][topic]
+    category_pool = [e for t in pools[category] for e in t]
+    entities: list[int] = []
+    for _ in range(n_entities):
+        pool = topic_pool if rng.random() < 0.75 else category_pool
+        entities.append(int(pool[rng.integers(len(pool))]))
+    if entities and rng.random() < config.duplicate_mention_prob:
+        entities.append(entities[int(rng.integers(len(entities)))])
+    return entities
+
+
+def _build_items(
+    config: YTubeConfig, rng: np.random.Generator, producers: list[_Producer], pools
+) -> list[SocialItem]:
+    weights = np.array([p.activity for p in producers])
+    weights /= weights.sum()
+    # Upload times spread over [0, 1); kept sorted so the event clock and the
+    # per-producer creation order coincide.
+    times = np.sort(rng.random(config.n_items))
+    items: list[SocialItem] = []
+    for item_id in range(config.n_items):
+        producer = producers[int(rng.choice(len(producers), p=weights))]
+        S = producer.transition.shape[0]
+        producer.state = int(rng.choice(S, p=producer.transition[producer.state]))
+        category = int(rng.choice(config.n_categories, p=producer.state_category[producer.state]))
+        topic = int(producer.state_topic[producer.state])
+        entities = _draw_item_entities(config, rng, pools, category, topic)
+        items.append(
+            SocialItem(
+                item_id=item_id,
+                category=category,
+                producer=producer.producer_id,
+                entities=tuple(entities),
+                text="",  # filled after entity names exist
+                timestamp=float(times[item_id]),
+            )
+        )
+    return items
+
+
+def _attach_text(items: list[SocialItem], entity_names: list[str], rng: np.random.Generator):
+    """Compose the description text embedding each item's entity phrases."""
+    out = []
+    for it in items:
+        text = compose_description(rng, [entity_names[e] for e in it.entities])
+        out.append(
+            SocialItem(
+                item_id=it.item_id,
+                category=it.category,
+                producer=it.producer,
+                entities=it.entities,
+                text=text,
+                timestamp=it.timestamp,
+            )
+        )
+    return out
+
+
+def _build_consumers(
+    config: YTubeConfig, rng: np.random.Generator, producers: list[_Producer]
+) -> list[_Consumer]:
+    consumers = []
+    base_weights = np.array([p.activity for p in producers])
+    base_weights /= base_weights.sum()
+    # Producers' home categories (argmax emission per latent state): consumers
+    # preferentially follow producers aligned with their own interests, which
+    # is both realistic and the coupling the BiHMM exploits.
+    home_categories = [
+        {int(np.argmax(p.state_category[s])) for s in range(p.state_category.shape[0])}
+        for p in producers
+    ]
+    for i in range(config.n_consumers):
+        user_id = config.n_producers + i  # consumer ids follow producer ids
+        n_pref = int(rng.integers(config.min_preferred_categories, config.max_preferred_categories + 1))
+        preferred = list(rng.choice(config.n_categories, size=n_pref, replace=False))
+        weights = np.full(config.n_categories, config.stray_weight)
+        # Geometric-ish decay over the preferred categories.
+        for rank, cat in enumerate(preferred):
+            weights[cat] += 1.0 * (0.6 ** rank)
+        weights /= weights.sum()
+        n_follow = int(rng.integers(config.min_followed, config.max_followed + 1))
+        preferred_set = set(int(c) for c in preferred)
+        follow_weights = base_weights * np.array(
+            [1.0 + config.follow_alignment * len(homes & preferred_set) for homes in home_categories]
+        )
+        follow_weights /= follow_weights.sum()
+        followed = list(
+            rng.choice(
+                len(producers),
+                size=min(n_follow, len(producers)),
+                replace=False,
+                p=follow_weights,
+            )
+        )
+        topic_affinity = {
+            c: int(rng.integers(config.topics_per_category)) for c in range(config.n_categories)
+        }
+        consumers.append(
+            _Consumer(
+                user_id=user_id,
+                preferred=[int(c) for c in preferred],
+                category_weights=weights,
+                followed=[int(p) for p in followed],
+                topic_affinity=topic_affinity,
+                activity=float(rng.lognormal(0.0, 0.8)),
+                current_category=int(preferred[0]),
+            )
+        )
+    return consumers
+
+
+class _CategoryPools:
+    """Time-aware per-category and per-producer pools of uploaded items.
+
+    ``advance(t)`` makes all items uploaded before ``t`` visible; recent
+    items per category are kept for recency-biased choice, and each
+    producer's visible creation sequence supports pointer-based
+    "ride the trajectory" consumption.
+    """
+
+    def __init__(self, items: list[SocialItem], n_categories: int, recent_pool: int) -> None:
+        self._items = items  # must be sorted by timestamp
+        self._cursor = 0
+        self._recent: list[list[SocialItem]] = [[] for _ in range(n_categories)]
+        self._recent_pool = recent_pool
+        self._by_producer: dict[int, list[SocialItem]] = {}
+
+    def advance(self, t: float) -> None:
+        while self._cursor < len(self._items) and self._items[self._cursor].timestamp <= t:
+            item = self._items[self._cursor]
+            bucket = self._recent[item.category]
+            bucket.append(item)
+            if len(bucket) > self._recent_pool:
+                bucket.pop(0)
+            self._by_producer.setdefault(item.producer, []).append(item)
+            self._cursor += 1
+
+    def recent(self, category: int) -> list[SocialItem]:
+        return self._recent[category]
+
+    def producer_sequence(self, producer_id: int) -> list[SocialItem]:
+        """The producer's visible creations, oldest first."""
+        return self._by_producer.get(producer_id, [])
+
+    def any_nonempty_category(self) -> int | None:
+        for c, bucket in enumerate(self._recent):
+            if bucket:
+                return c
+        return None
+
+
+def _choose_item(
+    rng: np.random.Generator,
+    pool: list[SocialItem],
+    consumer: _Consumer,
+    pools_by_topic,
+    affinity_weight: float = 2.5,
+) -> SocialItem:
+    """Pick an item from ``pool`` biased to topic affinity and recency."""
+    if len(pool) == 1:
+        return pool[0]
+    scores = np.zeros(len(pool))
+    for idx, item in enumerate(pool):
+        affinity_topic = consumer.topic_affinity.get(item.category, 0)
+        topic_entities = set(pools_by_topic[item.category][affinity_topic])
+        overlap = sum(1 for e in item.entities if e in topic_entities)
+        recency = (idx + 1) / len(pool)  # later in pool == more recent
+        scores[idx] = 0.2 + affinity_weight * overlap + 0.3 * recency
+    scores /= scores.sum()
+    return pool[int(rng.choice(len(pool), p=scores))]
+
+
+def _simulate_interactions(
+    config: YTubeConfig,
+    rng: np.random.Generator,
+    items: list[SocialItem],
+    consumers: list[_Consumer],
+    pools,
+) -> list[Interaction]:
+    activity = np.array([c.activity for c in consumers])
+    activity /= activity.sum()
+    # Interactions start after 2% of the timeline so items exist to browse.
+    times = np.sort(rng.random(config.n_interactions) * 0.98 + 0.02)
+    category_pools = _CategoryPools(items, config.n_categories, config.recent_pool)
+    interactions: list[Interaction] = []
+    for t in times:
+        category_pools.advance(float(t))
+        consumer = consumers[int(rng.choice(len(consumers), p=activity))]
+
+        # Slow preference drift: swap out one preferred category.
+        if rng.random() < config.drift_prob:
+            new_cat = int(rng.integers(config.n_categories))
+            if new_cat not in consumer.preferred:
+                consumer.preferred[int(rng.integers(len(consumer.preferred)))] = new_cat
+                weights = np.full(config.n_categories, config.stray_weight)
+                for rank, cat in enumerate(consumer.preferred):
+                    weights[cat] += 1.0 * (0.6 ** rank)
+                consumer.category_weights = weights / weights.sum()
+
+        item: SocialItem | None = None
+        if consumer.burst_remaining > 0:
+            # External-event burst: browse the burst category.
+            consumer.burst_remaining -= 1
+            pool = category_pools.recent(consumer.burst_category)
+            if pool:
+                item = _choose_item(rng, pool, consumer, pools, config.affinity_choice_weight)
+        if item is None and rng.random() < config.follow_prob and consumer.followed:
+            # Producer-driven browse: ride a producer's creation trajectory.
+            # Prefer sticking with the previous producer; consume its next
+            # unread item so the browsing order mirrors the creation order.
+            if (
+                consumer.last_producer >= 0
+                and consumer.last_producer in consumer.followed
+                and rng.random() < config.producer_stickiness
+            ):
+                producer_id = consumer.last_producer
+            else:
+                producer_id = consumer.followed[int(rng.integers(len(consumer.followed)))]
+            sequence = category_pools.producer_sequence(producer_id)
+            if producer_id not in consumer.read_pointer:
+                # First contact: start near the producer's current output,
+                # not its full backlog.
+                consumer.read_pointer[producer_id] = max(0, len(sequence) - 3)
+            pointer = consumer.read_pointer[producer_id]
+            if pointer < len(sequence):
+                item = sequence[pointer]
+                consumer.read_pointer[producer_id] = pointer + 1
+                consumer.last_producer = producer_id
+            else:
+                # Nothing unread from this producer: try the others.
+                for other in consumer.followed:
+                    pointer = consumer.read_pointer.get(other, 0)
+                    sequence = category_pools.producer_sequence(other)
+                    if pointer < len(sequence):
+                        item = sequence[pointer]
+                        consumer.read_pointer[other] = pointer + 1
+                        consumer.last_producer = other
+                        break
+        if item is None:
+            # Own interest chain: sticky current category, else re-draw.
+            if rng.random() >= config.consumer_self_transition:
+                consumer.current_category = int(
+                    rng.choice(config.n_categories, p=consumer.category_weights)
+                )
+            pool = category_pools.recent(consumer.current_category)
+            if not pool:
+                fallback = category_pools.any_nonempty_category()
+                if fallback is None:
+                    continue
+                pool = category_pools.recent(fallback)
+            item = _choose_item(rng, pool, consumer, pools, config.affinity_choice_weight)
+
+        interactions.append(
+            Interaction(
+                user_id=consumer.user_id,
+                item_id=item.item_id,
+                category=item.category,
+                producer=item.producer,
+                timestamp=float(t),
+            )
+        )
+        # Maybe start a burst (only when not already bursting).
+        if consumer.burst_remaining == 0 and rng.random() < config.burst_prob:
+            burst_cat = int(rng.integers(config.n_categories))
+            if burst_cat not in consumer.preferred:
+                consumer.burst_category = burst_cat
+                consumer.burst_remaining = max(1, int(rng.poisson(config.burst_length_mean)))
+    return interactions
+
+
+def generate_ytube(config: YTubeConfig | None = None) -> Dataset:
+    """Generate a YTube-like :class:`Dataset` from ``config`` (seeded)."""
+    config = config or YTubeConfig()
+    rng = np.random.default_rng(config.seed)
+    entity_names, pools = _build_entities(config, rng)
+    producers = _build_producers(config, rng)
+    items = _build_items(config, rng, producers, pools)
+    items = _attach_text(items, entity_names, rng)
+    consumers = _build_consumers(config, rng, producers)
+    interactions = _simulate_interactions(config, rng, items, consumers, pools)
+    dataset = Dataset(
+        name=config.name,
+        n_categories=config.n_categories,
+        items=items,
+        interactions=interactions,
+        entity_names=entity_names,
+        producer_ids=[p.producer_id for p in producers],
+        consumer_ids=[c.user_id for c in consumers],
+    )
+    dataset.validate()
+    return dataset

@@ -1,0 +1,25 @@
+"""Entity pipeline substrate (the paper uses TagMe + proximity heuristics).
+
+- :class:`~repro.entities.vocabulary.EntityVocabulary` — entity string/id
+  mapping with document and category frequencies.
+- :class:`~repro.entities.extractor.EntityExtractor` — gazetteer-based
+  longest-match extractor standing in for TagMe [26]; recovers the entity
+  set ``E`` of an item from its title/description text.
+- :class:`~repro.entities.expansion.EntityExpander` — the proximity-
+  heuristic expansion of Sec. IV-B ("Expansion entity sets are extracted
+  based on the proximity heuristics [29] ... If two entities often
+  co-occurred closely in the same category, we believe they are strongly
+  related").
+"""
+
+from repro.entities.vocabulary import EntityVocabulary
+from repro.entities.extractor import EntityExtractor, tokenize
+from repro.entities.expansion import EntityExpander, Expansion
+
+__all__ = [
+    "EntityVocabulary",
+    "EntityExtractor",
+    "EntityExpander",
+    "Expansion",
+    "tokenize",
+]

@@ -1,0 +1,78 @@
+"""Entity vocabulary: ids, document frequencies, per-category statistics."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+
+class EntityVocabulary:
+    """Bidirectional mapping between entity surface forms and integer ids.
+
+    Also tracks document frequency (number of items an entity appeared in)
+    and per-category frequency, which the expansion module and the index
+    statistics (Table II) rely on.
+    """
+
+    def __init__(self) -> None:
+        self._id_by_name: dict[str, int] = {}
+        self._name_by_id: list[str] = []
+        self._doc_freq: Counter[int] = Counter()
+        self._category_freq: dict[int, Counter[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._name_by_id)
+
+    def __contains__(self, name: str) -> bool:
+        return self.normalize(name) in self._id_by_name
+
+    @staticmethod
+    def normalize(name: str) -> str:
+        """Canonical surface form: lowercase, collapsed whitespace."""
+        return " ".join(name.lower().split())
+
+    def add(self, name: str) -> int:
+        """Intern ``name`` and return its id (existing id if already known)."""
+        key = self.normalize(name)
+        if not key:
+            raise ValueError("entity name must be non-empty")
+        entity_id = self._id_by_name.get(key)
+        if entity_id is None:
+            entity_id = len(self._name_by_id)
+            self._id_by_name[key] = entity_id
+            self._name_by_id.append(key)
+        return entity_id
+
+    def id_of(self, name: str) -> int | None:
+        """Id of ``name`` or None when unknown."""
+        return self._id_by_name.get(self.normalize(name))
+
+    def name_of(self, entity_id: int) -> str:
+        if not (0 <= entity_id < len(self._name_by_id)):
+            raise KeyError(f"unknown entity id {entity_id}")
+        return self._name_by_id[entity_id]
+
+    def names(self) -> list[str]:
+        """All interned surface forms, in id order."""
+        return list(self._name_by_id)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def observe_document(self, entity_ids: Iterable[int], category: int | None = None) -> None:
+        """Record one item containing ``entity_ids`` (deduplicated)."""
+        unique = set(int(e) for e in entity_ids)
+        for entity_id in unique:
+            self._doc_freq[entity_id] += 1
+            if category is not None:
+                self._category_freq.setdefault(int(category), Counter())[entity_id] += 1
+
+    def document_frequency(self, entity_id: int) -> int:
+        return self._doc_freq.get(int(entity_id), 0)
+
+    def category_frequency(self, entity_id: int, category: int) -> int:
+        return self._category_freq.get(int(category), Counter()).get(int(entity_id), 0)
+
+    def entities_in_category(self, category: int) -> list[int]:
+        """Ids of entities observed at least once in ``category``."""
+        return sorted(self._category_freq.get(int(category), Counter()))

@@ -1,0 +1,90 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures from the shell::
+
+    python -m repro.eval table2
+    python -m repro.eval table3 --scale default
+    python -m repro.eval fig5 --dataset YTube
+    python -m repro.eval fig7 --dataset MLens --scale small
+    python -m repro.eval fig10 --dataset YTube --scale default
+    python -m repro.eval fig11
+
+``--scale`` controls the dataset size (small | default | paper_shape);
+``--dataset`` picks one of the four Table III datasets where applicable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets.ytube import YTubeConfig, generate_ytube
+from repro.eval import experiments as ex
+
+SINGLE_DATASET_EXPERIMENTS = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+ALL_EXPERIMENTS = sorted(SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11"})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate a table/figure of 'Online Social Media "
+        "Recommendation over Streams' (ICDE 2019).",
+    )
+    parser.add_argument("experiment", choices=ALL_EXPERIMENTS)
+    parser.add_argument(
+        "--dataset",
+        default="YTube",
+        choices=["YTube", "SynYTube", "MLens", "SynMLens"],
+        help="dataset for single-dataset experiments (default: YTube)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=["small", "default", "paper_shape"],
+        help="dataset scale (default: small)",
+    )
+    parser.add_argument(
+        "--min-truth",
+        type=int,
+        default=3,
+        help="minimum interacting users for an item to be judged (default: 3)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "table2":
+        dataset = generate_ytube(YTubeConfig.sparse(seed=args.seed))
+        print(ex.run_table2(dataset).to_text())
+        return 0
+    if args.experiment == "table3":
+        print(ex.run_table3(scale=args.scale).to_text())
+        return 0
+    datasets = ex.make_datasets(args.scale, seed=args.seed)
+    if args.experiment == "fig11":
+        print(ex.run_fig11(datasets).to_text())
+        return 0
+    dataset = datasets[args.dataset]
+    if args.experiment == "fig5":
+        result = ex.run_fig5(dataset, max_users=16, max_states=4, min_history=25)
+    elif args.experiment == "fig6":
+        result = ex.run_fig6(dataset, min_truth=args.min_truth)
+    elif args.experiment == "fig7":
+        result = ex.run_fig7(dataset, min_truth=args.min_truth)
+    elif args.experiment == "fig8":
+        result = ex.run_fig8(dataset, min_truth=args.min_truth)
+    elif args.experiment == "fig9":
+        result = ex.run_fig9(dataset, min_truth=args.min_truth)
+    elif args.experiment == "fig10":
+        result = ex.run_fig10(dataset, min_truth=2)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.experiment)
+    print(result.to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

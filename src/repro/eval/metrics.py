@@ -1,0 +1,129 @@
+"""Evaluation metrics.
+
+The paper's effectiveness metric is precision at k:
+``P@k = #Hit / (|V| * k)`` where ``#Hit`` counts recommended users who
+actually interacted with the item in the test partition and ``|V|`` is the
+number of judged social items.  Efficiency is "the average response time
+for an item on the stream".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def precision_at_k(
+    recommended: Sequence[int], truth: set[int], k: int
+) -> float:
+    """Single-item P@k: fraction of the top-``k`` users that are hits."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top = list(recommended)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for user in top if user in truth)
+    return hits / k
+
+
+class PrecisionAccumulator:
+    """Accumulates the paper's P@k over a stream of judged items.
+
+    ``P@k = total_hits_at_k / (n_items * k)`` — items with empty
+    recommendation lists still count in the denominator.
+    """
+
+    def __init__(self, ks: Iterable[int] = (5, 10, 20, 30)) -> None:
+        self.ks = sorted(set(int(k) for k in ks))
+        if not self.ks or self.ks[0] < 1:
+            raise ValueError("ks must contain positive cutoffs")
+        self.hits: dict[int, int] = {k: 0 for k in self.ks}
+        self.n_items = 0
+
+    def add(self, recommended: Sequence[int], truth: set[int]) -> None:
+        """Judge one item's ranked user list against its ground truth."""
+        self.n_items += 1
+        for k in self.ks:
+            self.hits[k] += sum(1 for user in list(recommended)[:k] if user in truth)
+
+    def merge(self, other: "PrecisionAccumulator") -> None:
+        """Fold another accumulator (e.g. another partition) into this one."""
+        if other.ks != self.ks:
+            raise ValueError("cannot merge accumulators with different ks")
+        self.n_items += other.n_items
+        for k in self.ks:
+            self.hits[k] += other.hits[k]
+
+    def precision(self) -> dict[int, float]:
+        """P@k for every configured cutoff."""
+        if self.n_items == 0:
+            return {k: 0.0 for k in self.ks}
+        return {k: self.hits[k] / (self.n_items * k) for k in self.ks}
+
+
+def prediction_accuracy(predicted: Sequence[int], actual: Sequence[int]) -> float:
+    """Fraction of positions where prediction equals the actual category
+    (Fig. 5's Accuracy)."""
+    if len(predicted) != len(actual):
+        raise ValueError(
+            f"length mismatch: {len(predicted)} predictions vs {len(actual)} actuals"
+        )
+    if not actual:
+        return 0.0
+    hits = sum(1 for p, a in zip(predicted, actual) if int(p) == int(a))
+    return hits / len(actual)
+
+
+def intra_list_distance(items: Sequence[tuple[int, ...]]) -> float:
+    """Mean pairwise Jaccard *distance* between recommended items' entity
+    sets — the standard diversity measure for the paper's diversification
+    claim (higher = more diverse)."""
+    n = len(items)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    sets = [set(e) for e in items]
+    for i in range(n):
+        for j in range(i + 1, n):
+            union = sets[i] | sets[j]
+            if not union:
+                distance = 0.0
+            else:
+                distance = 1.0 - len(sets[i] & sets[j]) / len(union)
+            total += distance
+            pairs += 1
+    return total / pairs
+
+
+@dataclass
+class TimingStats:
+    """Response-time summary (Fig. 10/11's measurements)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) of the samples."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self.samples), q))
+
+    def merge(self, other: "TimingStats") -> None:
+        self.samples.extend(other.samples)

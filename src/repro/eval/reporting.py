@@ -1,0 +1,39 @@
+"""Plain-text rendering of experiment results (the paper's rows/series)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """ASCII table with aligned columns."""
+    cells = [[_fmt(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, series: Mapping[str, Mapping], x_label: str = "x"
+) -> str:
+    """Render named series sharing an x-axis (a text 'figure').
+
+    ``series`` maps series name -> {x: y}; the union of x values forms the
+    rows.
+    """
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [series[name].get(x, "") for name in series])
+    return f"{title}\n{format_table(headers, rows)}"

@@ -1,0 +1,40 @@
+"""Hidden Markov Model substrate for the ssRec reproduction.
+
+This subpackage implements, from scratch and in pure NumPy:
+
+- :class:`~repro.hmm.base.DiscreteHMM` — a classic discrete-observation HMM
+  with scaled forward/backward, multi-sequence Baum-Welch training, Viterbi
+  decoding, and next-observation prediction.  This is the "single-layer HMM"
+  the paper compares against in Fig. 5, and also the a-HMM layer used to
+  model producers.
+- :class:`~repro.hmm.conditioned.InputConditionedHMM` — an HMM whose
+  transition and emission matrices are conditioned on an observed input
+  symbol per step.  This realizes the paper's composite-state reformulation
+  of the b-HMM: the composite state ``U' = (U_i, Z_k)`` has an observed
+  component ``Z_k`` (the producer hidden state decoded by the a-HMM), so the
+  b-HMM is an HMM over ``U`` conditioned on the ``Z`` trace.
+- :class:`~repro.hmm.bihmm.BiHMM` — the paper's Bi-Layer HMM: an a-HMM per
+  producer plus the conditioned b-HMM per consumer group.
+"""
+
+from repro.hmm.base import DiscreteHMM, FitResult
+from repro.hmm.conditioned import InputConditionedHMM
+from repro.hmm.bihmm import BiHMM, ProducerLayer
+from repro.hmm.utils import (
+    log_sum_exp,
+    normalize_rows,
+    random_stochastic_matrix,
+    random_stochastic_vector,
+)
+
+__all__ = [
+    "DiscreteHMM",
+    "FitResult",
+    "InputConditionedHMM",
+    "BiHMM",
+    "ProducerLayer",
+    "log_sum_exp",
+    "normalize_rows",
+    "random_stochastic_matrix",
+    "random_stochastic_vector",
+]

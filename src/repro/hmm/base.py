@@ -1,0 +1,259 @@
+"""Classic discrete-observation Hidden Markov Model.
+
+This module implements the HMM machinery the paper builds on:
+
+- scaled forward/backward passes (Rabiner-style scaling, numerically stable
+  for long sequences);
+- multi-sequence Baum-Welch parameter estimation ("We use Baum-Welch
+  algorithm [32] to learn all three parameters", Sec. IV-A);
+- Viterbi decoding ("its associated hidden state is obtained using Viterbi
+  Algorithm [12]", Sec. IV-A);
+- next-observation prediction used both for the single-layer-HMM comparison
+  in Fig. 5 and as a building block of the BiHMM.
+
+The parametrization follows the paper's notation: ``lambda = <pi, A, B>``
+with ``A[i, j] = p(state_j | state_i)`` and ``B[j, m] = p(symbol_m | state_j)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hmm.utils import (
+    PROB_FLOOR,
+    normalize_rows,
+    random_stochastic_matrix,
+    random_stochastic_vector,
+    validate_sequences,
+)
+
+
+@dataclass
+class FitResult:
+    """Outcome of a Baum-Welch fit.
+
+    Attributes:
+        log_likelihoods: total training log-likelihood after each iteration.
+        converged: whether the relative improvement dropped below ``tol``
+            before ``n_iter`` iterations were exhausted.
+        n_iter: number of iterations actually performed.
+    """
+
+    log_likelihoods: list[float] = field(default_factory=list)
+    converged: bool = False
+    n_iter: int = 0
+
+    @property
+    def final_log_likelihood(self) -> float:
+        if not self.log_likelihoods:
+            return float("-inf")
+        return self.log_likelihoods[-1]
+
+
+class DiscreteHMM:
+    """Discrete HMM with scaled forward/backward and Baum-Welch training.
+
+    Args:
+        n_states: number of hidden states ``N``.
+        n_symbols: size of the observation alphabet ``M`` (item categories
+            in the paper).
+        seed: seed for the random initialization of ``pi``, ``A`` and ``B``.
+
+    The model is usable immediately after construction (random parameters)
+    but is normally trained with :meth:`fit`.
+    """
+
+    def __init__(self, n_states: int, n_symbols: int, seed: int | None = 0) -> None:
+        if n_states < 1:
+            raise ValueError(f"n_states must be >= 1, got {n_states}")
+        if n_symbols < 1:
+            raise ValueError(f"n_symbols must be >= 1, got {n_symbols}")
+        self.n_states = int(n_states)
+        self.n_symbols = int(n_symbols)
+        rng = np.random.default_rng(seed)
+        self.pi = random_stochastic_vector(self.n_states, rng)
+        self.A = random_stochastic_matrix(self.n_states, self.n_states, rng)
+        self.B = random_stochastic_matrix(self.n_states, self.n_symbols, rng)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _forward(self, seq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Scaled forward pass.
+
+        Returns ``(alpha_hat, scales)`` where ``alpha_hat[t]`` is the
+        normalized forward vector and ``scales[t]`` the per-step scaling
+        factor; ``sum(log(scales))`` equals the sequence log-likelihood.
+        """
+        T = len(seq)
+        alpha = np.zeros((T, self.n_states))
+        scales = np.zeros(T)
+        alpha[0] = self.pi * self.B[:, seq[0]]
+        scales[0] = max(alpha[0].sum(), PROB_FLOOR)
+        alpha[0] /= scales[0]
+        for t in range(1, T):
+            alpha[t] = (alpha[t - 1] @ self.A) * self.B[:, seq[t]]
+            scales[t] = max(alpha[t].sum(), PROB_FLOOR)
+            alpha[t] /= scales[t]
+        return alpha, scales
+
+    def _backward(self, seq: np.ndarray, scales: np.ndarray) -> np.ndarray:
+        """Scaled backward pass sharing the forward scaling factors."""
+        T = len(seq)
+        beta = np.zeros((T, self.n_states))
+        beta[T - 1] = 1.0
+        for t in range(T - 2, -1, -1):
+            beta[t] = (self.A * self.B[:, seq[t + 1]]) @ beta[t + 1]
+            beta[t] /= scales[t + 1]
+        return beta
+
+    def log_likelihood(self, sequence) -> float:
+        """Log-probability of one observation sequence under the model."""
+        seq = validate_sequences([sequence], self.n_symbols)[0]
+        _, scales = self._forward(seq)
+        return float(np.sum(np.log(scales)))
+
+    def total_log_likelihood(self, sequences) -> float:
+        """Sum of :meth:`log_likelihood` over several sequences."""
+        return float(sum(self.log_likelihood(seq) for seq in sequences))
+
+    def state_posteriors(self, sequence) -> np.ndarray:
+        """Posterior ``p(state_t | sequence)`` for every step (gamma)."""
+        seq = validate_sequences([sequence], self.n_symbols)[0]
+        alpha, scales = self._forward(seq)
+        beta = self._backward(seq, scales)
+        gamma = alpha * beta
+        gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), PROB_FLOOR)
+        return gamma
+
+    def filter_state(self, sequence) -> np.ndarray:
+        """Filtered distribution ``p(state_T | observations up to T)``."""
+        seq = validate_sequences([sequence], self.n_symbols)[0]
+        alpha, _ = self._forward(seq)
+        return alpha[-1] / max(alpha[-1].sum(), PROB_FLOOR)
+
+    def viterbi(self, sequence) -> np.ndarray:
+        """Most-likely hidden state sequence (log-space Viterbi)."""
+        seq = validate_sequences([sequence], self.n_symbols)[0]
+        T = len(seq)
+        log_pi = np.log(np.maximum(self.pi, PROB_FLOOR))
+        log_A = np.log(np.maximum(self.A, PROB_FLOOR))
+        log_B = np.log(np.maximum(self.B, PROB_FLOOR))
+        delta = np.zeros((T, self.n_states))
+        psi = np.zeros((T, self.n_states), dtype=np.int64)
+        delta[0] = log_pi + log_B[:, seq[0]]
+        for t in range(1, T):
+            trans = delta[t - 1][:, None] + log_A
+            psi[t] = np.argmax(trans, axis=0)
+            delta[t] = trans[psi[t], np.arange(self.n_states)] + log_B[:, seq[t]]
+        states = np.zeros(T, dtype=np.int64)
+        states[T - 1] = int(np.argmax(delta[T - 1]))
+        for t in range(T - 2, -1, -1):
+            states[t] = psi[t + 1][states[t + 1]]
+        return states
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_next_distribution(self, sequence) -> np.ndarray:
+        """Distribution over the next observation given a history.
+
+        ``p(o_{T+1} | o_1..o_T) = sum_{i,j} alpha_T(i) A[i,j] B[j, o]``.
+        This is the quantity the paper uses as ``p(c | u^c)`` (Eq. 1) when
+        the model is the single-layer HMM.
+        """
+        seq = validate_sequences([sequence], self.n_symbols)[0]
+        alpha, _ = self._forward(seq)
+        state_now = alpha[-1] / max(alpha[-1].sum(), PROB_FLOOR)
+        next_state = state_now @ self.A
+        dist = next_state @ self.B
+        return dist / max(dist.sum(), PROB_FLOOR)
+
+    def predict_top_k(self, sequence, k: int) -> list[int]:
+        """Top-``k`` most likely next observations, most likely first."""
+        dist = self.predict_next_distribution(sequence)
+        k = min(k, self.n_symbols)
+        order = np.argsort(-dist, kind="stable")
+        return [int(s) for s in order[:k]]
+
+    def prior_distribution(self) -> np.ndarray:
+        """Next-observation distribution with no history (from ``pi``)."""
+        dist = self.pi @ self.B
+        return dist / max(dist.sum(), PROB_FLOOR)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, sequences, n_iter: int = 50, tol: float = 1e-4) -> FitResult:
+        """Multi-sequence Baum-Welch (EM) training.
+
+        Expected sufficient statistics are accumulated across all sequences
+        each iteration; iteration stops once the relative improvement in
+        total log-likelihood drops below ``tol``.
+        """
+        seqs = validate_sequences(sequences, self.n_symbols)
+        result = FitResult()
+        prev_ll = float("-inf")
+        for iteration in range(n_iter):
+            pi_acc = np.zeros(self.n_states)
+            trans_acc = np.zeros((self.n_states, self.n_states))
+            emit_acc = np.zeros((self.n_states, self.n_symbols))
+            total_ll = 0.0
+            for seq in seqs:
+                alpha, scales = self._forward(seq)
+                beta = self._backward(seq, scales)
+                total_ll += float(np.sum(np.log(scales)))
+                gamma = alpha * beta
+                gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), PROB_FLOOR)
+                pi_acc += gamma[0]
+                np.add.at(emit_acc.T, seq, gamma)
+                T = len(seq)
+                for t in range(T - 1):
+                    xi = (
+                        alpha[t][:, None]
+                        * self.A
+                        * self.B[:, seq[t + 1]][None, :]
+                        * beta[t + 1][None, :]
+                    )
+                    denom = xi.sum()
+                    if denom > 0:
+                        trans_acc += xi / denom
+            self.pi = normalize_rows(pi_acc)
+            if self.n_states > 1:
+                self.A = normalize_rows(trans_acc)
+            self.B = normalize_rows(emit_acc)
+            result.log_likelihoods.append(total_ll)
+            result.n_iter = iteration + 1
+            if np.isfinite(prev_ll):
+                denom = max(abs(prev_ll), 1.0)
+                if (total_ll - prev_ll) / denom < tol:
+                    result.converged = True
+                    break
+            prev_ll = total_ll
+        return result
+
+    # ------------------------------------------------------------------
+    # Serialization helpers (used by the index for persistence-style tests)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict snapshot of the parameters (JSON friendly)."""
+        return {
+            "n_states": self.n_states,
+            "n_symbols": self.n_symbols,
+            "pi": self.pi.tolist(),
+            "A": self.A.tolist(),
+            "B": self.B.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DiscreteHMM":
+        model = cls(payload["n_states"], payload["n_symbols"], seed=None)
+        model.pi = normalize_rows(np.asarray(payload["pi"], dtype=float))
+        model.A = normalize_rows(np.asarray(payload["A"], dtype=float))
+        model.B = normalize_rows(np.asarray(payload["B"], dtype=float))
+        return model
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiscreteHMM(n_states={self.n_states}, n_symbols={self.n_symbols})"

@@ -1,0 +1,373 @@
+"""The paper's Bi-Layer Hidden Markov Model (BiHMM, Section IV-A).
+
+The model has two layers:
+
+- **a-HMM layer** (:class:`ProducerLayer`): one classic HMM per producer,
+  trained on the category sequence of the items that producer created.
+  After training, the hidden state ``Z`` of every created item is decoded
+  with Viterbi and memoized, so that a consumer trajectory can be annotated
+  with the producer state of each item it touched.
+- **b-HMM layer**: a consumer HMM whose next state depends both on the
+  consumer's previous hidden state and on the producer hidden state of the
+  consumed item.  Following the paper's reformulation (composite states
+  ``U' = (U_i, Z_k)`` with ``Z`` observed after a-HMM decoding), this layer
+  is an :class:`~repro.hmm.conditioned.InputConditionedHMM` whose input
+  alphabet is the producer state space plus one reserved ``UNKNOWN`` symbol
+  for items whose producer is unseen or untrained.
+
+  The input driving the transition into step ``t`` is the producer state of
+  the item browsed at ``t-1`` (the *lagged* z-trace).  This is the causal
+  reading of Fig. 2/3 — "when a bursting event happens and is captured by a
+  u^p that a user is following, the regular behavioral trajectory of the
+  user is highly likely to be interrupted": the producer state the user just
+  saw is what steers where they go next.  Crucially it also makes next-
+  category prediction well-posed, because the conditioning input is fully
+  known at prediction time (no marginalization over an unseen z).
+
+The public prediction surface mirrors what the rest of ssRec needs:
+``p(c | u^c)`` — the probability that the consumer's next browsed item falls
+in category ``c`` — optionally conditioned on the producer of the candidate
+item (Eq. 1 and Eq. 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.hmm.base import DiscreteHMM, FitResult
+from repro.hmm.conditioned import InputConditionedHMM
+from repro.hmm.utils import PROB_FLOOR
+
+
+class ProducerLayer:
+    """a-HMM layer: one :class:`DiscreteHMM` per producer.
+
+    Args:
+        n_categories: size of the shared category alphabet.
+        n_states: number of producer hidden states ``N^(a)`` per model.
+        min_sequence_length: producers with fewer created items than this are
+            left untrained; their items decode to the ``UNKNOWN`` state.
+        seed: base seed; each producer model gets a derived seed.
+
+    **Canonical state labelling.**  Hidden-state indices of independently
+    trained per-producer HMMs are arbitrary: "state 2" of producer A and
+    "state 2" of producer B are unrelated, so feeding raw indices into a
+    shared b-HMM input alphabet would mix incomparable symbols and destroy
+    the producer-dependency signal.  We therefore canonicalize each raw
+    producer state by the *home category of its most likely successor
+    state* — ``canon(s) = argmax_c (A_p[s] @ B_p)[c]`` — i.e. by where the
+    producer is heading.  The exposed ``Z`` alphabet is then the category
+    alphabet plus one ``UNKNOWN`` symbol, comparable across all producers,
+    and carries exactly the trajectory-interruption information of the
+    paper's Fig. 2 scenario.
+    """
+
+    def __init__(
+        self,
+        n_categories: int,
+        n_states: int = 3,
+        min_sequence_length: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError(f"n_states must be >= 1, got {n_states}")
+        self.n_categories = int(n_categories)
+        self.n_states = int(n_states)
+        self.min_sequence_length = int(min_sequence_length)
+        self.seed = seed
+        self.models: dict[object, DiscreteHMM] = {}
+        self._item_states: dict[object, int] = {}
+        self._producer_sequences: dict[object, list[int]] = {}
+        # Filtered state per producer, maintained incrementally so that new
+        # streamed items decode in O(N^2) instead of re-running Viterbi over
+        # the producer's whole history.
+        self._filtered: dict[object, np.ndarray] = {}
+        # Canonical label per (producer, raw state): the home category of
+        # the most likely successor state.
+        self._canonical: dict[object, np.ndarray] = {}
+
+    @property
+    def unknown_state(self) -> int:
+        """Reserved input symbol for items without a decodable producer state."""
+        return self.n_categories
+
+    @property
+    def n_input_symbols(self) -> int:
+        """Input alphabet size for the b-HMM (canonical labels + UNKNOWN)."""
+        return self.n_categories + 1
+
+    def _canonicalize(self, producer_id: object) -> np.ndarray:
+        """canon[s] = argmax_c (A[s] @ B)[c] for one trained producer."""
+        model = self.models[producer_id]
+        canon = np.argmax(model.A @ model.B, axis=1).astype(np.int64)
+        self._canonical[producer_id] = canon
+        return canon
+
+    def fit(
+        self,
+        producer_sequences: Mapping[object, Sequence[tuple[object, int]]],
+        n_iter: int = 30,
+        tol: float = 1e-4,
+    ) -> dict[object, FitResult]:
+        """Train one a-HMM per producer and decode every item's state.
+
+        Args:
+            producer_sequences: maps producer id to the temporally-ordered
+                list of ``(item_id, category)`` pairs that producer created.
+        Returns:
+            per-producer :class:`FitResult` for the producers that trained.
+        """
+        results: dict[object, FitResult] = {}
+        for index, (producer_id, created) in enumerate(producer_sequences.items()):
+            categories = [int(cat) for _, cat in created]
+            self._producer_sequences[producer_id] = categories
+            if len(categories) < self.min_sequence_length:
+                for item_id, _ in created:
+                    self._item_states[item_id] = self.unknown_state
+                continue
+            model = DiscreteHMM(
+                self.n_states, self.n_categories, seed=self.seed + 7919 * (index + 1)
+            )
+            results[producer_id] = model.fit([categories], n_iter=n_iter, tol=tol)
+            self.models[producer_id] = model
+            canon = self._canonicalize(producer_id)
+            states = model.viterbi(categories)
+            for (item_id, _), state in zip(created, states):
+                self._item_states[item_id] = int(canon[state])
+            self._filtered[producer_id] = model.filter_state(categories)
+        return results
+
+    def state_of_item(self, item_id: object) -> int:
+        """Decoded producer hidden state of ``item_id`` (UNKNOWN if unseen)."""
+        return self._item_states.get(item_id, self.unknown_state)
+
+    def _advance_filter(self, producer_id: object, category: int) -> np.ndarray | None:
+        """One incremental forward step of the producer's filtered state.
+
+        Returns the new (unnormalized-safe) filtered vector, or None for
+        untrained producers.
+        """
+        model = self.models.get(producer_id)
+        if model is None:
+            return None
+        alpha = self._filtered.get(producer_id)
+        if alpha is None:
+            alpha = model.pi
+        alpha_next = (alpha @ model.A) * model.B[:, int(category)]
+        total = alpha_next.sum()
+        if total <= 0:
+            alpha_next = np.full(model.n_states, 1.0 / model.n_states)
+        else:
+            alpha_next = alpha_next / total
+        return alpha_next
+
+    def decode_new_item(self, producer_id: object, category: int) -> int:
+        """Decode the canonical producer state of a *new* item.
+
+        Uses one incremental forward-filtering step (the online analogue of
+        extending the Viterbi decode by one observation), which keeps the
+        streaming path O(N^2) per item.  Unknown producers map to UNKNOWN.
+        """
+        alpha_next = self._advance_filter(producer_id, category)
+        if alpha_next is None:
+            return self.unknown_state
+        canon = self._canonical[producer_id]
+        return int(canon[int(np.argmax(alpha_next))])
+
+    def observe_created_item(self, producer_id: object, item_id: object, category: int) -> int:
+        """Record a newly created item, decode and memoize its canonical state."""
+        alpha_next = self._advance_filter(producer_id, category)
+        if alpha_next is None:
+            state = self.unknown_state
+        else:
+            self._filtered[producer_id] = alpha_next
+            canon = self._canonical[producer_id]
+            state = int(canon[int(np.argmax(alpha_next))])
+        self._producer_sequences.setdefault(producer_id, []).append(int(category))
+        self._item_states[item_id] = state
+        return state
+
+    def next_state_distribution(self, producer_id: object) -> np.ndarray:
+        """Distribution over the producer's next *canonical* state.
+
+        Returned over the full input alphabet (categories + UNKNOWN); for
+        unknown producers all mass sits on the UNKNOWN symbol.
+        """
+        dist = np.zeros(self.n_input_symbols)
+        model = self.models.get(producer_id)
+        state_now = self._filtered.get(producer_id)
+        if model is None or state_now is None:
+            dist[self.unknown_state] = 1.0
+            return dist
+        canon = self._canonical[producer_id]
+        raw_next = state_now @ model.A
+        for raw_state, mass in enumerate(raw_next):
+            dist[int(canon[raw_state])] += float(mass)
+        total = dist.sum()
+        if total <= 0:
+            dist[:] = 0.0
+            dist[self.unknown_state] = 1.0
+            return dist
+        return dist / total
+
+
+class BiHMM:
+    """Bi-Layer HMM: producer a-HMMs + input-conditioned consumer b-HMM.
+
+    Args:
+        n_categories: category alphabet size shared by both layers.
+        n_consumer_states: ``N^(b)``, hidden states of the consumer layer.
+        n_producer_states: ``N^(a)``, hidden states of each producer model.
+        min_producer_sequence: minimum creation-history length to train a
+            producer model.
+        seed: base seed for both layers.
+    """
+
+    def __init__(
+        self,
+        n_categories: int,
+        n_consumer_states: int = 3,
+        n_producer_states: int = 3,
+        min_producer_sequence: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.n_categories = int(n_categories)
+        self.producer_layer = ProducerLayer(
+            n_categories,
+            n_states=n_producer_states,
+            min_sequence_length=min_producer_sequence,
+            seed=seed,
+        )
+        self.consumer_model = InputConditionedHMM(
+            n_states=n_consumer_states,
+            n_symbols=n_categories,
+            n_inputs=self.producer_layer.n_input_symbols,
+            seed=seed + 104729,
+        )
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def z_trace(self, consumer_sequence: Sequence[tuple[int, object]]) -> np.ndarray:
+        """Producer-state trace for a consumer ``(category, item_id)`` sequence."""
+        return np.asarray(
+            [self.producer_layer.state_of_item(item_id) for _, item_id in consumer_sequence],
+            dtype=np.int64,
+        )
+
+    def lagged_z_trace(self, consumer_sequence: Sequence[tuple[int, object]]) -> np.ndarray:
+        """The b-HMM input trace: producer state of the *previous* item.
+
+        Step 0 has no previous item and receives the UNKNOWN symbol.
+        """
+        z = self.z_trace(consumer_sequence)
+        lagged = np.empty_like(z)
+        if len(z):
+            lagged[0] = self.producer_layer.unknown_state
+            lagged[1:] = z[:-1]
+        return lagged
+
+    @staticmethod
+    def _categories(consumer_sequence: Sequence[tuple[int, object]]) -> np.ndarray:
+        return np.asarray([int(cat) for cat, _ in consumer_sequence], dtype=np.int64)
+
+    def fit(
+        self,
+        producer_sequences: Mapping[object, Sequence[tuple[object, int]]],
+        consumer_sequences: Sequence[Sequence[tuple[int, object]]],
+        n_iter: int = 30,
+        tol: float = 1e-4,
+    ) -> FitResult:
+        """Train the a-HMM layer, decode Z traces, then train the b-HMM.
+
+        Args:
+            producer_sequences: producer id -> ordered ``(item_id, category)``
+                creations.
+            consumer_sequences: one ``(category, item_id)`` browsing sequence
+                per consumer (or several per consumer).
+        """
+        self.producer_layer.fit(producer_sequences, n_iter=n_iter, tol=tol)
+        pairs = []
+        for seq in consumer_sequences:
+            if not seq:
+                continue
+            pairs.append((self._categories(seq), self.lagged_z_trace(seq)))
+        if not pairs:
+            raise ValueError("no non-empty consumer sequences supplied")
+        return self.consumer_model.fit(pairs, n_iter=n_iter, tol=tol)
+
+    def fit_consumers_only(
+        self,
+        consumer_sequences: Sequence[Sequence[tuple[int, object]]],
+        n_iter: int = 30,
+        tol: float = 1e-4,
+        shrinkage: float = 0.3,
+    ) -> FitResult:
+        """Retrain only the b-HMM layer, reusing the trained producer layer.
+
+        Used when one shared producer layer backs many per-user (or
+        per-block) consumer models.  ``shrinkage`` is the coupling-strength
+        regularizer of :meth:`InputConditionedHMM.fit` (1.0 pools all
+        producer states — effectively a single-layer HMM).
+        """
+        pairs = []
+        for seq in consumer_sequences:
+            if not seq:
+                continue
+            pairs.append((self._categories(seq), self.lagged_z_trace(seq)))
+        if not pairs:
+            raise ValueError("no non-empty consumer sequences supplied")
+        return self.consumer_model.fit(pairs, n_iter=n_iter, tol=tol, shrinkage=shrinkage)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_next_distribution(
+        self,
+        consumer_sequence: Sequence[tuple[int, object]],
+    ) -> np.ndarray:
+        """Distribution over the consumer's next browsed category.
+
+        The transition into the next step is conditioned on the producer
+        hidden state of the *last browsed item* (the lagged z-trace), which
+        is fully known — this is the producer-dependency signal the single-
+        layer HMM cannot see.
+        """
+        if not consumer_sequence:
+            return self.consumer_model.prior_distribution()
+        obs = self._categories(consumer_sequence)
+        inp = self.lagged_z_trace(consumer_sequence)
+        next_input = self.producer_layer.state_of_item(consumer_sequence[-1][1])
+        return self.consumer_model.predict_next_distribution(obs, inp, next_input)
+
+    def predict_category_probability(
+        self,
+        consumer_sequence: Sequence[tuple[int, object]],
+        category: int,
+    ) -> float:
+        """``p(c | u^c)`` for a single category — the Eq. 1 / Eq. 4 term."""
+        if not (0 <= category < self.n_categories):
+            raise ValueError(f"category {category} outside [0, {self.n_categories})")
+        dist = self.predict_next_distribution(consumer_sequence)
+        return float(max(dist[category], PROB_FLOOR))
+
+    def predict_top_k(
+        self,
+        consumer_sequence: Sequence[tuple[int, object]],
+        k: int,
+    ) -> list[int]:
+        """Top-``k`` predicted next categories, most likely first."""
+        dist = self.predict_next_distribution(consumer_sequence)
+        k = min(k, self.n_categories)
+        order = np.argsort(-dist, kind="stable")
+        return [int(c) for c in order[:k]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BiHMM(n_categories={self.n_categories}, "
+            f"consumer_states={self.consumer_model.n_states}, "
+            f"producer_states={self.producer_layer.n_states}, "
+            f"trained_producers={len(self.producer_layer.models)})"
+        )

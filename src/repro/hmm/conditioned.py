@@ -1,0 +1,289 @@
+"""Input-conditioned HMM: the paper's composite-state b-HMM reformulation.
+
+Section IV-A reformulates the b-HMM so that its state becomes the composite
+``U' = (U_i, Z_k)`` where ``Z_k`` is the hidden state of the producer of the
+consumed item, *decoded by the already-trained a-HMM* ("given an observed
+category c, its associated hidden state is obtained using Viterbi").  Once
+``Z`` is decoded it is observed from the b-HMM's point of view, so the
+composite-state HMM is equivalent to an HMM over the consumer states ``U``
+whose transition and emission matrices are *conditioned* on the producer
+state ``Z``:
+
+- transition ``A[z][i, j] = p(U_j | U_i, Z=z)``  (paper: ``a_ikj``),
+- emission   ``B[z][j, m] = p(c_m | U_j, Z=z)``  (paper: ``b_jkm``).
+
+That is exactly the structure this class implements.  Training is standard
+Baum-Welch with sufficient statistics accumulated per input symbol — "we can
+train the b-HMM by the same way used in the a-HMM" — and reduces to the
+classic algorithm when ``n_inputs == 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hmm.base import FitResult
+from repro.hmm.utils import (
+    PROB_FLOOR,
+    normalize_rows,
+    random_stochastic_matrix,
+    random_stochastic_vector,
+    validate_sequences,
+)
+
+
+class InputConditionedHMM:
+    """HMM whose transitions/emissions are selected by an observed input.
+
+    Args:
+        n_states: number of consumer hidden states ``N^(b)``.
+        n_symbols: size of the observation alphabet (item categories).
+        n_inputs: number of input symbols (producer hidden states ``N^(a)``,
+            plus typically one extra "unknown producer" symbol).
+        seed: seed for random parameter initialization.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_symbols: int,
+        n_inputs: int,
+        seed: int | None = 0,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError(f"n_states must be >= 1, got {n_states}")
+        if n_symbols < 1:
+            raise ValueError(f"n_symbols must be >= 1, got {n_symbols}")
+        if n_inputs < 1:
+            raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+        self.n_states = int(n_states)
+        self.n_symbols = int(n_symbols)
+        self.n_inputs = int(n_inputs)
+        rng = np.random.default_rng(seed)
+        self.pi = random_stochastic_vector(self.n_states, rng)
+        self.A = np.stack(
+            [random_stochastic_matrix(self.n_states, self.n_states, rng) for _ in range(self.n_inputs)]
+        )
+        self.B = np.stack(
+            [random_stochastic_matrix(self.n_states, self.n_symbols, rng) for _ in range(self.n_inputs)]
+        )
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_pair(self, observations, inputs) -> tuple[np.ndarray, np.ndarray]:
+        obs = validate_sequences([observations], self.n_symbols)[0]
+        inp = np.asarray(inputs, dtype=np.int64)
+        if inp.shape != obs.shape:
+            raise ValueError(
+                f"inputs shape {inp.shape} must match observations shape {obs.shape}"
+            )
+        if inp.size and (inp.min() < 0 or inp.max() >= self.n_inputs):
+            raise ValueError(
+                f"inputs contain symbols outside [0, {self.n_inputs}): "
+                f"min={inp.min()}, max={inp.max()}"
+            )
+        return obs, inp
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _forward(self, obs: np.ndarray, inp: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        T = len(obs)
+        alpha = np.zeros((T, self.n_states))
+        scales = np.zeros(T)
+        alpha[0] = self.pi * self.B[inp[0]][:, obs[0]]
+        scales[0] = max(alpha[0].sum(), PROB_FLOOR)
+        alpha[0] /= scales[0]
+        for t in range(1, T):
+            alpha[t] = (alpha[t - 1] @ self.A[inp[t]]) * self.B[inp[t]][:, obs[t]]
+            scales[t] = max(alpha[t].sum(), PROB_FLOOR)
+            alpha[t] /= scales[t]
+        return alpha, scales
+
+    def _backward(self, obs: np.ndarray, inp: np.ndarray, scales: np.ndarray) -> np.ndarray:
+        T = len(obs)
+        beta = np.zeros((T, self.n_states))
+        beta[T - 1] = 1.0
+        for t in range(T - 2, -1, -1):
+            z = inp[t + 1]
+            beta[t] = (self.A[z] * self.B[z][:, obs[t + 1]]) @ beta[t + 1]
+            beta[t] /= scales[t + 1]
+        return beta
+
+    def log_likelihood(self, observations, inputs) -> float:
+        """Log-probability of an (observation, input) sequence pair."""
+        obs, inp = self._validate_pair(observations, inputs)
+        _, scales = self._forward(obs, inp)
+        return float(np.sum(np.log(scales)))
+
+    def total_log_likelihood(self, pairs) -> float:
+        """Sum of log-likelihoods over ``(observations, inputs)`` pairs."""
+        return float(sum(self.log_likelihood(obs, inp) for obs, inp in pairs))
+
+    def filter_state(self, observations, inputs) -> np.ndarray:
+        """Filtered consumer-state distribution after the full history."""
+        obs, inp = self._validate_pair(observations, inputs)
+        alpha, _ = self._forward(obs, inp)
+        return alpha[-1] / max(alpha[-1].sum(), PROB_FLOOR)
+
+    def viterbi(self, observations, inputs) -> np.ndarray:
+        """Most likely consumer hidden-state sequence (log-space)."""
+        obs, inp = self._validate_pair(observations, inputs)
+        T = len(obs)
+        log_pi = np.log(np.maximum(self.pi, PROB_FLOOR))
+        log_A = np.log(np.maximum(self.A, PROB_FLOOR))
+        log_B = np.log(np.maximum(self.B, PROB_FLOOR))
+        delta = np.zeros((T, self.n_states))
+        psi = np.zeros((T, self.n_states), dtype=np.int64)
+        delta[0] = log_pi + log_B[inp[0]][:, obs[0]]
+        for t in range(1, T):
+            trans = delta[t - 1][:, None] + log_A[inp[t]]
+            psi[t] = np.argmax(trans, axis=0)
+            delta[t] = trans[psi[t], np.arange(self.n_states)] + log_B[inp[t]][:, obs[t]]
+        states = np.zeros(T, dtype=np.int64)
+        states[T - 1] = int(np.argmax(delta[T - 1]))
+        for t in range(T - 2, -1, -1):
+            states[t] = psi[t + 1][states[t + 1]]
+        return states
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_next_distribution(self, observations, inputs, next_input: int) -> np.ndarray:
+        """Next-category distribution given the history and the producer
+        state ``next_input`` of the incoming item.
+
+        ``p(c | history, z) = sum_{i,j} alpha_T(i) A[z][i,j] B[z][j,c]``.
+        """
+        if not (0 <= next_input < self.n_inputs):
+            raise ValueError(f"next_input {next_input} outside [0, {self.n_inputs})")
+        state_now = self.filter_state(observations, inputs)
+        next_state = state_now @ self.A[next_input]
+        dist = next_state @ self.B[next_input]
+        return dist / max(dist.sum(), PROB_FLOOR)
+
+    def predict_next_marginal(
+        self, observations, inputs, input_weights: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Next-category distribution marginalized over the producer state.
+
+        Used when the producer of the next item is unknown; ``input_weights``
+        defaults to uniform over input symbols.
+        """
+        if input_weights is None:
+            input_weights = np.full(self.n_inputs, 1.0 / self.n_inputs)
+        input_weights = np.asarray(input_weights, dtype=float)
+        if input_weights.shape != (self.n_inputs,):
+            raise ValueError(
+                f"input_weights must have shape ({self.n_inputs},), got {input_weights.shape}"
+            )
+        weights = input_weights / max(input_weights.sum(), PROB_FLOOR)
+        state_now = self.filter_state(observations, inputs)
+        dist = np.zeros(self.n_symbols)
+        for z in range(self.n_inputs):
+            if weights[z] <= 0:
+                continue
+            dist += weights[z] * ((state_now @ self.A[z]) @ self.B[z])
+        return dist / max(dist.sum(), PROB_FLOOR)
+
+    def predict_top_k(self, observations, inputs, next_input: int, k: int) -> list[int]:
+        """Top-``k`` next categories for a known producer state."""
+        dist = self.predict_next_distribution(observations, inputs, next_input)
+        k = min(k, self.n_symbols)
+        order = np.argsort(-dist, kind="stable")
+        return [int(s) for s in order[:k]]
+
+    def prior_distribution(self) -> np.ndarray:
+        """Next-observation distribution with no history, marginal over inputs."""
+        dist = np.zeros(self.n_symbols)
+        for z in range(self.n_inputs):
+            dist += (self.pi @ self.B[z]) / self.n_inputs
+        return dist / max(dist.sum(), PROB_FLOOR)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self, pairs, n_iter: int = 50, tol: float = 1e-4, shrinkage: float = 0.3
+    ) -> FitResult:
+        """Baum-Welch over ``(observations, inputs)`` sequence pairs.
+
+        Sufficient statistics for ``A[z]``/``B[z]`` are accumulated only from
+        the steps where the input equals ``z``; an input symbol that never
+        occurs keeps its (smoothed random) initialization.
+
+        Args:
+            shrinkage: hierarchical pooling strength in [0, 1].  Each
+                input-conditioned statistic is blended with the pooled
+                (input-marginal) statistic before normalization:
+                ``stats[z] <- (1 - shrinkage) * stats[z] + shrinkage *
+                pooled``.  Splitting short training sequences across the
+                input alphabet leaves each ``A[z]``/``B[z]`` data-starved;
+                pooling regularizes them toward the shared behaviour while
+                keeping per-input structure where the data supports it.
+        """
+        if not (0.0 <= shrinkage <= 1.0):
+            raise ValueError(f"shrinkage must be in [0, 1], got {shrinkage}")
+        validated = [self._validate_pair(obs, inp) for obs, inp in pairs]
+        if not validated:
+            raise ValueError("at least one (observations, inputs) pair is required")
+        result = FitResult()
+        prev_ll = float("-inf")
+        for iteration in range(n_iter):
+            pi_acc = np.zeros(self.n_states)
+            trans_acc = np.zeros((self.n_inputs, self.n_states, self.n_states))
+            emit_acc = np.zeros((self.n_inputs, self.n_states, self.n_symbols))
+            total_ll = 0.0
+            for obs, inp in validated:
+                alpha, scales = self._forward(obs, inp)
+                beta = self._backward(obs, inp, scales)
+                total_ll += float(np.sum(np.log(scales)))
+                gamma = alpha * beta
+                gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), PROB_FLOOR)
+                pi_acc += gamma[0]
+                T = len(obs)
+                for t in range(T):
+                    emit_acc[inp[t], :, obs[t]] += gamma[t]
+                for t in range(T - 1):
+                    z = inp[t + 1]
+                    xi = (
+                        alpha[t][:, None]
+                        * self.A[z]
+                        * self.B[z][:, obs[t + 1]][None, :]
+                        * beta[t + 1][None, :]
+                    )
+                    denom = xi.sum()
+                    if denom > 0:
+                        trans_acc[z] += xi / denom
+            self.pi = normalize_rows(pi_acc)
+            pooled_trans = trans_acc.sum(axis=0)
+            pooled_emit = emit_acc.sum(axis=0)
+            pooled_trans_share = (
+                pooled_trans / max(pooled_trans.sum(), PROB_FLOOR) * max(self.n_states, 1)
+            )
+            pooled_emit_share = (
+                pooled_emit / max(pooled_emit.sum(), PROB_FLOOR) * max(self.n_states, 1)
+            )
+            for z in range(self.n_inputs):
+                blended_trans = (1.0 - shrinkage) * trans_acc[z] + shrinkage * pooled_trans_share
+                blended_emit = (1.0 - shrinkage) * emit_acc[z] + shrinkage * pooled_emit_share
+                if blended_trans.sum() > 0 and self.n_states > 1:
+                    self.A[z] = normalize_rows(blended_trans)
+                if blended_emit.sum() > 0:
+                    self.B[z] = normalize_rows(blended_emit)
+            result.log_likelihoods.append(total_ll)
+            result.n_iter = iteration + 1
+            if np.isfinite(prev_ll):
+                denom = max(abs(prev_ll), 1.0)
+                if (total_ll - prev_ll) / denom < tol:
+                    result.converged = True
+                    break
+            prev_ll = total_ll
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InputConditionedHMM(n_states={self.n_states}, "
+            f"n_symbols={self.n_symbols}, n_inputs={self.n_inputs})"
+        )

@@ -1,0 +1,90 @@
+"""Numerical helpers shared by the HMM implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Probability floor applied after every M-step so that no transition or
+#: emission probability collapses to exactly zero.  A hard zero would make
+#: later sequences containing that event have -inf log-likelihood, which
+#: both breaks Baum-Welch monotonicity checks and mirrors the paper's
+#: motivation for Dirichlet smoothing in the matching function.
+PROB_FLOOR = 1e-12
+
+
+def log_sum_exp(values: np.ndarray, axis: int | None = None) -> np.ndarray:
+    """Numerically stable ``log(sum(exp(values)))`` along ``axis``.
+
+    Handles all ``-inf`` inputs gracefully (returns ``-inf`` instead of NaN).
+    """
+    values = np.asarray(values, dtype=float)
+    max_val = np.max(values, axis=axis, keepdims=True)
+    # Where every entry is -inf, keep -inf rather than producing NaN.
+    safe_max = np.where(np.isfinite(max_val), max_val, 0.0)
+    with np.errstate(divide="ignore"):
+        out = safe_max + np.log(
+            np.sum(np.exp(values - safe_max), axis=axis, keepdims=True)
+        )
+    out = np.where(np.isfinite(max_val), out, -np.inf)
+    if axis is None:
+        return out.reshape(())[()]
+    return np.squeeze(out, axis=axis)
+
+
+def normalize_rows(matrix: np.ndarray, floor: float = PROB_FLOOR) -> np.ndarray:
+    """Return a row-stochastic copy of ``matrix``.
+
+    Rows that sum to zero become uniform.  All entries are floored at
+    ``floor`` before the final normalization so the result is strictly
+    positive.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim == 1:
+        return normalize_rows(matrix[None, :], floor=floor)[0]
+    sums = matrix.sum(axis=1, keepdims=True)
+    zero_rows = (sums <= 0.0).ravel()
+    out = np.empty_like(matrix, dtype=float)
+    if zero_rows.any():
+        out[zero_rows] = 1.0 / matrix.shape[1]
+    nonzero = ~zero_rows
+    if nonzero.any():
+        out[nonzero] = matrix[nonzero] / sums[nonzero]
+    out = np.maximum(out, floor)
+    out /= out.sum(axis=1, keepdims=True)
+    return out
+
+
+def random_stochastic_vector(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a strictly positive random probability vector of ``size``."""
+    vec = rng.dirichlet(np.ones(size))
+    return normalize_rows(vec)
+
+
+def random_stochastic_matrix(rows: int, cols: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a strictly positive random row-stochastic ``rows x cols`` matrix."""
+    mat = rng.dirichlet(np.ones(cols), size=rows)
+    return normalize_rows(mat)
+
+
+def validate_sequences(sequences, n_symbols: int) -> list[np.ndarray]:
+    """Validate and convert observation sequences to int arrays.
+
+    Raises ``ValueError`` on empty input, empty sequences, or out-of-range
+    symbols — failing fast here keeps the training loops assertion-free.
+    """
+    if not sequences:
+        raise ValueError("at least one observation sequence is required")
+    converted: list[np.ndarray] = []
+    for i, seq in enumerate(sequences):
+        arr = np.asarray(seq, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError(f"sequence {i} must be 1-dimensional, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ValueError(f"sequence {i} is empty")
+        if arr.min() < 0 or arr.max() >= n_symbols:
+            raise ValueError(
+                f"sequence {i} contains symbols outside [0, {n_symbols}): "
+                f"min={arr.min()}, max={arr.max()}"
+            )
+        converted.append(arr)
+    return converted

@@ -1,0 +1,340 @@
+"""The CPPse-index: build, Algorithm 1 KNN, Algorithm 2 maintenance.
+
+Structure (Fig. 4): a chained hash table maps each category-entity pair to
+the extended signature trees (one per user block holding that pair); each
+tree stores the block's user profiles under one category.  KNN queries run
+best-first over the located trees, pruning subtrees whose upper-bound
+relevance (Def. 2) cannot beat the current k-th best — Lemmas 1-2 guarantee
+no false dismissals among the probed trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import SsRecConfig
+from repro.core.matching import MatchingScorer
+from repro.core.profiles import ProfileStore, UserProfile
+from repro.datasets.schema import SocialItem
+from repro.index.blocks import UserBlock, assign_to_block, block_statistics, one_pass_clustering
+from repro.index.hashing import ChainedHashTable
+from repro.index.signature import (
+    BlockUniverse,
+    QuerySignature,
+    UniverseOverflow,
+    UserVector,
+)
+from repro.index.sigtree import LeafEntry, SignatureTree
+
+#: Tie tolerance when comparing against the pruning bound; entries whose
+#: upper bound equals the current k-th best (within float noise) are still
+#: explored so tied users resolve deterministically by id.
+_TIE_EPS = 1e-12
+
+
+class CPPseIndex:
+    """Hash-routed extended signature trees over blocked user profiles.
+
+    Build with :meth:`build`; query with :meth:`knn`; keep fresh with
+    :meth:`maintain`.
+    """
+
+    def __init__(
+        self,
+        profiles: ProfileStore,
+        scorer: MatchingScorer,
+        n_categories: int,
+        config: SsRecConfig | None = None,
+    ) -> None:
+        self.profiles = profiles
+        self.scorer = scorer
+        self.interest = scorer.interest
+        self.n_categories = int(n_categories)
+        self.config = config or SsRecConfig()
+        self.blocks: list[UserBlock] = []
+        self.universes: dict[int, BlockUniverse] = {}
+        self.trees: dict[tuple[int, int], SignatureTree] = {}
+        self.hash_table = ChainedHashTable(n_buckets=self.config.hash_buckets)
+        self.block_of_user: dict[int, int] = {}
+        self.vector_of_user: dict[int, UserVector] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        profiles: ProfileStore,
+        scorer: MatchingScorer,
+        n_categories: int,
+        config: SsRecConfig | None = None,
+    ) -> "CPPseIndex":
+        """Cluster users into blocks and build every (block, category) tree."""
+        index = cls(profiles, scorer, n_categories, config)
+        ordered = [profiles.get(uid) for uid in profiles.user_ids()]
+        index.blocks = one_pass_clustering(
+            ordered,
+            n_categories,
+            similarity_threshold=index.config.block_similarity_threshold,
+            max_blocks=index.config.max_blocks,
+        )
+        for block in index.blocks:
+            index._build_block(block)
+        return index
+
+    def _build_block(self, block: UserBlock) -> None:
+        """(Re)build one block: universe, user vectors, trees, hash entries."""
+        members = [self.profiles.get(uid) for uid in block.user_ids]
+        universe = BlockUniverse(
+            producer_ids=block.producer_ids,
+            entity_ids=block.entity_ids,
+            slack=self.config.signature_slack,
+        )
+        self.universes[block.block_id] = universe
+        long_dists: dict[int, np.ndarray] = {}
+        short_dists: dict[int, np.ndarray] = {}
+        for profile in members:
+            self.block_of_user[profile.user_id] = block.block_id
+            self.vector_of_user[profile.user_id] = UserVector.build(
+                profile, universe, self.scorer
+            )
+            long_dists[profile.user_id] = self.interest.long_term_distribution(profile)
+            short_dists[profile.user_id] = self.interest.short_term_distribution(profile)
+        categories = sorted(block.categories) or [0]
+        for category in categories:
+            entries = [
+                LeafEntry(
+                    user_id=p.user_id,
+                    vector=self.vector_of_user[p.user_id],
+                    p_long=float(long_dists[p.user_id][category]),
+                    p_short=float(short_dists[p.user_id][category]),
+                    profile=p,
+                )
+                for p in members
+            ]
+            tree = SignatureTree(
+                block.block_id, category, universe, fanout=self.config.tree_fanout
+            )
+            tree.bulk_build(entries)
+            self.trees[(block.block_id, category)] = tree
+            for entity_id in universe.entity_ids():
+                self.hash_table.insert(category, entity_id, block.block_id, tree)
+
+    def _create_tree(self, block: UserBlock, category: int) -> SignatureTree:
+        """Lazily create a (block, category) tree covering current members."""
+        universe = self.universes[block.block_id]
+        entries = []
+        for uid in block.user_ids:
+            profile = self.profiles.get(uid)
+            if profile is None:
+                continue
+            entries.append(
+                LeafEntry(
+                    user_id=uid,
+                    vector=self.vector_of_user[uid],
+                    p_long=float(self.interest.long_term_distribution(profile)[category]),
+                    p_short=float(self.interest.short_term_distribution(profile)[category]),
+                    profile=profile,
+                )
+            )
+        tree = SignatureTree(block.block_id, category, universe, fanout=self.config.tree_fanout)
+        tree.bulk_build(entries)
+        self.trees[(block.block_id, category)] = tree
+        block.categories.add(int(category))
+        for entity_id in universe.entity_ids():
+            self.hash_table.insert(category, entity_id, block.block_id, tree)
+        return tree
+
+    # ------------------------------------------------------------------
+    # KNN query (Algorithm 1)
+    # ------------------------------------------------------------------
+    def locate_trees(self, item: SocialItem) -> dict[int, SignatureTree]:
+        """Step 1 of Algorithm 1: hash the item's category-entity pairs to
+        the extended signature trees containing them.
+
+        Probes with the expanded entity set ``E u E'`` so expansion recall
+        carries through to tree location.
+        """
+        found: dict[int, SignatureTree] = {}
+        for entity_id, _ in self.scorer.expanded_query(item):
+            for block_id, tree in self.hash_table.lookup(item.category, entity_id).items():
+                found[block_id] = tree
+        return found
+
+    def knn(self, item: SocialItem, k: int) -> list[tuple[int, float]]:
+        """Algorithm 1: top-``k`` users for ``item`` via best-first search.
+
+        Returns ``(user_id, score)`` sorted by descending score then user
+        id — the same order the sequential scan produces.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        lambda_s = self.scorer.config.lambda_s
+        weighted = self.scorer.expanded_query(item)
+        trees = self.locate_trees(item)
+        if not trees:
+            return []
+        counter = itertools.count()
+        # Best-first frontier: (-upper_bound, seq, node, query).
+        frontier: list = []
+        for block_id, tree in sorted(trees.items()):
+            query = QuerySignature.encode(item, weighted, tree.universe, block_id)
+            bound = tree.root.relevance(query, lambda_s)
+            heapq.heappush(frontier, (-bound, next(counter), tree.root, query))
+        # Result heap U_k: min-heap on (score, -user_id); its root is the
+        # pruning bound LB once full.
+        result: list[tuple[float, int]] = []
+
+        def lb() -> float:
+            if len(result) < k:
+                return float("-inf")
+            return result[0][0]
+
+        while frontier:
+            neg_bound, _, node, query = heapq.heappop(frontier)
+            if -neg_bound < lb() - _TIE_EPS:
+                break  # all remaining bounds are no better
+            if node.is_leaf:
+                for entry in node.entries:
+                    score = entry.relevance(query, lambda_s)
+                    key = (score, -entry.user_id)
+                    if len(result) < k:
+                        heapq.heappush(result, key)
+                    elif key > result[0]:
+                        heapq.heapreplace(result, key)
+            else:
+                for child in node.children:
+                    bound = child.relevance(query, lambda_s)
+                    if bound >= lb() - _TIE_EPS:
+                        heapq.heappush(frontier, (-bound, next(counter), child, query))
+        ranked = sorted(result, key=lambda su: (-su[0], -su[1]))
+        return [(-neg_uid, score) for score, neg_uid in ranked]
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance (Algorithm 2)
+    # ------------------------------------------------------------------
+    def maintain(self, user_ids: Sequence[int]) -> int:
+        """Algorithm 2: absorb profile updates for ``user_ids``.
+
+        Handles, per the paper: changed entity frequencies (signature
+        refresh + ancestor re-aggregation), new entities (reserved-zone
+        claim + hash-table insertion, or block rebuild on overflow), new
+        categories (lazy tree creation), and new users (block assignment +
+        leaf insertion).
+
+        Returns the number of profiles processed.
+        """
+        processed = 0
+        for user_id in user_ids:
+            profile = self.profiles.get(user_id)
+            if profile is None:
+                continue
+            block_id = self.block_of_user.get(int(user_id))
+            if block_id is None:
+                self._insert_new_user(profile)
+            else:
+                self._update_existing_user(profile, block_id)
+            processed += 1
+        return processed
+
+    def _block_by_id(self, block_id: int) -> UserBlock:
+        return self.blocks[block_id]
+
+    def _update_existing_user(self, profile: UserProfile, block_id: int) -> None:
+        block = self._block_by_id(block_id)
+        universe = self.universes[block_id]
+        # New symbols browsed by this user claim reserved-zone slots; an
+        # exhausted zone triggers a full block rebuild with fresh capacity.
+        try:
+            new_entities = [
+                e for e in profile.entity_counts if universe.entity_slot(e) is None
+            ]
+            for entity_id in new_entities:
+                universe.add_entity(entity_id)
+                block.entity_ids.add(int(entity_id))
+                for category in sorted(block.categories):
+                    tree = self.trees.get((block_id, category))
+                    if tree is not None:
+                        self.hash_table.insert(category, entity_id, block_id, tree)
+            for producer_id in list(profile.producer_counts):
+                if universe.producer_slot(producer_id) is None:
+                    universe.add_producer(producer_id)
+                    block.producer_ids.add(int(producer_id))
+        except UniverseOverflow:
+            block.entity_ids.update(profile.entity_counts)
+            block.producer_ids.update(profile.producer_counts)
+            block.categories.update(profile.category_counts)
+            self._rebuild_block(block)
+            return
+        # New categories browsed -> lazy tree creation for the block.
+        for category in profile.category_counts:
+            if (block_id, category) not in self.trees:
+                self._create_tree(block, category)
+        vector = UserVector.build(profile, universe, self.scorer)
+        self.vector_of_user[profile.user_id] = vector
+        long_dist = self.interest.long_term_distribution(profile)
+        short_dist = self.interest.short_term_distribution(profile)
+        for category in sorted(block.categories):
+            tree = self.trees.get((block_id, category))
+            if tree is None:
+                continue
+            updated = tree.update_entry(
+                profile.user_id, vector, float(long_dist[category]), float(short_dist[category])
+            )
+            if not updated:
+                tree.insert(
+                    LeafEntry(
+                        user_id=profile.user_id,
+                        vector=vector,
+                        p_long=float(long_dist[category]),
+                        p_short=float(short_dist[category]),
+                        profile=profile,
+                    )
+                )
+
+    def _insert_new_user(self, profile: UserProfile) -> None:
+        block = assign_to_block(
+            self.blocks,
+            profile,
+            self.n_categories,
+            similarity_threshold=self.config.block_similarity_threshold,
+            max_blocks=self.config.max_blocks,
+        )
+        if block.block_id not in self.universes:
+            # assign_to_block opened a brand-new block; build it whole.
+            self._build_block(block)
+            return
+        self.block_of_user[profile.user_id] = block.block_id
+        self._update_existing_user(profile, block.block_id)
+
+    def _rebuild_block(self, block: UserBlock) -> None:
+        """Drop and rebuild one block's universe, vectors and trees."""
+        for category in sorted(block.categories):
+            self.trees.pop((block.block_id, category), None)
+        self._build_block(block)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def signature_statistics(self) -> dict[str, int]:
+        """Table II's per-blocking signature-size factors."""
+        stats = block_statistics(self.blocks)
+        stats["n_blocks"] = len(self.blocks)
+        stats["n_trees"] = len(self.trees)
+        return stats
+
+    def users_in_probed_trees(self, item: SocialItem) -> set[int]:
+        """Users retrievable for ``item`` (tests compare scan over these)."""
+        users: set[int] = set()
+        for tree in self.locate_trees(item).values():
+            users.update(e.user_id for e in tree.all_entries())
+        return users
+
+    def check_invariants(self) -> None:
+        """Validate every tree's structure and aggregation (tests)."""
+        for tree in self.trees.values():
+            tree.check_invariants()

@@ -1,0 +1,253 @@
+"""Signature encodings for the extended signature trees (Sec. V-A/B).
+
+Two encodings, as the paper specifies: "an impact encoding for maintaining
+user profiles and a frequency-based encoding for queries".
+
+- :class:`BlockUniverse` — the block's producer/entity id spaces with the
+  20% reserved growth zones ("following the classic technique for memory
+  management in database systems, we reserve 20% space of each entry, and
+  fill it with zones").
+- :class:`UserVector` — the impact lists ``P_Up`` / ``P_E`` of one user
+  (Dirichlet-smoothed ``p^(u^p|u)`` / ``p^(e|u)``) over the block universe,
+  plus the smoothing floors for out-of-universe symbols.  Shared by all of
+  the block's per-category trees (the per-category parts, ``p_l(c)`` and
+  ``p_s(c)``, live in the leaf entries).
+- :class:`QuerySignature` — the pseudo-query of an item against one block:
+  per-universe-slot accumulated weight (frequency x expansion weight, as in
+  Example 1) plus the total weight of out-of-universe query entities, which
+  scores against the floor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.matching import MatchingScorer
+from repro.core.profiles import UserProfile
+from repro.datasets.schema import SocialItem
+from repro.hmm.utils import PROB_FLOOR
+
+
+class UniverseOverflow(Exception):
+    """Raised when a block universe's reserved zone is exhausted; the owner
+    rebuilds the affected trees with an enlarged universe."""
+
+
+class BlockUniverse:
+    """Producer/entity id spaces of one block, with growth slack.
+
+    Args:
+        producer_ids: initial producer universe (sorted for determinism).
+        entity_ids: initial entity universe.
+        slack: reserved share of extra capacity (paper: 0.2).
+    """
+
+    def __init__(
+        self,
+        producer_ids: Iterable[int],
+        entity_ids: Iterable[int],
+        slack: float = 0.2,
+    ) -> None:
+        if not (0.0 <= slack < 1.0):
+            raise ValueError(f"slack must be in [0, 1), got {slack}")
+        self.slack = float(slack)
+        self._producers: list[int] = sorted(set(int(p) for p in producer_ids))
+        self._entities: list[int] = sorted(set(int(e) for e in entity_ids))
+        self._producer_slot: dict[int, int] = {p: i for i, p in enumerate(self._producers)}
+        self._entity_slot: dict[int, int] = {e: i for i, e in enumerate(self._entities)}
+        self.producer_capacity = self._with_slack(len(self._producers))
+        self.entity_capacity = self._with_slack(len(self._entities))
+
+    def _with_slack(self, n: int) -> int:
+        return max(1, n + int(np.ceil(n * self.slack)) + 1)
+
+    @property
+    def n_producers(self) -> int:
+        return len(self._producers)
+
+    @property
+    def n_entities(self) -> int:
+        return len(self._entities)
+
+    def producer_slot(self, producer_id: int) -> int | None:
+        return self._producer_slot.get(int(producer_id))
+
+    def entity_slot(self, entity_id: int) -> int | None:
+        return self._entity_slot.get(int(entity_id))
+
+    def entity_ids(self) -> list[int]:
+        return list(self._entities)
+
+    def producer_ids(self) -> list[int]:
+        return list(self._producers)
+
+    def add_entity(self, entity_id: int) -> int:
+        """Claim a reserved-zone slot for a new entity.
+
+        Raises :class:`UniverseOverflow` when the zone is exhausted.
+        """
+        entity_id = int(entity_id)
+        existing = self._entity_slot.get(entity_id)
+        if existing is not None:
+            return existing
+        if len(self._entities) >= self.entity_capacity:
+            raise UniverseOverflow(
+                f"entity universe full ({self.entity_capacity} slots)"
+            )
+        slot = len(self._entities)
+        self._entities.append(entity_id)
+        self._entity_slot[entity_id] = slot
+        return slot
+
+    def add_producer(self, producer_id: int) -> int:
+        """Claim a reserved-zone slot for a new producer."""
+        producer_id = int(producer_id)
+        existing = self._producer_slot.get(producer_id)
+        if existing is not None:
+            return existing
+        if len(self._producers) >= self.producer_capacity:
+            raise UniverseOverflow(
+                f"producer universe full ({self.producer_capacity} slots)"
+            )
+        slot = len(self._producers)
+        self._producers.append(producer_id)
+        self._producer_slot[producer_id] = slot
+        return slot
+
+
+@dataclass
+class UserVector:
+    """Impact-encoded user statistics over a block universe.
+
+    Attributes:
+        user_id: the profiled consumer.
+        p_producer: smoothed ``p^(u^p|u)`` per producer slot (capacity-sized;
+            reserved-zone slots hold the unseen floor).
+        p_entity: smoothed ``p^(e|u)`` per entity slot.
+        floor_producer: smoothed probability of an unseen producer.
+        floor_entity: smoothed probability of an unseen entity.
+        version: profile version the vector was built from.
+    """
+
+    user_id: int
+    p_producer: np.ndarray
+    p_entity: np.ndarray
+    floor_producer: float
+    floor_entity: float
+    version: int
+
+    @classmethod
+    def build(
+        cls, profile: UserProfile, universe: BlockUniverse, scorer: MatchingScorer
+    ) -> "UserVector":
+        """Encode ``profile`` over ``universe`` with the scorer's smoothing.
+
+        Values are exactly :meth:`MatchingScorer.producer_probability` /
+        ``entity_probability`` — the index must score identically to the
+        sequential scan.
+        """
+        mu = scorer.config.dirichlet_mu
+        floor_p = (mu / scorer.n_producers) / (profile.n_long_events + mu)
+        floor_e = (mu / scorer.n_entities) / (profile.n_entity_tokens + mu)
+        p_producer = np.full(universe.producer_capacity, floor_p)
+        for producer_id, slot in universe._producer_slot.items():
+            count = profile.producer_counts.get(producer_id, 0)
+            p_producer[slot] = (count + mu / scorer.n_producers) / (
+                profile.n_long_events + mu
+            )
+        p_entity = np.full(universe.entity_capacity, floor_e)
+        for entity_id, slot in universe._entity_slot.items():
+            count = profile.entity_counts.get(entity_id, 0)
+            p_entity[slot] = (count + mu / scorer.n_entities) / (
+                profile.n_entity_tokens + mu
+            )
+        return cls(
+            user_id=profile.user_id,
+            p_producer=p_producer,
+            p_entity=p_entity,
+            floor_producer=floor_p,
+            floor_entity=floor_e,
+            version=profile.version,
+        )
+
+
+@dataclass
+class QuerySignature:
+    """Pseudo-query of one item against one block (Example 1).
+
+    Attributes:
+        block_id: the target block.
+        category: the item category ``c``.
+        producer_slot: universe slot of the item's producer, or None when
+            out of universe (scores against ``floor_producer``).
+        entity_weights: ``(slot, accumulated weight)`` pairs — frequency
+            times expansion weight folded together, so the dot product with
+            an impact list equals ``F . (W x P)`` of Definition 2.
+        oov_weight: total weight of query entities outside the universe
+            (scores against ``floor_entity``).
+    """
+
+    block_id: int
+    category: int
+    producer_slot: int | None
+    entity_weights: list[tuple[int, float]]
+    oov_weight: float
+
+    @classmethod
+    def encode(
+        cls,
+        item: SocialItem,
+        weighted_entities: Sequence[tuple[int, float]],
+        universe: BlockUniverse,
+        block_id: int,
+    ) -> "QuerySignature":
+        """Encode ``item`` (with its expanded weighted entity list) over a
+        block universe."""
+        slot_weight: dict[int, float] = {}
+        oov = 0.0
+        for entity_id, weight in weighted_entities:
+            slot = universe.entity_slot(entity_id)
+            if slot is None:
+                oov += weight
+            else:
+                slot_weight[slot] = slot_weight.get(slot, 0.0) + weight
+        return cls(
+            block_id=int(block_id),
+            category=int(item.category),
+            producer_slot=universe.producer_slot(item.producer),
+            entity_weights=sorted(slot_weight.items()),
+            oov_weight=oov,
+        )
+
+    def entity_sum(self, p_entity: np.ndarray, floor_entity: float) -> float:
+        """``sum_e w_e * p^(e|u)`` against one impact list."""
+        total = self.oov_weight * floor_entity
+        for slot, weight in self.entity_weights:
+            total += weight * float(p_entity[slot])
+        return total
+
+    def producer_prob(self, p_producer: np.ndarray, floor_producer: float) -> float:
+        """``p^(u^p|u)`` against one impact list."""
+        if self.producer_slot is None:
+            return floor_producer
+        return float(p_producer[self.producer_slot])
+
+
+def relevance_from_parts(
+    p_long: float,
+    p_producer: float,
+    entity_sum: float,
+    p_short: float,
+    lambda_s: float,
+) -> float:
+    """Definition 2 / Eq. 3 combination used by both leaves and IEntries."""
+    long_score = (
+        np.log(max(p_long, PROB_FLOOR))
+        + np.log(max(p_producer, PROB_FLOOR))
+        + np.log(max(entity_sum, PROB_FLOOR))
+    )
+    short_score = np.log(max(p_short, PROB_FLOOR))
+    return float((1.0 - lambda_s) * long_score + lambda_s * short_score)

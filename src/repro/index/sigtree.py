@@ -1,0 +1,331 @@
+"""Extended signature tree: LEntry / IEntry nodes with max-aggregation.
+
+Section V-A: each tree stores the user profiles of one block under one
+category.  Leaf entries (LEntry) carry a user's impact-encoded statistics
+and a pointer to the profile record; internal entries (IEntry) are "virtual
+users whose interests cover all of their children", built by "applying
+max() to all children over their corresponding signature components".
+
+Because every component of the relevance function (Def. 2) is monotone
+non-decreasing in the aggregated statistics, an IEntry's relevance upper
+bounds every descendant's (Lemmas 1-2) — the property the Algorithm 1
+branch-and-bound relies on for no-false-dismissal pruning.  Property-based
+tests assert both the aggregation invariant and the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.profiles import UserProfile
+from repro.index.signature import (
+    BlockUniverse,
+    QuerySignature,
+    UserVector,
+    relevance_from_parts,
+)
+
+
+@dataclass
+class LeafEntry:
+    """LEntry: one user's signature under this tree's category.
+
+    Attributes:
+        user_id: the consumer.
+        vector: block-level impact lists (shared across the block's trees).
+        p_long: BiHMM long-term ``p_l(c)`` for this tree's category.
+        p_short: BiHMM short-term ``p_s(c)`` for this tree's category.
+        profile: pointer to the user profile record (the paper attaches one
+            to every LEntry).
+    """
+
+    user_id: int
+    vector: UserVector
+    p_long: float
+    p_short: float
+    profile: UserProfile | None = None
+
+    def relevance(self, query: QuerySignature, lambda_s: float) -> float:
+        """Exact Eq. 3 score of this user for ``query``."""
+        return relevance_from_parts(
+            self.p_long,
+            query.producer_prob(self.vector.p_producer, self.vector.floor_producer),
+            query.entity_sum(self.vector.p_entity, self.vector.floor_entity),
+            self.p_short,
+            lambda_s,
+        )
+
+
+@dataclass
+class InternalNode:
+    """A tree node; its aggregate signature is the IEntry of Def. 2.
+
+    Leaf nodes hold :class:`LeafEntry` objects in ``entries``; internal
+    nodes hold child :class:`InternalNode` objects in ``children``.
+    """
+
+    is_leaf: bool
+    entries: list[LeafEntry] = field(default_factory=list)
+    children: list["InternalNode"] = field(default_factory=list)
+    parent: "InternalNode | None" = None
+    agg_p_long: float = 0.0
+    agg_p_short: float = 0.0
+    agg_p_producer: np.ndarray | None = None
+    agg_p_entity: np.ndarray | None = None
+    agg_floor_producer: float = 0.0
+    agg_floor_entity: float = 0.0
+
+    def recompute_aggregate(self) -> None:
+        """Rebuild this IEntry by max() over children components."""
+        if self.is_leaf:
+            members = self.entries
+            if not members:
+                self._zero_aggregate()
+                return
+            self.agg_p_long = max(e.p_long for e in members)
+            self.agg_p_short = max(e.p_short for e in members)
+            self.agg_p_producer = np.maximum.reduce([e.vector.p_producer for e in members])
+            self.agg_p_entity = np.maximum.reduce([e.vector.p_entity for e in members])
+            self.agg_floor_producer = max(e.vector.floor_producer for e in members)
+            self.agg_floor_entity = max(e.vector.floor_entity for e in members)
+        else:
+            kids = self.children
+            if not kids:
+                self._zero_aggregate()
+                return
+            self.agg_p_long = max(k.agg_p_long for k in kids)
+            self.agg_p_short = max(k.agg_p_short for k in kids)
+            self.agg_p_producer = np.maximum.reduce([k.agg_p_producer for k in kids])
+            self.agg_p_entity = np.maximum.reduce([k.agg_p_entity for k in kids])
+            self.agg_floor_producer = max(k.agg_floor_producer for k in kids)
+            self.agg_floor_entity = max(k.agg_floor_entity for k in kids)
+
+    def _zero_aggregate(self) -> None:
+        self.agg_p_long = 0.0
+        self.agg_p_short = 0.0
+        self.agg_p_producer = np.zeros(1)
+        self.agg_p_entity = np.zeros(1)
+        self.agg_floor_producer = 0.0
+        self.agg_floor_entity = 0.0
+
+    def relevance(self, query: QuerySignature, lambda_s: float) -> float:
+        """Upper-bound relevance of this subtree for ``query`` (Def. 2)."""
+        return relevance_from_parts(
+            self.agg_p_long,
+            query.producer_prob(self.agg_p_producer, self.agg_floor_producer),
+            query.entity_sum(self.agg_p_entity, self.agg_floor_entity),
+            self.agg_p_short,
+            lambda_s,
+        )
+
+
+class SignatureTree:
+    """One extended signature tree: (block, category) -> user signatures.
+
+    Args:
+        block_id: owning block.
+        category: the tree's category ``c``.
+        universe: the block's shared symbol universe.
+        fanout: max entries per leaf node / children per internal node.
+    """
+
+    def __init__(
+        self, block_id: int, category: int, universe: BlockUniverse, fanout: int = 8
+    ) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        self.block_id = int(block_id)
+        self.category = int(category)
+        self.universe = universe
+        self.fanout = int(fanout)
+        self.root = InternalNode(is_leaf=True)
+        self.root.recompute_aggregate()
+        self._leaf_node_of: dict[int, InternalNode] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def bulk_build(self, entries: list[LeafEntry]) -> None:
+        """Bottom-up bulk load: pack entries into leaf nodes, then stack
+        internal levels of ``fanout`` children until a single root remains."""
+        self._leaf_node_of.clear()
+        if not entries:
+            self.root = InternalNode(is_leaf=True)
+            self.root.recompute_aggregate()
+            return
+        ordered = sorted(entries, key=lambda e: e.user_id)
+        leaves: list[InternalNode] = []
+        for start in range(0, len(ordered), self.fanout):
+            node = InternalNode(is_leaf=True, entries=ordered[start : start + self.fanout])
+            node.recompute_aggregate()
+            for entry in node.entries:
+                self._leaf_node_of[entry.user_id] = node
+            leaves.append(node)
+        level = leaves
+        while len(level) > 1:
+            next_level: list[InternalNode] = []
+            for start in range(0, len(level), self.fanout):
+                children = level[start : start + self.fanout]
+                node = InternalNode(is_leaf=False, children=children)
+                for child in children:
+                    child.parent = node
+                node.recompute_aggregate()
+                next_level.append(node)
+            level = next_level
+        self.root = level[0]
+        self.root.parent = None
+
+    # ------------------------------------------------------------------
+    # Lookup / mutation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._leaf_node_of)
+
+    def __contains__(self, user_id: int) -> bool:
+        return int(user_id) in self._leaf_node_of
+
+    def find_leaf_entry(self, user_id: int) -> LeafEntry | None:
+        """Algorithm 2's ``find_leaf_entry``."""
+        node = self._leaf_node_of.get(int(user_id))
+        if node is None:
+            return None
+        for entry in node.entries:
+            if entry.user_id == int(user_id):
+                return entry
+        return None
+
+    def _propagate_up(self, node: InternalNode | None) -> None:
+        while node is not None:
+            node.recompute_aggregate()
+            node = node.parent
+
+    def update_entry(
+        self, user_id: int, vector: UserVector, p_long: float, p_short: float
+    ) -> bool:
+        """Refresh a user's LEntry and re-aggregate its ancestors
+        (Algorithm 2: "update LE and its ancestors").  False if absent."""
+        node = self._leaf_node_of.get(int(user_id))
+        if node is None:
+            return False
+        for entry in node.entries:
+            if entry.user_id == int(user_id):
+                entry.vector = vector
+                entry.p_long = float(p_long)
+                entry.p_short = float(p_short)
+                self._propagate_up(node)
+                return True
+        return False
+
+    def insert(self, entry: LeafEntry) -> None:
+        """Insert a new user's LEntry (Algorithm 2's ``insert_to_index``).
+
+        Descends toward the least-populated leaf; a full leaf splits and the
+        split may cascade to the root (growing the tree by one level).
+        """
+        if entry.user_id in self._leaf_node_of:
+            raise ValueError(f"user {entry.user_id} already indexed")
+        node = self.root
+        while not node.is_leaf:
+            node = min(node.children, key=lambda ch: _subtree_size(ch))
+        node.entries.append(entry)
+        self._leaf_node_of[entry.user_id] = node
+        if len(node.entries) > self.fanout:
+            self._split_leaf(node)
+        else:
+            self._propagate_up(node)
+
+    def _split_leaf(self, node: InternalNode) -> None:
+        node.entries.sort(key=lambda e: e.user_id)
+        half = len(node.entries) // 2
+        sibling = InternalNode(is_leaf=True, entries=node.entries[half:])
+        node.entries = node.entries[:half]
+        for entry in sibling.entries:
+            self._leaf_node_of[entry.user_id] = sibling
+        node.recompute_aggregate()
+        sibling.recompute_aggregate()
+        self._attach_sibling(node, sibling)
+
+    def _attach_sibling(self, node: InternalNode, sibling: InternalNode) -> None:
+        parent = node.parent
+        if parent is None:
+            new_root = InternalNode(is_leaf=False, children=[node, sibling])
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_aggregate()
+            self.root = new_root
+            return
+        sibling.parent = parent
+        parent.children.append(sibling)
+        if len(parent.children) > self.fanout:
+            self._split_internal(parent)
+        else:
+            self._propagate_up(parent)
+
+    def _split_internal(self, node: InternalNode) -> None:
+        half = len(node.children) // 2
+        sibling = InternalNode(is_leaf=False, children=node.children[half:])
+        node.children = node.children[:half]
+        for child in sibling.children:
+            child.parent = sibling
+        node.recompute_aggregate()
+        sibling.recompute_aggregate()
+        self._attach_sibling(node, sibling)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def all_entries(self) -> list[LeafEntry]:
+        """Every LEntry in the tree (user-id order)."""
+        out: list[LeafEntry] = []
+
+        def walk(node: InternalNode) -> None:
+            if node.is_leaf:
+                out.extend(node.entries)
+            else:
+                for child in node.children:
+                    walk(child)
+
+        walk(self.root)
+        return sorted(out, key=lambda e: e.user_id)
+
+    def height(self) -> int:
+        """Levels from root to leaves (1 for a single leaf root)."""
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            h += 1
+            node = node.children[0]
+        return h
+
+    def check_invariants(self) -> None:
+        """Assert structural + aggregation invariants (tests call this)."""
+
+        def walk(node: InternalNode) -> None:
+            before = (
+                node.agg_p_long,
+                node.agg_p_short,
+                None if node.agg_p_producer is None else node.agg_p_producer.copy(),
+                None if node.agg_p_entity is None else node.agg_p_entity.copy(),
+            )
+            node.recompute_aggregate()
+            if abs(before[0] - node.agg_p_long) > 1e-12 or abs(before[1] - node.agg_p_short) > 1e-12:
+                raise AssertionError("stale scalar aggregate")
+            if before[2] is not None and not np.allclose(before[2], node.agg_p_producer):
+                raise AssertionError("stale producer aggregate")
+            if before[3] is not None and not np.allclose(before[3], node.agg_p_entity):
+                raise AssertionError("stale entity aggregate")
+            if not node.is_leaf:
+                for child in node.children:
+                    if child.parent is not node:
+                        raise AssertionError("broken parent pointer")
+                    walk(child)
+
+        walk(self.root)
+
+
+def _subtree_size(node: InternalNode) -> int:
+    if node.is_leaf:
+        return len(node.entries)
+    return sum(_subtree_size(child) for child in node.children)

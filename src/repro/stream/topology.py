@@ -1,0 +1,199 @@
+"""Topology programming model: spouts, bolts, groupings, builder.
+
+Mirrors Apache Storm's core abstractions at miniature scale:
+
+- a :class:`Spout` produces the source stream;
+- a :class:`Bolt` consumes tuples and emits derived tuples;
+- a :class:`TopologyBuilder` wires components with *groupings* that decide
+  which parallel task of a downstream bolt receives each tuple (shuffle,
+  fields — the one the paper needs to shard match bolts by category — and
+  global).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.stream.tuples import StreamTuple
+
+
+class Emitter:
+    """Handed to components so they can emit downstream tuples."""
+
+    def __init__(self) -> None:
+        self._buffer: list[StreamTuple] = []
+
+    def emit(self, tup: StreamTuple) -> None:
+        self._buffer.append(tup)
+
+    def emit_values(self, source: str, timestamp: float = 0.0, **values: Any) -> None:
+        self._buffer.append(StreamTuple(values=values, source=source, timestamp=timestamp))
+
+    def drain(self) -> list[StreamTuple]:
+        out, self._buffer = self._buffer, []
+        return out
+
+
+class Spout(abc.ABC):
+    """Stream source.  ``next_tuple`` returns None when exhausted."""
+
+    def open(self) -> None:
+        """Called once before the first ``next_tuple``."""
+
+    @abc.abstractmethod
+    def next_tuple(self) -> StreamTuple | None:
+        """Produce the next tuple, or None when the stream has ended."""
+
+
+class Bolt(abc.ABC):
+    """Stream operator.  ``process`` may emit any number of tuples."""
+
+    def prepare(self, task_index: int, n_tasks: int) -> None:
+        """Called once per parallel task before any tuple arrives."""
+
+    @abc.abstractmethod
+    def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        """Handle one tuple; emit derived tuples through ``emitter``."""
+
+    def cleanup(self) -> None:
+        """Called once after the stream is exhausted."""
+
+
+@dataclass(frozen=True)
+class Grouping:
+    """How tuples from ``source`` are routed to a bolt's parallel tasks.
+
+    ``kind`` is one of:
+        - ``"shuffle"``: round-robin across tasks;
+        - ``"fields"``: hash of the named fields picks the task (tuples with
+          equal field values always hit the same task);
+        - ``"global"``: every tuple goes to task 0.
+    """
+
+    source: str
+    kind: str = "shuffle"
+    fields: tuple[str, ...] = ()
+
+    def route(self, tup: StreamTuple, n_tasks: int, round_robin: int) -> int:
+        if n_tasks <= 1:
+            return 0
+        if self.kind == "shuffle":
+            return round_robin % n_tasks
+        if self.kind == "fields":
+            key = tuple(tup.get(f) for f in self.fields)
+            return hash(key) % n_tasks
+        if self.kind == "global":
+            return 0
+        raise ValueError(f"unknown grouping kind {self.kind!r}")
+
+
+@dataclass
+class BoltSpec:
+    """A bolt declaration: factory, parallelism, input groupings."""
+
+    name: str
+    factory: Callable[[], Bolt]
+    parallelism: int = 1
+    groupings: list[Grouping] = field(default_factory=list)
+
+    def shuffle_grouping(self, source: str) -> "BoltSpec":
+        self.groupings.append(Grouping(source=source, kind="shuffle"))
+        return self
+
+    def fields_grouping(self, source: str, *fields: str) -> "BoltSpec":
+        if not fields:
+            raise ValueError("fields grouping requires at least one field")
+        self.groupings.append(Grouping(source=source, kind="fields", fields=tuple(fields)))
+        return self
+
+    def global_grouping(self, source: str) -> "BoltSpec":
+        self.groupings.append(Grouping(source=source, kind="global"))
+        return self
+
+
+@dataclass
+class Topology:
+    """A validated dataflow graph ready for execution."""
+
+    spouts: dict[str, Spout]
+    bolts: dict[str, BoltSpec]
+
+    def validate(self) -> None:
+        """Check that every grouping references a declared component and the
+        graph is acyclic (topological order exists)."""
+        names = set(self.spouts) | set(self.bolts)
+        for spec in self.bolts.values():
+            if not spec.groupings:
+                raise ValueError(f"bolt {spec.name!r} has no input grouping")
+            for g in spec.groupings:
+                if g.source not in names:
+                    raise ValueError(
+                        f"bolt {spec.name!r} subscribes to unknown component {g.source!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def downstream_of(self, source: str) -> list[BoltSpec]:
+        """Bolt specs subscribed to ``source``."""
+        return [
+            spec
+            for spec in self.bolts.values()
+            if any(g.source == source for g in spec.groupings)
+        ]
+
+    def topological_order(self) -> list[str]:
+        """Bolt names in dependency order; raises ``ValueError`` on cycles."""
+        order: list[str] = []
+        visiting: set[str] = set()
+        done: set[str] = set(self.spouts)
+
+        def visit(name: str) -> None:
+            if name in done:
+                return
+            if name in visiting:
+                raise ValueError(f"topology contains a cycle through {name!r}")
+            visiting.add(name)
+            for g in self.bolts[name].groupings:
+                if g.source in self.bolts:
+                    visit(g.source)
+            visiting.discard(name)
+            done.add(name)
+            order.append(name)
+
+        for name in self.bolts:
+            visit(name)
+        return order
+
+
+class TopologyBuilder:
+    """Fluent builder mirroring Storm's ``TopologyBuilder``."""
+
+    def __init__(self) -> None:
+        self._spouts: dict[str, Spout] = {}
+        self._bolts: dict[str, BoltSpec] = {}
+
+    def set_spout(self, name: str, spout: Spout) -> "TopologyBuilder":
+        self._check_name(name)
+        self._spouts[name] = spout
+        return self
+
+    def set_bolt(
+        self, name: str, factory: Callable[[], Bolt], parallelism: int = 1
+    ) -> BoltSpec:
+        """Declare a bolt; chain grouping calls on the returned spec."""
+        self._check_name(name)
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        spec = BoltSpec(name=name, factory=factory, parallelism=parallelism)
+        self._bolts[name] = spec
+        return spec
+
+    def _check_name(self, name: str) -> None:
+        if name in self._spouts or name in self._bolts:
+            raise ValueError(f"component name {name!r} already used")
+
+    def build(self) -> Topology:
+        topology = Topology(spouts=dict(self._spouts), bolts=dict(self._bolts))
+        topology.validate()
+        return topology

@@ -1,0 +1,36 @@
+"""Stream tuples: the unit of data flowing through a topology."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class StreamTuple:
+    """An immutable named-field tuple, Storm style.
+
+    Attributes:
+        values: field name -> value mapping.
+        source: name of the component that emitted it.
+        timestamp: logical event time (propagated downstream by default).
+    """
+
+    values: dict[str, Any] = field(default_factory=dict)
+    source: str = ""
+    timestamp: float = 0.0
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.values
+
+    def with_values(self, source: str, **updates: Any) -> "StreamTuple":
+        """Derived tuple: copy of this one with updated/added fields."""
+        merged = dict(self.values)
+        merged.update(updates)
+        return StreamTuple(values=merged, source=source, timestamp=self.timestamp)

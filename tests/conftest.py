@@ -1,0 +1,66 @@
+"""Shared fixtures: tiny deterministic datasets and fitted recommenders.
+
+Session-scoped where construction is expensive; tests must not mutate
+session-scoped fixtures (mutating tests build their own instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.mlens import MLensConfig, generate_mlens
+from repro.datasets.partitions import partition_interactions
+from repro.datasets.ytube import YTubeConfig, generate_ytube
+
+
+@pytest.fixture(scope="session")
+def ytube_small():
+    """Tiny YTube-like dataset (read-only)."""
+    return generate_ytube(YTubeConfig.small())
+
+
+@pytest.fixture(scope="session")
+def mlens_small():
+    """Tiny MLens-like dataset (read-only)."""
+    return generate_mlens(MLensConfig.small())
+
+
+@pytest.fixture(scope="session")
+def ytube_stream(ytube_small):
+    """Partitioned tiny YTube stream (read-only)."""
+    return partition_interactions(ytube_small)
+
+
+@pytest.fixture(scope="session")
+def fitted_ssrec(ytube_small, ytube_stream):
+    """ssRec fitted on the tiny YTube training slice, scan mode (read-only:
+    recommend-only usage; tests that update must build their own)."""
+    rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+    rec.fit(ytube_small, ytube_stream.training_interactions())
+    return rec
+
+
+@pytest.fixture(scope="session")
+def fitted_ssrec_indexed(ytube_small, ytube_stream):
+    """ssRec fitted with the CPPse-index on the tiny YTube training slice."""
+    rec = SsRecRecommender(config=SsRecConfig(), use_index=True, seed=1)
+    rec.fit(ytube_small, ytube_stream.training_interactions())
+    return rec
+
+
+@pytest.fixture()
+def fresh_ssrec(ytube_small, ytube_stream):
+    """A mutable per-test ssRec (scan mode)."""
+    rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+    rec.fit(ytube_small, ytube_stream.training_interactions())
+    return rec
+
+
+@pytest.fixture()
+def fresh_ssrec_indexed(ytube_small, ytube_stream):
+    """A mutable per-test ssRec with the CPPse-index."""
+    rec = SsRecRecommender(config=SsRecConfig(), use_index=True, seed=1)
+    rec.fit(ytube_small, ytube_stream.training_interactions())
+    return rec

@@ -1,0 +1,115 @@
+"""Tests for the CTT, UCD and naive-scan baselines."""
+
+import pytest
+
+from repro.baselines.ctt import CTTConfig, CTTRecommender
+from repro.baselines.knn_scan import NaiveScanRecommender
+from repro.baselines.ucd import UCDConfig, UCDRecommender
+from repro.datasets.schema import Interaction
+
+
+@pytest.fixture(scope="module")
+def ctt(ytube_small, ytube_stream):
+    return CTTRecommender().fit(ytube_small, ytube_stream.training_interactions())
+
+
+@pytest.fixture(scope="module")
+def ucd(ytube_small, ytube_stream):
+    return UCDRecommender().fit(ytube_small, ytube_stream.training_interactions())
+
+
+class TestCTT:
+    def test_recommend_returns_ranked_users(self, ctt, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        out = ctt.recommend(item, 8)
+        assert len(out) == 8
+        scores = [s for _, s in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_all_consumers_rankable(self, ctt, ytube_small, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        out = ctt.recommend(item, len(ytube_small.consumer_ids))
+        assert len(out) == len(ytube_small.consumer_ids)
+
+    def test_type_factor_prefers_matching_category(self, ytube_small):
+        ctt = CTTRecommender()
+        ctt._n_categories = ytube_small.n_categories
+        inter = ytube_small.interactions[0]
+        for _ in range(5):
+            ctt.update(inter)
+        item_same = ytube_small.item(inter.item_id)
+        other_cat = (inter.category + 1) % ytube_small.n_categories
+        other = next(it for it in ytube_small.items if it.category == other_cat)
+        assert ctt.score(inter.user_id, item_same) > ctt.score(inter.user_id, other)
+
+    def test_cf_rewards_co_interaction(self, ytube_small):
+        ctt = CTTRecommender(CTTConfig(w_type=0.0))
+        ctt._n_categories = ytube_small.n_categories
+        a, b = ytube_small.items[0], ytube_small.items[1]
+        # Users 1 and 2 both saw items a and b -> a, b become similar.
+        for user in (1, 2):
+            for it in (a, b):
+                ctt.update(Interaction(user, it.item_id, it.category, it.producer, 0.5))
+        # User 3 saw item a only; CF should now rank them for item b.
+        ctt.update(Interaction(3, a.item_id, a.category, a.producer, 0.6))
+        assert ctt.score(3, b) > 0.0
+
+    def test_update_invalidates_similarity_cache(self, ytube_small):
+        ctt = CTTRecommender()
+        ctt._n_categories = ytube_small.n_categories
+        a, b = ytube_small.items[0], ytube_small.items[1]
+        ctt.update(Interaction(1, a.item_id, a.category, a.producer, 0.5))
+        assert ctt._item_similarity(a.item_id, b.item_id) == 0.0
+        ctt.update(Interaction(1, b.item_id, b.category, b.producer, 0.6))
+        assert ctt._item_similarity(a.item_id, b.item_id) > 0.0
+
+
+class TestUCD:
+    def test_recommend_returns_ranked_users(self, ucd, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        out = ucd.recommend(item, 8)
+        assert len(out) == 8
+        scores = [s for _, s in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_neighbours_computed_for_active_users(self, ucd):
+        active = [u for u, n in ucd._n_events.items() if n > 0]
+        with_neighbours = [u for u in active if ucd._neighbours.get(u)]
+        assert len(with_neighbours) > len(active) * 0.5
+
+    def test_neighbour_expansion_changes_scores(self, ytube_small, ytube_stream):
+        plain = UCDRecommender(UCDConfig(neighbour_weight=0.0)).fit(
+            ytube_small, ytube_stream.training_interactions()
+        )
+        expanded = UCDRecommender(UCDConfig(neighbour_weight=0.8)).fit(
+            ytube_small, ytube_stream.training_interactions()
+        )
+        item = ytube_stream.items_in_partition(2)[0]
+        user = next(u for u, n in expanded._n_events.items() if n > 3)
+        assert plain.score(user, item) != expanded.score(user, item)
+
+    def test_profile_entity_cap_enforced(self, ytube_small):
+        ucd = UCDRecommender(UCDConfig(max_profile_entities=5))
+        ucd._n_categories = ytube_small.n_categories
+        ucd._n_entities = len(ytube_small.entity_names)
+        for it in ytube_small.items[:30]:
+            ucd.update(Interaction(1, it.item_id, it.category, it.producer, 0.5), it)
+        assert len(ucd._entity_counts[1]) <= 5
+
+
+class TestNaiveScan:
+    def test_matches_vectorized_ranking_exactly(self, fitted_ssrec, ytube_stream):
+        """The naive per-user loop and the vectorized scan must produce the
+        same scores — they share the scoring definition."""
+        naive = NaiveScanRecommender(fitted_ssrec.scorer, fitted_ssrec.profiles)
+        for item in ytube_stream.items_in_partition(2)[:5]:
+            loop = naive.recommend(item, 10)
+            fast = fitted_ssrec.matcher.top_k(item, 10)
+            assert [(u, round(s, 9)) for u, s in loop] == [
+                (u, round(s, 9)) for u, s in fast
+            ]
+
+    def test_score_all_covers_every_user(self, fitted_ssrec, ytube_small):
+        naive = NaiveScanRecommender(fitted_ssrec.scorer, fitted_ssrec.profiles)
+        out = naive.score_all(ytube_small.items[0])
+        assert len(out) == len(fitted_ssrec.profiles)

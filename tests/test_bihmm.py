@@ -1,0 +1,174 @@
+"""Tests for the Bi-Layer HMM and its producer layer."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.bihmm import BiHMM, ProducerLayer
+
+
+def cycling_producer_items(pid_prefix, cats, n, start_id):
+    """Items whose categories cycle through ``cats`` in creation order."""
+    return [(start_id + i, cats[i % len(cats)]) for i in range(n)]
+
+
+@pytest.fixture()
+def two_producers():
+    return {
+        "A": cycling_producer_items("A", [0, 0, 1], 120, 0),
+        "B": cycling_producer_items("B", [2, 2, 1], 120, 10_000),
+    }
+
+
+class TestProducerLayer:
+    def test_fit_trains_eligible_producers(self, two_producers):
+        layer = ProducerLayer(n_categories=3, n_states=3, seed=0)
+        results = layer.fit(two_producers)
+        assert set(results) == {"A", "B"}
+        assert set(layer.models) == {"A", "B"}
+
+    def test_short_sequences_left_untrained(self):
+        layer = ProducerLayer(n_categories=3, n_states=3, min_sequence_length=5, seed=0)
+        layer.fit({"tiny": [(1, 0), (2, 1)]})
+        assert "tiny" not in layer.models
+        assert layer.state_of_item(1) == layer.unknown_state
+
+    def test_canonical_alphabet_is_category_space(self):
+        layer = ProducerLayer(n_categories=7, n_states=3, seed=0)
+        assert layer.unknown_state == 7
+        assert layer.n_input_symbols == 8
+
+    def test_item_states_within_alphabet(self, two_producers):
+        layer = ProducerLayer(n_categories=3, n_states=3, seed=0)
+        layer.fit(two_producers)
+        for items in two_producers.values():
+            for item_id, _ in items:
+                z = layer.state_of_item(item_id)
+                assert 0 <= z <= layer.unknown_state
+
+    def test_unknown_item_maps_to_unknown(self, two_producers):
+        layer = ProducerLayer(n_categories=3, n_states=3, seed=0)
+        layer.fit(two_producers)
+        assert layer.state_of_item("nope") == layer.unknown_state
+
+    def test_decode_new_item_for_unknown_producer(self, two_producers):
+        layer = ProducerLayer(n_categories=3, n_states=3, seed=0)
+        layer.fit(two_producers)
+        assert layer.decode_new_item("ghost", 1) == layer.unknown_state
+
+    def test_observe_created_item_memoizes(self, two_producers):
+        layer = ProducerLayer(n_categories=3, n_states=3, seed=0)
+        layer.fit(two_producers)
+        z = layer.observe_created_item("A", 999_999, 0)
+        assert layer.state_of_item(999_999) == z
+        assert 0 <= z <= layer.unknown_state
+
+    def test_next_state_distribution_sums_to_one(self, two_producers):
+        layer = ProducerLayer(n_categories=3, n_states=3, seed=0)
+        layer.fit(two_producers)
+        dist = layer.next_state_distribution("A")
+        assert dist.shape == (layer.n_input_symbols,)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_next_state_distribution_unknown_producer(self):
+        layer = ProducerLayer(n_categories=3, n_states=3, seed=0)
+        dist = layer.next_state_distribution("ghost")
+        assert dist[layer.unknown_state] == pytest.approx(1.0)
+
+
+class TestBiHMM:
+    def _consumer_sequence(self, producers, rng, length=80):
+        """A consumer riding producer A then B alternately."""
+        seq = []
+        pa = pb = 0
+        riding = "A"
+        for _ in range(length):
+            if rng.random() < 0.12:
+                riding = "B" if riding == "A" else "A"
+            if riding == "A":
+                item_id, cat = producers["A"][pa]
+                pa += 1
+            else:
+                item_id, cat = producers["B"][pb]
+                pb += 1
+            seq.append((cat, item_id))
+        return seq
+
+    def test_fit_and_predict_shapes(self, two_producers):
+        rng = np.random.default_rng(0)
+        seq = self._consumer_sequence(two_producers, rng)
+        bi = BiHMM(n_categories=3, seed=0)
+        result = bi.fit(two_producers, [seq])
+        assert result.n_iter >= 1
+        dist = bi.predict_next_distribution(seq)
+        assert dist.shape == (3,)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_lagged_trace_shifts_by_one(self, two_producers):
+        bi = BiHMM(n_categories=3, seed=0)
+        bi.producer_layer.fit(two_producers)
+        seq = [(c, iid) for iid, c in two_producers["A"][:5]]
+        raw = bi.z_trace(seq)
+        lagged = bi.lagged_z_trace(seq)
+        assert lagged[0] == bi.producer_layer.unknown_state
+        np.testing.assert_array_equal(lagged[1:], raw[:-1])
+
+    def test_empty_history_uses_prior(self, two_producers):
+        rng = np.random.default_rng(0)
+        seq = self._consumer_sequence(two_producers, rng)
+        bi = BiHMM(n_categories=3, seed=0)
+        bi.fit(two_producers, [seq])
+        dist = bi.predict_next_distribution([])
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_predict_category_probability_bounds(self, two_producers):
+        rng = np.random.default_rng(0)
+        seq = self._consumer_sequence(two_producers, rng)
+        bi = BiHMM(n_categories=3, seed=0)
+        bi.fit(two_producers, [seq])
+        p = bi.predict_category_probability(seq, 1)
+        assert 0.0 < p <= 1.0
+        with pytest.raises(ValueError):
+            bi.predict_category_probability(seq, 5)
+
+    def test_top_k_ordering(self, two_producers):
+        rng = np.random.default_rng(0)
+        seq = self._consumer_sequence(two_producers, rng)
+        bi = BiHMM(n_categories=3, seed=0)
+        bi.fit(two_producers, [seq])
+        dist = bi.predict_next_distribution(seq)
+        top = bi.predict_top_k(seq, 2)
+        assert dist[top[0]] >= dist[top[1]]
+
+    def test_fit_rejects_empty_consumer_sequences(self, two_producers):
+        bi = BiHMM(n_categories=3, seed=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            bi.fit(two_producers, [[]])
+
+    def test_fit_consumers_only_reuses_producer_layer(self, two_producers):
+        rng = np.random.default_rng(0)
+        seq = self._consumer_sequence(two_producers, rng)
+        bi = BiHMM(n_categories=3, seed=0)
+        bi.producer_layer.fit(two_producers)
+        models_before = dict(bi.producer_layer.models)
+        bi.fit_consumers_only([seq], shrinkage=0.5)
+        assert bi.producer_layer.models == models_before
+
+    def test_producer_context_improves_prediction_on_coupled_data(self, two_producers):
+        """On trajectory-riding data the BiHMM must beat a category-marginal
+        predictor — the structural claim behind Fig. 5."""
+        rng = np.random.default_rng(1)
+        seq = self._consumer_sequence(two_producers, rng, length=140)
+        cut = 110
+        bi = BiHMM(n_categories=3, n_consumer_states=3, seed=0)
+        bi.fit(two_producers, [seq[:cut]], n_iter=25)
+        context = list(seq[:cut])
+        hits = 0
+        marginal = np.bincount([c for c, _ in seq[:cut]], minlength=3)
+        marginal_guess = int(np.argmax(marginal))
+        marginal_hits = 0
+        for cat, item_id in seq[cut:]:
+            dist = bi.predict_next_distribution(context)
+            hits += int(np.argmax(dist)) == cat
+            marginal_hits += marginal_guess == cat
+            context.append((cat, item_id))
+        assert hits >= marginal_hits

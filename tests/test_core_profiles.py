@@ -1,0 +1,150 @@
+"""Tests for the CPPse user profiles (window flush semantics, stats)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiles import ProfileEvent, ProfileStore, UserProfile
+
+
+def event(category=0, producer=0, item_id=0, entities=()):
+    return ProfileEvent(
+        category=category, producer=producer, item_id=item_id, entities=tuple(entities)
+    )
+
+
+class TestWindowSemantics:
+    def test_events_accumulate_in_window_until_full(self):
+        profile = UserProfile(1, window_size=3)
+        profile.record(event(item_id=1))
+        profile.record(event(item_id=2))
+        assert len(profile.window) == 2
+        assert profile.n_long_events == 0
+
+    def test_flush_moves_window_to_long_term(self):
+        profile = UserProfile(1, window_size=3)
+        flushed = []
+        for i in range(3):
+            flushed = profile.record(event(item_id=i))
+        assert len(flushed) == 3
+        assert profile.window == []
+        assert profile.n_long_events == 3
+        assert [ev.item_id for ev in profile.long_term] == [0, 1, 2]
+
+    def test_record_returns_empty_before_flush(self):
+        profile = UserProfile(1, window_size=2)
+        assert profile.record(event()) == []
+
+    def test_version_increments_on_every_record(self):
+        profile = UserProfile(1, window_size=2)
+        v0 = profile.version
+        profile.record(event())
+        profile.record(event())
+        assert profile.version == v0 + 2
+
+    def test_window_size_one_flushes_immediately(self):
+        profile = UserProfile(1, window_size=1)
+        profile.record(event(item_id=9))
+        assert profile.n_long_events == 1 and profile.window == []
+
+    def test_invalid_window_size_rejected(self):
+        with pytest.raises(ValueError):
+            UserProfile(1, window_size=0)
+
+
+class TestCounters:
+    def test_long_term_counters_track_flushed_events_only(self):
+        profile = UserProfile(1, window_size=2)
+        profile.record(event(category=3, producer=7, entities=(1, 1, 2)))
+        assert profile.category_counts == {}
+        profile.record(event(category=3, producer=8, entities=(2,)))
+        assert profile.category_counts[3] == 2
+        assert profile.producer_counts[7] == 1 and profile.producer_counts[8] == 1
+        assert profile.entity_counts[1] == 2 and profile.entity_counts[2] == 2
+        assert profile.n_entity_tokens == 4
+
+    def test_category_vector_normalized(self):
+        profile = UserProfile(1, window_size=1)
+        profile.record(event(category=0))
+        profile.record(event(category=0))
+        profile.record(event(category=2))
+        vec = profile.category_vector(4)
+        assert vec == pytest.approx([2 / 3, 0.0, 1 / 3, 0.0])
+
+    def test_category_vector_empty_profile_is_zero(self):
+        assert UserProfile(1).category_vector(3) == [0.0, 0.0, 0.0]
+
+
+class TestBootstrap:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.lists(st.integers(min_value=0, max_value=4), min_size=0, max_size=40),
+    )
+    def test_bootstrap_equals_sequential_record(self, window_size, categories):
+        """bootstrap() must reproduce record()-by-record state exactly."""
+        events = [event(category=c, item_id=i) for i, c in enumerate(categories)]
+        sequential = UserProfile(1, window_size=window_size)
+        for ev in events:
+            sequential.record(ev)
+        bulk = UserProfile(1, window_size=window_size)
+        bulk.bootstrap(events)
+        assert [e.item_id for e in bulk.long_term] == [e.item_id for e in sequential.long_term]
+        assert [e.item_id for e in bulk.window] == [e.item_id for e in sequential.window]
+        assert bulk.category_counts == sequential.category_counts
+        assert bulk.n_entity_tokens == sequential.n_entity_tokens
+
+
+class TestViews:
+    def test_recent_sequence_prefers_window(self):
+        profile = UserProfile(1, window_size=3)
+        for i in range(4):
+            profile.record(event(category=i % 2, item_id=i))
+        # 3 flushed, 1 in window
+        assert profile.recent_sequence() == [(1, 3)]
+
+    def test_recent_sequence_falls_back_to_long_tail(self):
+        profile = UserProfile(1, window_size=2)
+        for i in range(4):
+            profile.record(event(category=0, item_id=i))
+        assert profile.window == []
+        assert [iid for _, iid in profile.recent_sequence()] == [2, 3]
+
+    def test_long_term_sequence_truncation(self):
+        profile = UserProfile(1, window_size=1)
+        for i in range(10):
+            profile.record(event(item_id=i))
+        assert len(profile.long_term_sequence(max_events=4)) == 4
+        assert profile.long_term_sequence(max_events=4)[0][1] == 6
+
+    def test_all_events_concatenates(self):
+        profile = UserProfile(1, window_size=3)
+        for i in range(4):
+            profile.record(event(item_id=i))
+        assert [e.item_id for e in profile.all_events()] == [0, 1, 2, 3]
+
+
+class TestProfileStore:
+    def test_get_or_create_and_contains(self):
+        store = ProfileStore(window_size=2)
+        assert 5 not in store
+        profile = store.get_or_create(5)
+        assert 5 in store and store.get(5) is profile
+        assert len(store) == 1
+
+    def test_record_creates_new_users(self):
+        store = ProfileStore(window_size=1)
+        profile, flushed = store.record(9, event(item_id=1))
+        assert profile.user_id == 9
+        assert len(flushed) == 1
+
+    def test_user_ids_sorted(self):
+        store = ProfileStore()
+        for uid in (5, 2, 9):
+            store.get_or_create(uid)
+        assert store.user_ids() == [2, 5, 9]
+
+    def test_iteration_yields_profiles(self):
+        store = ProfileStore()
+        store.get_or_create(1)
+        store.get_or_create(2)
+        assert {p.user_id for p in store} == {1, 2}

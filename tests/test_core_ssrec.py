@@ -1,0 +1,135 @@
+"""Tests for the SsRecRecommender facade."""
+
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.schema import Interaction
+
+
+class TestLifecycle:
+    def test_operations_require_fit(self, ytube_small):
+        rec = SsRecRecommender()
+        with pytest.raises(RuntimeError):
+            rec.recommend(ytube_small.items[0], 5)
+        with pytest.raises(RuntimeError):
+            rec.observe_item(ytube_small.items[0])
+
+    def test_fit_builds_all_components(self, fitted_ssrec):
+        assert fitted_ssrec.bihmm is not None
+        assert fitted_ssrec.interest is not None
+        assert fitted_ssrec.scorer is not None
+        assert fitted_ssrec.matcher is not None
+        assert fitted_ssrec.index is None  # scan mode
+
+    def test_fit_with_index_builds_index(self, fitted_ssrec_indexed):
+        assert fitted_ssrec_indexed.index is not None
+
+    def test_profiles_created_for_all_consumers(self, fitted_ssrec, ytube_small):
+        assert len(fitted_ssrec.profiles) == len(ytube_small.consumer_ids)
+
+
+class TestRecommend:
+    def test_returns_k_ranked_users(self, fitted_ssrec, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        out = fitted_ssrec.recommend(item, 7)
+        assert len(out) == 7
+        scores = [s for _, s in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_default_k_from_config(self, fitted_ssrec, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        assert len(fitted_ssrec.recommend(item)) == fitted_ssrec.config.default_k
+
+    def test_recommended_users_are_consumers(self, fitted_ssrec, ytube_small, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[1]
+        consumers = set(ytube_small.consumer_ids)
+        assert all(u in consumers for u, _ in fitted_ssrec.recommend(item, 10))
+
+    def test_index_and_scan_agree_on_top_scores(
+        self, fitted_ssrec, fitted_ssrec_indexed, ytube_stream
+    ):
+        for item in ytube_stream.items_in_partition(2)[:10]:
+            via_index = fitted_ssrec_indexed.recommend(item, 5)
+            probed = fitted_ssrec_indexed.index.users_in_probed_trees(item)
+            via_scan = [
+                (u, s)
+                for u, s in fitted_ssrec.matcher.top_k(item, len(fitted_ssrec.profiles))
+                if u in probed
+            ][:5]
+            assert [round(s, 9) for _, s in via_index] == [
+                round(s, 9) for _, s in via_scan
+            ]
+
+
+class TestStreamingUpdates:
+    def test_update_records_into_profile(self, fresh_ssrec, ytube_small):
+        inter = ytube_small.interactions[-1]
+        item = ytube_small.item(inter.item_id)
+        profile = fresh_ssrec.profiles.get(inter.user_id)
+        version_before = profile.version
+        fresh_ssrec.update(inter, item)
+        assert profile.version == version_before + 1
+
+    def test_update_unknown_user_creates_profile(self, fresh_ssrec, ytube_small):
+        inter = Interaction(
+            user_id=999_999,
+            item_id=ytube_small.items[0].item_id,
+            category=ytube_small.items[0].category,
+            producer=ytube_small.items[0].producer,
+            timestamp=1.0,
+        )
+        fresh_ssrec.update(inter, ytube_small.items[0])
+        assert fresh_ssrec.profiles.get(999_999) is not None
+
+    def test_observe_item_advances_producer_layer(self, fresh_ssrec, ytube_small):
+        from repro.datasets.schema import SocialItem
+
+        base = ytube_small.items[0]
+        new_item = SocialItem(
+            item_id=10**7,
+            category=base.category,
+            producer=base.producer,
+            entities=base.entities,
+            text=base.text,
+            timestamp=1.0,
+        )
+        fresh_ssrec.observe_item(new_item)
+        layer = fresh_ssrec.bihmm.producer_layer
+        assert layer.state_of_item(10**7) != layer.unknown_state or (
+            base.producer not in layer.models
+        )
+
+    def test_periodic_maintenance_triggers(self, fresh_ssrec_indexed, ytube_small):
+        rec = fresh_ssrec_indexed
+        rec.maintenance_interval = 5
+        inter = ytube_small.interactions[-1]
+        item = ytube_small.item(inter.item_id)
+        for _ in range(5):
+            rec.update(inter, item)
+        assert rec._updates_since_maintenance == 0  # flushed by the trigger
+        assert not rec._maintenance_pending
+
+    def test_recommend_flushes_pending_maintenance(self, fresh_ssrec_indexed, ytube_stream):
+        rec = fresh_ssrec_indexed
+        inter = ytube_stream.partitions[2][0]
+        item = ytube_stream.dataset.item(inter.item_id)
+        rec.update(inter, item)
+        assert rec._maintenance_pending
+        rec.recommend(ytube_stream.items_in_partition(2)[0], 3)
+        assert not rec._maintenance_pending
+
+    def test_run_maintenance_without_index_is_noop(self, fresh_ssrec):
+        assert fresh_ssrec.run_maintenance() == 0
+
+
+class TestConfigVariants:
+    def test_window_size_propagates_to_profiles(self, ytube_small, ytube_stream):
+        rec = SsRecRecommender(config=SsRecConfig(window_size=3), seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        assert all(p.window_size == 3 for p in rec.profiles)
+
+    def test_fit_requires_consumer_history(self, ytube_small):
+        rec = SsRecRecommender()
+        with pytest.raises(ValueError, match="training interactions"):
+            rec.fit(ytube_small, train_interactions=ytube_small.interactions[:1])

@@ -1,0 +1,245 @@
+"""Tests for schema, generators, synthpop and partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.mlens import MLensConfig, generate_mlens
+from repro.datasets.partitions import partition_interactions
+from repro.datasets.schema import Dataset, Interaction, SocialItem
+from repro.datasets.synthpop import SynthpopSynthesizer, synthesize_dataset
+from repro.datasets.text import compose_description, pseudo_word, unique_phrases
+from repro.datasets.ytube import YTubeConfig, generate_ytube
+
+
+class TestText:
+    def test_pseudo_word_nonempty_and_lower(self):
+        rng = np.random.default_rng(0)
+        word = pseudo_word(rng)
+        assert word and word == word.lower()
+
+    def test_unique_phrases_are_unique(self):
+        rng = np.random.default_rng(0)
+        phrases = unique_phrases(rng, 200)
+        assert len(set(phrases)) == 200
+
+    def test_compose_preserves_phrase_order(self):
+        rng = np.random.default_rng(0)
+        text = compose_description(rng, ["alpha bravo", "charlie"])
+        assert text.index("alpha bravo") < text.index("charlie")
+
+
+class TestSchema:
+    def test_stats_columns_match_table3(self, ytube_small):
+        row = ytube_small.stats().as_row()
+        assert list(row) == ["Dataset", "|Up|", "|Uc|", "|E|", "C", "|IRact|", "|V|"]
+
+    def test_item_lookup(self, ytube_small):
+        item = ytube_small.items[5]
+        assert ytube_small.item(item.item_id) is item
+
+    def test_producer_creations_are_time_ordered(self, ytube_small):
+        item_by_id = {it.item_id: it for it in ytube_small.items}
+        for items in ytube_small.producer_creations().values():
+            times = [item_by_id[iid].timestamp for iid, _ in items]
+            assert times == sorted(times)
+
+    def test_consumer_histories_are_time_ordered(self, ytube_small):
+        for history in ytube_small.consumer_histories().values():
+            times = [i.timestamp for i in history]
+            assert times == sorted(times)
+
+    def test_interactions_by_item_covers_all(self, ytube_small):
+        by_item = ytube_small.interactions_by_item()
+        assert sum(len(v) for v in by_item.values()) <= len(ytube_small.interactions)
+        for inter in ytube_small.interactions[:100]:
+            assert inter.user_id in by_item[inter.item_id]
+
+    def test_validate_catches_unknown_producer(self):
+        ds = Dataset(
+            name="bad",
+            n_categories=2,
+            items=[SocialItem(0, 0, 99, (), "", 0.0)],
+            producer_ids=[1],
+        )
+        with pytest.raises(ValueError, match="producer"):
+            ds.validate()
+
+    def test_validate_catches_bad_category(self):
+        ds = Dataset(
+            name="bad",
+            n_categories=2,
+            items=[SocialItem(0, 5, 1, (), "", 0.0)],
+            producer_ids=[1],
+        )
+        with pytest.raises(ValueError, match="category"):
+            ds.validate()
+
+    def test_validate_catches_unknown_consumer(self):
+        ds = Dataset(
+            name="bad",
+            n_categories=2,
+            items=[SocialItem(0, 0, 1, (), "", 0.0)],
+            producer_ids=[1],
+            consumer_ids=[2],
+            interactions=[Interaction(3, 0, 0, 1, 0.5)],
+        )
+        with pytest.raises(ValueError, match="consumer"):
+            ds.validate()
+
+
+class TestGenerators:
+    def test_ytube_respects_config_counts(self, ytube_small):
+        cfg = YTubeConfig.small()
+        stats = ytube_small.stats()
+        assert stats.n_items == cfg.n_items
+        assert stats.n_producers == cfg.n_producers
+        assert stats.n_consumers == cfg.n_consumers
+        assert stats.n_categories == cfg.n_categories
+        assert stats.n_interactions <= cfg.n_interactions
+
+    def test_ytube_items_time_sorted(self, ytube_small):
+        times = [it.timestamp for it in ytube_small.items]
+        assert times == sorted(times)
+
+    def test_ytube_deterministic_per_seed(self):
+        a = generate_ytube(YTubeConfig.small(seed=3))
+        b = generate_ytube(YTubeConfig.small(seed=3))
+        assert [i.item_id for i in a.items[:50]] == [i.item_id for i in b.items[:50]]
+        assert a.interactions[:50] == b.interactions[:50]
+
+    def test_ytube_seeds_differ(self):
+        a = generate_ytube(YTubeConfig.small(seed=3))
+        b = generate_ytube(YTubeConfig.small(seed=4))
+        assert a.interactions[:200] != b.interactions[:200]
+
+    def test_ytube_text_contains_entity_phrases(self, ytube_small):
+        item = ytube_small.items[0]
+        for eid in set(item.entities):
+            assert ytube_small.entity_names[eid] in item.text
+
+    def test_mlens_producers_dominantly_single_category(self, mlens_small):
+        creations = mlens_small.producer_creations()
+        for items in creations.values():
+            if len(items) < 10:
+                continue
+            cats = [c for _, c in items]
+            dominant = max(set(cats), key=cats.count)
+            assert cats.count(dominant) / len(cats) >= 0.5
+
+    def test_mlens_items_frontloaded(self, mlens_small):
+        times = np.array([it.timestamp for it in mlens_small.items])
+        assert np.median(times) < 0.5  # most of the catalogue exists early
+
+    def test_interactions_only_on_visible_items(self, ytube_small):
+        item_by_id = {it.item_id: it for it in ytube_small.items}
+        for inter in ytube_small.interactions:
+            assert item_by_id[inter.item_id].timestamp <= inter.timestamp + 1e-9
+
+
+class TestSynthpopSynthesizer:
+    def test_fit_and_sample_shapes(self):
+        records = [{"a": i % 3, "b": (i * 2) % 5} for i in range(60)]
+        synth = SynthpopSynthesizer(["a", "b"]).fit(records)
+        out = synth.sample(40, seed=1)
+        assert len(out) == 40
+        assert all(set(r) == {"a", "b"} for r in out)
+
+    def test_marginals_roughly_preserved(self):
+        records = [{"a": 0} for _ in range(90)] + [{"a": 1} for _ in range(10)]
+        synth = SynthpopSynthesizer(["a"]).fit(records)
+        out = synth.sample(500, seed=2)
+        share = sum(1 for r in out if r["a"] == 0) / len(out)
+        assert 0.8 <= share <= 0.98
+
+    def test_conditionals_preserved(self):
+        # b == a, always.
+        records = [{"a": i % 2, "b": i % 2} for i in range(100)]
+        synth = SynthpopSynthesizer(["a", "b"]).fit(records)
+        out = synth.sample(200, seed=3)
+        assert all(r["a"] == r["b"] for r in out)
+
+    def test_sample_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            SynthpopSynthesizer(["a"]).sample(1)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            SynthpopSynthesizer([])
+        with pytest.raises(ValueError):
+            SynthpopSynthesizer(["a"]).fit([])
+
+
+class TestSynthesizeDataset:
+    def test_universes_preserved(self, ytube_small):
+        syn = synthesize_dataset(ytube_small, seed=5)
+        assert syn.name == "SynYTube"
+        assert syn.producer_ids == ytube_small.producer_ids
+        assert syn.consumer_ids == ytube_small.consumer_ids
+        assert syn.entity_names == ytube_small.entity_names
+        assert len(syn.items) == len(ytube_small.items)
+
+    def test_interaction_growth(self, ytube_small):
+        syn = synthesize_dataset(ytube_small, seed=5, interaction_growth=0.06)
+        ratio = len(syn.interactions) / len(ytube_small.interactions)
+        assert 0.95 <= ratio <= 1.15
+
+    def test_synthetic_referential_integrity(self, ytube_small):
+        syn = synthesize_dataset(ytube_small, seed=5)
+        syn.validate()
+
+    def test_user_category_distribution_roughly_preserved(self, ytube_small):
+        syn = synthesize_dataset(ytube_small, seed=5)
+        def cat_hist(ds):
+            hist = np.zeros(ds.n_categories)
+            for i in ds.interactions:
+                hist[i.category] += 1
+            return hist / hist.sum()
+        orig, synth = cat_hist(ytube_small), cat_hist(syn)
+        assert np.abs(orig - synth).max() < 0.08
+
+
+class TestPartitions:
+    def test_six_even_partitions(self, ytube_stream):
+        sizes = [len(p) for p in ytube_stream.partitions]
+        assert len(sizes) == 6
+        assert max(sizes) - min(sizes) <= max(sizes) // 2
+
+    def test_partitions_time_ordered(self, ytube_stream):
+        last = float("-inf")
+        for partition in ytube_stream.partitions:
+            for inter in partition:
+                assert inter.timestamp >= last
+                last = inter.timestamp
+
+    def test_protocol_steps_shape(self, ytube_stream):
+        steps = ytube_stream.protocol_steps()
+        assert steps[0] == ([0, 1], 2)
+        assert steps[-1] == ([0, 1, 2, 3, 4], 5)
+
+    def test_training_interactions_are_first_two_partitions(self, ytube_stream):
+        train = ytube_stream.training_interactions()
+        assert len(train) == len(ytube_stream.partitions[0]) + len(ytube_stream.partitions[1])
+
+    def test_items_in_partition_within_boundaries(self, ytube_stream):
+        for p in range(6):
+            start, end = ytube_stream.boundaries[p]
+            for item in ytube_stream.items_in_partition(p):
+                assert start < item.timestamp <= end
+
+    def test_every_item_in_exactly_one_partition(self, ytube_stream):
+        seen = []
+        for p in range(6):
+            seen.extend(it.item_id for it in ytube_stream.items_in_partition(p))
+        assert len(seen) == len(set(seen)) == len(ytube_stream.dataset.items)
+
+    def test_ground_truth_matches_partition(self, ytube_stream):
+        truth = ytube_stream.ground_truth(2)
+        users_in_p2 = {i.user_id for i in ytube_stream.partitions[2]}
+        for users in truth.values():
+            assert users <= users_in_p2
+
+    def test_invalid_arguments_rejected(self, ytube_small):
+        with pytest.raises(ValueError):
+            partition_interactions(ytube_small, n_partitions=1)
+        with pytest.raises(ValueError):
+            partition_interactions(ytube_small, n_partitions=4, n_train=4)

@@ -1,0 +1,72 @@
+"""Tests for dataset JSONL persistence."""
+
+import json
+
+import pytest
+
+from repro.datasets.io import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, ytube_small, tmp_path):
+        save_dataset(ytube_small, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.name == ytube_small.name
+        assert loaded.n_categories == ytube_small.n_categories
+        assert loaded.entity_names == ytube_small.entity_names
+        assert loaded.producer_ids == ytube_small.producer_ids
+        assert loaded.consumer_ids == ytube_small.consumer_ids
+        assert loaded.items == ytube_small.items
+        assert loaded.interactions == ytube_small.interactions
+
+    def test_loaded_dataset_trains_identically(self, ytube_small, tmp_path):
+        from repro.core.ssrec import SsRecRecommender
+        from repro.datasets.partitions import partition_interactions
+
+        save_dataset(ytube_small, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        stream_a = partition_interactions(ytube_small)
+        stream_b = partition_interactions(loaded)
+        rec_a = SsRecRecommender(seed=1).fit(ytube_small, stream_a.training_interactions())
+        rec_b = SsRecRecommender(seed=1).fit(loaded, stream_b.training_interactions())
+        item = stream_a.items_in_partition(2)[0]
+        assert rec_a.recommend(item, 5) == rec_b.recommend(item, 5)
+
+    def test_files_created(self, ytube_small, tmp_path):
+        out = save_dataset(ytube_small, tmp_path / "ds")
+        for name in ("meta.json", "entities.jsonl", "items.jsonl", "interactions.jsonl"):
+            assert (out / name).exists()
+
+
+class TestValidation:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope")
+
+    def test_non_dense_entity_ids_rejected(self, ytube_small, tmp_path):
+        out = save_dataset(ytube_small, tmp_path / "ds")
+        lines = (out / "entities.jsonl").read_text().splitlines()
+        record = json.loads(lines[1])
+        record["id"] = 99  # break density
+        lines[1] = json.dumps(record)
+        (out / "entities.jsonl").write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="dense"):
+            load_dataset(out)
+
+    def test_corrupted_reference_rejected(self, ytube_small, tmp_path):
+        out = save_dataset(ytube_small, tmp_path / "ds")
+        with (out / "interactions.jsonl").open("a") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "user_id": 1,
+                        "item_id": 10**9,  # unknown item
+                        "category": 0,
+                        "producer": 0,
+                        "timestamp": 0.5,
+                    }
+                )
+                + "\n"
+            )
+        with pytest.raises(ValueError, match="unknown item"):
+            load_dataset(out)

@@ -1,0 +1,193 @@
+"""Tests for the entity pipeline: vocabulary, extractor, expansion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.entities.expansion import EntityExpander, proximity_credit
+from repro.entities.extractor import EntityExtractor, EntityMention, tokenize
+from repro.entities.vocabulary import EntityVocabulary
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Roger Federer vs. NADAL!") == ["roger", "federer", "vs", "nadal"]
+
+    def test_keeps_apostrophes_and_digits(self):
+        assert tokenize("Men's Final 2017") == ["men's", "final", "2017"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+
+class TestVocabulary:
+    def test_add_and_lookup_roundtrip(self):
+        vocab = EntityVocabulary()
+        eid = vocab.add("Roger Federer")
+        assert vocab.id_of("roger  federer") == eid
+        assert vocab.name_of(eid) == "roger federer"
+        assert "Roger Federer" in vocab
+
+    def test_add_is_idempotent(self):
+        vocab = EntityVocabulary()
+        assert vocab.add("x") == vocab.add("X ")
+        assert len(vocab) == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            EntityVocabulary().add("   ")
+
+    def test_unknown_lookups(self):
+        vocab = EntityVocabulary()
+        assert vocab.id_of("ghost") is None
+        with pytest.raises(KeyError):
+            vocab.name_of(3)
+
+    def test_document_frequency_deduplicates(self):
+        vocab = EntityVocabulary()
+        a, b = vocab.add("a"), vocab.add("b")
+        vocab.observe_document([a, a, b], category=2)
+        assert vocab.document_frequency(a) == 1
+        assert vocab.category_frequency(a, 2) == 1
+        assert vocab.category_frequency(a, 3) == 0
+        assert vocab.entities_in_category(2) == [a, b]
+
+
+class TestExtractor:
+    @pytest.fixture()
+    def extractor(self):
+        ex = EntityExtractor()
+        ex.add_phrases(["australian open", "roger federer", "rafael nadal", "match"])
+        return ex
+
+    def test_extracts_paper_example(self, extractor):
+        text = "Australian Open 2017 Men's Final Roger Federer vs Rafael Nadal Full Match"
+        names = [extractor.vocabulary.name_of(e) for e in extractor.extract(text)]
+        assert names == ["australian open", "roger federer", "rafael nadal", "match"]
+
+    def test_longest_match_wins(self):
+        ex = EntityExtractor()
+        short = ex.add_phrase("open")
+        long = ex.add_phrase("australian open")
+        assert ex.extract("the australian open begins") == [long]
+        assert ex.extract("the open begins") == [short]
+
+    def test_repetitions_preserved(self, extractor):
+        ids = extractor.extract("match and match and match")
+        assert len(ids) == 3
+        assert len(set(ids)) == 1
+
+    def test_extract_unique_deduplicates_in_order(self, extractor):
+        text = "match roger federer match"
+        unique = extractor.extract_unique(text)
+        names = [extractor.vocabulary.name_of(e) for e in unique]
+        assert names == ["match", "roger federer"]
+
+    def test_mention_positions(self, extractor):
+        mentions = extractor.annotate("watch roger federer match")
+        assert mentions[0] == EntityMention(
+            entity_id=extractor.vocabulary.id_of("roger federer"), start=1, length=2
+        )
+        assert mentions[1].start == 3
+
+    def test_no_match_returns_empty(self, extractor):
+        assert extractor.extract("completely unrelated words") == []
+
+    def test_phrase_validation(self):
+        ex = EntityExtractor(max_phrase_tokens=2)
+        with pytest.raises(ValueError, match="tokens"):
+            ex.add_phrase("one two three")
+        with pytest.raises(ValueError, match="no tokens"):
+            ex.add_phrase("!!!")
+
+    def test_mentions_never_overlap_property(self, extractor):
+        text = "australian open roger federer match " * 5
+        mentions = extractor.annotate(text)
+        for a, b in zip(mentions, mentions[1:]):
+            assert a.start + a.length <= b.start
+
+
+class TestProximityCredit:
+    def test_adjacent_gets_full_credit(self):
+        assert proximity_credit(0) == pytest.approx(1.0)
+
+    def test_decays_with_distance(self):
+        assert proximity_credit(1) < proximity_credit(0)
+        assert proximity_credit(10) < proximity_credit(1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            proximity_credit(-1)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_property_in_unit_interval(self, d):
+        assert 0.0 < proximity_credit(d) <= 1.0
+
+
+def mention(eid, start, length=1):
+    return EntityMention(entity_id=eid, start=start, length=length)
+
+
+class TestExpander:
+    def test_close_pairs_outweigh_far_pairs(self):
+        expander = EntityExpander(max_expansions=5, min_weight=0.0)
+        # Entity 0 adjacent to 1, far from 2, repeatedly.
+        for _ in range(5):
+            expander.observe(0, [mention(0, 0), mention(1, 1), mention(2, 9)])
+        expansions = expander.expand(0, 0)
+        weights = {e.entity_id: e.weight for e in expansions}
+        assert weights[1] > weights[2]
+
+    def test_weights_in_unit_interval_and_below_one(self):
+        expander = EntityExpander()
+        expander.observe(1, [mention(0, 0), mention(1, 1), mention(2, 2)])
+        for e in expander.expand(1, 0):
+            assert 0.0 < e.weight <= 0.99
+
+    def test_category_isolation(self):
+        expander = EntityExpander()
+        expander.observe(0, [mention(0, 0), mention(1, 1)])
+        assert expander.expand(1, 0) == []
+
+    def test_self_pairs_ignored(self):
+        expander = EntityExpander()
+        expander.observe(0, [mention(7, 0), mention(7, 1)])
+        assert expander.expand(0, 7) == []
+
+    def test_max_expansions_cap(self):
+        expander = EntityExpander(max_expansions=2, min_weight=0.0)
+        expander.observe(0, [mention(i, i) for i in range(6)])
+        assert len(expander.expand(0, 0)) <= 2
+
+    def test_zero_max_expansions_disables(self):
+        expander = EntityExpander(max_expansions=0)
+        expander.observe(0, [mention(0, 0), mention(1, 1)])
+        assert expander.expand(0, 0) == []
+
+    def test_expand_set_excludes_originals(self):
+        expander = EntityExpander(min_weight=0.0)
+        expander.observe(0, [mention(0, 0), mention(1, 1), mention(2, 2)])
+        expanded = expander.expand_set(0, [0, 1])
+        ids = {e.entity_id for e in expanded}
+        assert 0 not in ids and 1 not in ids
+        assert 2 in ids
+
+    def test_expand_set_takes_max_weight_across_anchors(self):
+        expander = EntityExpander(min_weight=0.0)
+        for _ in range(3):
+            expander.observe(0, [mention(0, 0), mention(2, 1)])   # strong 0-2
+        expander.observe(0, [mention(1, 0), mention(2, 5)])        # weak 1-2
+        expanded = expander.expand_set(0, [0, 1])
+        weight_2 = next(e.weight for e in expanded if e.entity_id == 2)
+        strong = next(e.weight for e in expander.expand(0, 0) if e.entity_id == 2)
+        assert weight_2 == pytest.approx(strong)
+
+    def test_observe_entity_list_convenience(self):
+        expander = EntityExpander(min_weight=0.0)
+        expander.observe_entity_list(3, [4, 5, 6])
+        assert set(expander.related_entities(3, 4)) == {5, 6}
+
+    def test_min_weight_filters(self):
+        expander = EntityExpander(min_weight=0.9)
+        expander.observe(0, [mention(0, 0), mention(1, 1), mention(2, 20)])
+        ids = {e.entity_id for e in expander.expand(0, 0)}
+        assert 2 not in ids  # far co-occurrence falls below min_weight

@@ -1,0 +1,40 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.eval.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.dataset == "YTube"
+        assert args.scale == "small"
+        assert args.min_truth == 3
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--dataset", "Netflix"])
+
+
+class TestMain:
+    def test_table3_runs_and_prints(self, capsys):
+        assert main(["table3", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "SynMLens" in out
+
+    def test_fig7_runs_and_prints(self, capsys):
+        assert main(["fig7", "--dataset", "YTube"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "lambda" in out
+
+    def test_fig9_on_mlens(self, capsys):
+        assert main(["fig9", "--dataset", "MLens"]) == 0
+        out = capsys.readouterr().out
+        assert "ssRec-nu" in out

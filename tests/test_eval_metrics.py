@@ -1,0 +1,115 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    PrecisionAccumulator,
+    TimingStats,
+    intra_list_distance,
+    precision_at_k,
+    prediction_accuracy,
+)
+
+
+class TestPrecisionAtK:
+    def test_all_hits(self):
+        assert precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_partial_hits(self):
+        assert precision_at_k([1, 2, 3, 4], {2, 4}, 4) == 0.5
+
+    def test_truncates_to_k(self):
+        assert precision_at_k([9, 1], {1}, 1) == 0.0
+
+    def test_empty_recommendation(self):
+        assert precision_at_k([], {1}, 5) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], {1}, 0)
+
+
+class TestPrecisionAccumulator:
+    def test_matches_paper_definition(self):
+        acc = PrecisionAccumulator(ks=(2,))
+        acc.add([1, 2], {1})       # 1 hit
+        acc.add([3, 4], {3, 4})    # 2 hits
+        # P@2 = (1 + 2) / (2 items * 2) = 0.75
+        assert acc.precision()[2] == pytest.approx(0.75)
+
+    def test_multiple_cutoffs(self):
+        acc = PrecisionAccumulator(ks=(1, 3))
+        acc.add([5, 6, 7], {6, 7})
+        assert acc.precision()[1] == 0.0
+        assert acc.precision()[3] == pytest.approx(2 / 3)
+
+    def test_empty_accumulator_zero(self):
+        assert PrecisionAccumulator(ks=(5,)).precision() == {5: 0.0}
+
+    def test_merge(self):
+        a, b = PrecisionAccumulator(ks=(2,)), PrecisionAccumulator(ks=(2,))
+        a.add([1, 2], {1})
+        b.add([1, 2], {1, 2})
+        a.merge(b)
+        assert a.n_items == 2
+        assert a.precision()[2] == pytest.approx(0.75)
+
+    def test_merge_mismatched_ks_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionAccumulator(ks=(2,)).merge(PrecisionAccumulator(ks=(3,)))
+
+    def test_invalid_ks_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionAccumulator(ks=())
+        with pytest.raises(ValueError):
+            PrecisionAccumulator(ks=(0,))
+
+
+class TestPredictionAccuracy:
+    def test_basic(self):
+        assert prediction_accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert prediction_accuracy([], []) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_accuracy([1], [1, 2])
+
+
+class TestIntraListDistance:
+    def test_identical_items_zero_diversity(self):
+        assert intra_list_distance([(1, 2), (1, 2)]) == 0.0
+
+    def test_disjoint_items_full_diversity(self):
+        assert intra_list_distance([(1,), (2,)]) == 1.0
+
+    def test_single_item_zero(self):
+        assert intra_list_distance([(1, 2)]) == 0.0
+
+    def test_partial_overlap(self):
+        # Jaccard distance of {1,2} vs {2,3} = 1 - 1/3.
+        assert intra_list_distance([(1, 2), (2, 3)]) == pytest.approx(2 / 3)
+
+
+class TestTimingStats:
+    def test_mean_and_total(self):
+        stats = TimingStats()
+        for v in (0.1, 0.2, 0.3):
+            stats.record(v)
+        assert stats.n == 3
+        assert stats.total == pytest.approx(0.6)
+        assert stats.mean == pytest.approx(0.2)
+
+    def test_percentile(self):
+        stats = TimingStats(samples=[float(i) for i in range(101)])
+        assert stats.percentile(50) == pytest.approx(50.0)
+
+    def test_empty_safe(self):
+        stats = TimingStats()
+        assert stats.mean == 0.0 and stats.percentile(99) == 0.0
+
+    def test_merge(self):
+        a, b = TimingStats([1.0]), TimingStats([3.0])
+        a.merge(b)
+        assert a.mean == pytest.approx(2.0)

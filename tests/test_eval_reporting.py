@@ -1,0 +1,35 @@
+"""Tests for text-table rendering."""
+
+from repro.eval.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_large_float_compact(self):
+        text = format_table(["x"], [[123456.789]])
+        assert "123456.8" in text
+
+
+class TestFormatSeries:
+    def test_union_of_x_values(self):
+        text = format_series(
+            "title", {"a": {1: 0.5, 2: 0.6}, "b": {2: 0.1, 3: 0.2}}, x_label="k"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert lines[1].split()[:3] == ["k", "a", "b"]
+        assert len(lines) == 6  # title + header + sep + 3 x rows
+
+    def test_missing_points_render_empty(self):
+        text = format_series("t", {"a": {1: 0.5}, "b": {2: 0.1}})
+        assert "0.5" in text and "0.1" in text

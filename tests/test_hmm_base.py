@@ -1,0 +1,179 @@
+"""Unit and property tests for the discrete HMM substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hmm.base import DiscreteHMM
+
+
+def crafted_deterministic_hmm():
+    """Two states that deterministically alternate and emit their index."""
+    model = DiscreteHMM(2, 2, seed=0)
+    model.pi = np.array([1.0, 0.0])
+    model.A = np.array([[0.0, 1.0], [1.0, 0.0]])
+    model.B = np.array([[1.0, 0.0], [0.0, 1.0]])
+    return model
+
+
+class TestConstruction:
+    def test_parameters_are_stochastic(self):
+        model = DiscreteHMM(4, 7, seed=3)
+        assert model.pi.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(model.A.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.B.sum(axis=1), 1.0)
+
+    def test_seeded_determinism(self):
+        a, b = DiscreteHMM(3, 5, seed=11), DiscreteHMM(3, 5, seed=11)
+        np.testing.assert_array_equal(a.A, b.A)
+        np.testing.assert_array_equal(a.B, b.B)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(0, 3)
+        with pytest.raises(ValueError):
+            DiscreteHMM(3, 0)
+
+
+class TestInference:
+    def test_log_likelihood_of_deterministic_sequence_is_zero(self):
+        model = crafted_deterministic_hmm()
+        assert model.log_likelihood([0, 1, 0, 1]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_log_likelihood_of_impossible_sequence_is_very_negative(self):
+        model = crafted_deterministic_hmm()
+        assert model.log_likelihood([0, 0]) < -10
+
+    def test_state_posteriors_rows_sum_to_one(self):
+        model = DiscreteHMM(3, 4, seed=1)
+        gamma = model.state_posteriors([0, 1, 2, 3, 0])
+        np.testing.assert_allclose(gamma.sum(axis=1), 1.0)
+
+    def test_filter_state_sums_to_one(self):
+        model = DiscreteHMM(3, 4, seed=1)
+        alpha = model.filter_state([0, 1, 2])
+        assert alpha.sum() == pytest.approx(1.0)
+
+    def test_forward_backward_consistency(self):
+        """Likelihood from scales equals brute-force enumeration."""
+        model = DiscreteHMM(2, 3, seed=5)
+        seq = [0, 2, 1]
+        # Brute force over all state paths.
+        total = 0.0
+        for s0 in range(2):
+            for s1 in range(2):
+                for s2 in range(2):
+                    total += (
+                        model.pi[s0] * model.B[s0, seq[0]]
+                        * model.A[s0, s1] * model.B[s1, seq[1]]
+                        * model.A[s1, s2] * model.B[s2, seq[2]]
+                    )
+        assert model.log_likelihood(seq) == pytest.approx(np.log(total))
+
+
+class TestViterbi:
+    def test_recovers_deterministic_path(self):
+        model = crafted_deterministic_hmm()
+        states = model.viterbi([0, 1, 0, 1, 0])
+        np.testing.assert_array_equal(states, [0, 1, 0, 1, 0])
+
+    def test_length_matches_sequence(self):
+        model = DiscreteHMM(3, 4, seed=2)
+        assert len(model.viterbi([1, 2, 3, 0, 1])) == 5
+
+    def test_single_observation(self):
+        model = DiscreteHMM(3, 4, seed=2)
+        states = model.viterbi([2])
+        assert states.shape == (1,)
+        assert 0 <= states[0] < 3
+
+
+class TestPrediction:
+    def test_next_distribution_sums_to_one(self):
+        model = DiscreteHMM(3, 5, seed=4)
+        dist = model.predict_next_distribution([0, 1, 4])
+        assert dist.shape == (5,)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_deterministic_model_predicts_alternation(self):
+        model = crafted_deterministic_hmm()
+        dist = model.predict_next_distribution([0])
+        assert int(np.argmax(dist)) == 1
+        dist = model.predict_next_distribution([0, 1])
+        assert int(np.argmax(dist)) == 0
+
+    def test_top_k_ordering_and_truncation(self):
+        model = DiscreteHMM(3, 5, seed=4)
+        dist = model.predict_next_distribution([1, 2])
+        top = model.predict_top_k([1, 2], 3)
+        assert len(top) == 3
+        assert dist[top[0]] >= dist[top[1]] >= dist[top[2]]
+        assert len(model.predict_top_k([1, 2], 99)) == 5
+
+    def test_prior_distribution_sums_to_one(self):
+        model = DiscreteHMM(3, 5, seed=4)
+        assert model.prior_distribution().sum() == pytest.approx(1.0)
+
+
+class TestFit:
+    def test_log_likelihood_is_monotone_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        seqs = [rng.integers(0, 4, size=60) for _ in range(3)]
+        model = DiscreteHMM(3, 4, seed=9)
+        result = model.fit(seqs, n_iter=25)
+        lls = result.log_likelihoods
+        assert all(b >= a - 1e-8 for a, b in zip(lls, lls[1:]))
+
+    def test_fit_improves_over_initial_likelihood(self):
+        rng = np.random.default_rng(1)
+        seqs = [rng.integers(0, 4, size=80) for _ in range(2)]
+        model = DiscreteHMM(3, 4, seed=9)
+        before = model.total_log_likelihood(seqs)
+        model.fit(seqs, n_iter=20)
+        assert model.total_log_likelihood(seqs) > before
+
+    def test_learns_alternating_structure(self):
+        seq = [0, 1] * 40
+        model = DiscreteHMM(2, 2, seed=3)
+        model.fit([seq], n_iter=50)
+        dist = model.predict_next_distribution([0, 1, 0])
+        assert int(np.argmax(dist)) == 1
+
+    def test_parameters_remain_stochastic_after_fit(self):
+        rng = np.random.default_rng(2)
+        model = DiscreteHMM(3, 5, seed=0)
+        model.fit([rng.integers(0, 5, size=50)], n_iter=10)
+        assert model.pi.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(model.A.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.B.sum(axis=1), 1.0)
+
+    def test_convergence_flag_set_on_plateau(self):
+        seq = [0, 1] * 30
+        model = DiscreteHMM(2, 2, seed=3)
+        result = model.fit([seq], n_iter=200, tol=1e-6)
+        assert result.converged
+        assert result.n_iter < 200
+
+    def test_single_state_model_fits_marginal(self):
+        seq = [0] * 30 + [1] * 10
+        model = DiscreteHMM(1, 2, seed=0)
+        model.fit([seq], n_iter=20)
+        assert model.B[0, 0] == pytest.approx(0.75, abs=0.01)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=2, max_value=5))
+    def test_property_fit_monotone_for_any_shape(self, n_states, n_symbols):
+        rng = np.random.default_rng(n_states * 10 + n_symbols)
+        seqs = [rng.integers(0, n_symbols, size=30)]
+        model = DiscreteHMM(n_states, n_symbols, seed=1)
+        lls = model.fit(seqs, n_iter=10).log_likelihoods
+        assert all(b >= a - 1e-8 for a, b in zip(lls, lls[1:]))
+
+
+class TestSerialization:
+    def test_round_trip_preserves_behaviour(self):
+        model = DiscreteHMM(3, 4, seed=6)
+        clone = DiscreteHMM.from_dict(model.to_dict())
+        seq = [0, 1, 2, 3, 1]
+        assert clone.log_likelihood(seq) == pytest.approx(model.log_likelihood(seq))
+        np.testing.assert_array_equal(clone.viterbi(seq), model.viterbi(seq))

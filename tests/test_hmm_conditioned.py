@@ -1,0 +1,140 @@
+"""Tests for the input-conditioned HMM (the b-HMM reformulation)."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.base import DiscreteHMM
+from repro.hmm.conditioned import InputConditionedHMM
+
+
+class TestConstruction:
+    def test_parameters_are_stochastic(self):
+        model = InputConditionedHMM(3, 4, 2, seed=0)
+        assert model.pi.sum() == pytest.approx(1.0)
+        assert model.A.shape == (2, 3, 3)
+        assert model.B.shape == (2, 3, 4)
+        np.testing.assert_allclose(model.A.sum(axis=2), 1.0)
+        np.testing.assert_allclose(model.B.sum(axis=2), 1.0)
+
+    def test_invalid_sizes_rejected(self):
+        for bad in [(0, 2, 2), (2, 0, 2), (2, 2, 0)]:
+            with pytest.raises(ValueError):
+                InputConditionedHMM(*bad)
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        model = InputConditionedHMM(2, 3, 2, seed=0)
+        with pytest.raises(ValueError, match="match"):
+            model.log_likelihood([0, 1], [0])
+
+    def test_out_of_range_inputs_rejected(self):
+        model = InputConditionedHMM(2, 3, 2, seed=0)
+        with pytest.raises(ValueError, match="outside"):
+            model.log_likelihood([0, 1], [0, 5])
+
+
+class TestEquivalenceWithPlainHMM:
+    def test_single_input_reduces_to_discrete_hmm(self):
+        """With one input symbol the conditioned model IS a classic HMM."""
+        cond = InputConditionedHMM(3, 4, 1, seed=7)
+        plain = DiscreteHMM(3, 4, seed=0)
+        plain.pi = cond.pi.copy()
+        plain.A = cond.A[0].copy()
+        plain.B = cond.B[0].copy()
+        seq = [0, 2, 1, 3, 2, 0]
+        zeros = [0] * len(seq)
+        assert cond.log_likelihood(seq, zeros) == pytest.approx(plain.log_likelihood(seq))
+        np.testing.assert_array_equal(cond.viterbi(seq, zeros), plain.viterbi(seq))
+        np.testing.assert_allclose(
+            cond.predict_next_distribution(seq, zeros, 0),
+            plain.predict_next_distribution(seq),
+        )
+
+
+class TestFit:
+    def test_monotone_log_likelihood_without_shrinkage(self):
+        rng = np.random.default_rng(0)
+        pairs = [
+            (rng.integers(0, 3, size=50), rng.integers(0, 2, size=50))
+            for _ in range(3)
+        ]
+        model = InputConditionedHMM(2, 3, 2, seed=1)
+        lls = model.fit(pairs, n_iter=15, shrinkage=0.0).log_likelihoods
+        assert all(b >= a - 1e-8 for a, b in zip(lls, lls[1:]))
+
+    def test_learns_input_dependent_emission(self):
+        """Input 0 always emits symbol 0; input 1 always emits symbol 1."""
+        rng = np.random.default_rng(1)
+        inputs = rng.integers(0, 2, size=200)
+        observations = inputs.copy()  # symbol == input
+        model = InputConditionedHMM(2, 2, 2, seed=2)
+        model.fit([(observations, inputs)], n_iter=30, shrinkage=0.0)
+        dist0 = model.predict_next_distribution(observations[:50], inputs[:50], 0)
+        dist1 = model.predict_next_distribution(observations[:50], inputs[:50], 1)
+        assert int(np.argmax(dist0)) == 0
+        assert int(np.argmax(dist1)) == 1
+
+    def test_shrinkage_pools_toward_shared_behaviour(self):
+        rng = np.random.default_rng(3)
+        inputs = rng.integers(0, 2, size=150)
+        observations = inputs.copy()
+        pooled = InputConditionedHMM(2, 2, 2, seed=4)
+        pooled.fit([(observations, inputs)], n_iter=20, shrinkage=1.0)
+        # Full shrinkage -> all inputs share statistics -> B[0] ~= B[1].
+        np.testing.assert_allclose(pooled.B[0], pooled.B[1], atol=1e-6)
+
+    def test_invalid_shrinkage_rejected(self):
+        model = InputConditionedHMM(2, 2, 2, seed=0)
+        with pytest.raises(ValueError, match="shrinkage"):
+            model.fit([([0, 1], [0, 1])], shrinkage=1.5)
+
+    def test_empty_pairs_rejected(self):
+        model = InputConditionedHMM(2, 2, 2, seed=0)
+        with pytest.raises(ValueError, match="at least one"):
+            model.fit([])
+
+
+class TestPrediction:
+    def test_next_distribution_sums_to_one(self):
+        model = InputConditionedHMM(3, 4, 2, seed=5)
+        dist = model.predict_next_distribution([0, 1, 3], [0, 1, 0], 1)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_invalid_next_input_rejected(self):
+        model = InputConditionedHMM(3, 4, 2, seed=5)
+        with pytest.raises(ValueError, match="next_input"):
+            model.predict_next_distribution([0], [0], 9)
+
+    def test_marginal_with_weights(self):
+        model = InputConditionedHMM(3, 4, 2, seed=5)
+        dist = model.predict_next_marginal([0, 1], [0, 1], np.array([0.9, 0.1]))
+        assert dist.sum() == pytest.approx(1.0)
+        # Degenerate weights equal direct conditioning.
+        np.testing.assert_allclose(
+            model.predict_next_marginal([0, 1], [0, 1], np.array([1.0, 0.0])),
+            model.predict_next_distribution([0, 1], [0, 1], 0),
+        )
+
+    def test_marginal_weight_shape_validated(self):
+        model = InputConditionedHMM(3, 4, 2, seed=5)
+        with pytest.raises(ValueError, match="shape"):
+            model.predict_next_marginal([0], [0], np.array([1.0, 0.0, 0.0]))
+
+    def test_top_k(self):
+        model = InputConditionedHMM(3, 4, 2, seed=5)
+        top = model.predict_top_k([0, 1, 2], [0, 0, 1], 1, k=2)
+        dist = model.predict_next_distribution([0, 1, 2], [0, 0, 1], 1)
+        assert len(top) == 2
+        assert dist[top[0]] >= dist[top[1]]
+
+    def test_filter_state_sums_to_one(self):
+        model = InputConditionedHMM(3, 4, 2, seed=5)
+        alpha = model.filter_state([0, 1], [1, 0])
+        assert alpha.sum() == pytest.approx(1.0)
+
+    def test_viterbi_shape_and_range(self):
+        model = InputConditionedHMM(3, 4, 2, seed=5)
+        states = model.viterbi([0, 1, 2, 3], [0, 1, 1, 0])
+        assert states.shape == (4,)
+        assert states.min() >= 0 and states.max() < 3

@@ -1,0 +1,114 @@
+"""Unit and property tests for repro.hmm.utils."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmm.utils import (
+    PROB_FLOOR,
+    log_sum_exp,
+    normalize_rows,
+    random_stochastic_matrix,
+    random_stochastic_vector,
+    validate_sequences,
+)
+
+
+class TestLogSumExp:
+    def test_matches_naive_on_moderate_values(self):
+        values = np.array([0.1, -2.0, 3.5])
+        assert log_sum_exp(values) == pytest.approx(np.log(np.exp(values).sum()))
+
+    def test_handles_large_values_without_overflow(self):
+        values = np.array([1000.0, 1000.0])
+        assert log_sum_exp(values) == pytest.approx(1000.0 + np.log(2.0))
+
+    def test_all_negative_infinity_returns_negative_infinity(self):
+        assert log_sum_exp(np.array([-np.inf, -np.inf])) == -np.inf
+
+    def test_axis_reduction(self):
+        values = np.log(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        out = log_sum_exp(values, axis=1)
+        assert out == pytest.approx(np.log([4.0, 4.0]))
+
+    @given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=20))
+    def test_property_ge_max(self, values):
+        arr = np.array(values)
+        assert log_sum_exp(arr) >= arr.max() - 1e-9
+
+
+class TestNormalizeRows:
+    def test_rows_sum_to_one(self):
+        out = normalize_rows(np.array([[1.0, 3.0], [2.0, 2.0]]))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_zero_row_becomes_uniform(self):
+        out = normalize_rows(np.array([[0.0, 0.0, 0.0], [1.0, 1.0, 2.0]]))
+        np.testing.assert_allclose(out[0], [1 / 3] * 3)
+
+    def test_one_dimensional_input(self):
+        out = normalize_rows(np.array([2.0, 2.0]))
+        assert out.shape == (2,)
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_entries_floored_strictly_positive(self):
+        out = normalize_rows(np.array([[1.0, 0.0]]))
+        # The final normalization can nudge the floored value slightly below
+        # PROB_FLOOR; strict positivity at that magnitude is the contract.
+        assert out.min() >= PROB_FLOOR * 0.5
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=0, max_value=100), min_size=3, max_size=3),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_property_stochastic(self, rows):
+        out = normalize_rows(np.array(rows))
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-9)
+        assert (out > 0).all()
+
+
+class TestRandomStochastic:
+    def test_vector_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        vec = random_stochastic_vector(5, rng)
+        assert vec.sum() == pytest.approx(1.0)
+        assert (vec > 0).all()
+
+    def test_matrix_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        mat = random_stochastic_matrix(4, 6, rng)
+        assert mat.shape == (4, 6)
+        np.testing.assert_allclose(mat.sum(axis=1), 1.0)
+
+    def test_seeded_determinism(self):
+        a = random_stochastic_matrix(3, 3, np.random.default_rng(7))
+        b = random_stochastic_matrix(3, 3, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidateSequences:
+    def test_accepts_valid_sequences(self):
+        out = validate_sequences([[0, 1, 2], [2, 1]], n_symbols=3)
+        assert len(out) == 2
+        assert out[0].dtype == np.int64
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError, match="at least one"):
+            validate_sequences([], n_symbols=3)
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_sequences([[0, 1], []], n_symbols=3)
+
+    def test_rejects_out_of_range_symbols(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_sequences([[0, 3]], n_symbols=3)
+        with pytest.raises(ValueError, match="outside"):
+            validate_sequences([[-1, 0]], n_symbols=3)
+
+    def test_rejects_multidimensional(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            validate_sequences([[[0], [1]]], n_symbols=3)

@@ -1,0 +1,84 @@
+"""Tests for the shift-add-xor hash and the chained hash table."""
+
+import pytest
+
+from repro.index.hashing import ChainedHashTable, pair_key, shift_add_xor_hash
+
+
+class TestShiftAddXorHash:
+    def test_deterministic(self):
+        assert shift_add_xor_hash("3#42") == shift_add_xor_hash("3#42")
+
+    def test_different_strings_differ(self):
+        # Not guaranteed in general, but these must differ for a sane hash.
+        values = {shift_add_xor_hash(f"{c}#{e}") for c in range(10) for e in range(100)}
+        assert len(values) > 900  # near-perfect distinctness on 1000 keys
+
+    def test_stays_within_32_bits(self):
+        for text in ["", "a", "x" * 500]:
+            assert 0 <= shift_add_xor_hash(text) <= 0xFFFFFFFF
+
+    def test_seed_changes_hash(self):
+        assert shift_add_xor_hash("abc", seed=1) != shift_add_xor_hash("abc", seed=2)
+
+    def test_distribution_roughly_uniform(self):
+        buckets = [0] * 64
+        for c in range(20):
+            for e in range(200):
+                buckets[shift_add_xor_hash(pair_key(c, e)) % 64] += 1
+        mean = sum(buckets) / len(buckets)
+        assert max(buckets) < mean * 2.0  # no catastrophically hot bucket
+
+
+class TestPairKey:
+    def test_format(self):
+        assert pair_key(3, 42) == "3#42"
+
+    def test_distinct_pairs_distinct_keys(self):
+        assert pair_key(1, 23) != pair_key(12, 3)
+
+
+class TestChainedHashTable:
+    def test_insert_and_lookup(self):
+        table = ChainedHashTable(n_buckets=16)
+        table.insert(1, 2, block_id=0, tree="t0")
+        table.insert(1, 2, block_id=3, tree="t3")
+        assert table.lookup(1, 2) == {0: "t0", 3: "t3"}
+        assert len(table) == 1
+
+    def test_lookup_missing_returns_empty(self):
+        table = ChainedHashTable(n_buckets=16)
+        assert table.lookup(9, 9) == {}
+
+    def test_upsert_replaces_pointer(self):
+        table = ChainedHashTable(n_buckets=16)
+        table.insert(1, 2, 0, "old")
+        table.insert(1, 2, 0, "new")
+        assert table.lookup(1, 2) == {0: "new"}
+
+    def test_chaining_resolves_bucket_collisions(self):
+        table = ChainedHashTable(n_buckets=1)  # every pair collides
+        for e in range(20):
+            table.insert(0, e, 0, f"t{e}")
+        assert len(table) == 20
+        for e in range(20):
+            assert table.lookup(0, e) == {0: f"t{e}"}
+        assert table.chain_lengths() == [20]
+
+    def test_remove_block(self):
+        table = ChainedHashTable(n_buckets=8)
+        table.insert(1, 2, 0, "t")
+        assert table.remove_block(1, 2, 0) is True
+        assert table.lookup(1, 2) == {}
+        assert table.remove_block(1, 2, 0) is False
+        assert table.remove_block(5, 5, 0) is False
+
+    def test_invalid_bucket_count_rejected(self):
+        with pytest.raises(ValueError):
+            ChainedHashTable(n_buckets=0)
+
+    def test_chain_lengths_sum_to_size(self):
+        table = ChainedHashTable(n_buckets=4)
+        for e in range(37):
+            table.insert(e % 3, e, 0, "t")
+        assert sum(table.chain_lengths()) == len(table) == 37

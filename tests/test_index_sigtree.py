@@ -1,0 +1,201 @@
+"""Tests for the extended signature tree: structure, aggregation, bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.schema import SocialItem
+from repro.index.signature import BlockUniverse, QuerySignature, UserVector
+from repro.index.sigtree import InternalNode, LeafEntry, SignatureTree
+
+
+def make_universe(n_producers=3, n_entities=6):
+    return BlockUniverse(range(n_producers), range(n_entities), slack=0.2)
+
+
+def make_vector(universe, rng, user_id):
+    return UserVector(
+        user_id=user_id,
+        p_producer=rng.random(universe.producer_capacity) * 0.2,
+        p_entity=rng.random(universe.entity_capacity) * 0.2,
+        floor_producer=float(rng.random() * 0.01),
+        floor_entity=float(rng.random() * 0.01),
+        version=0,
+    )
+
+
+def make_entries(universe, n_users, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        LeafEntry(
+            user_id=uid,
+            vector=make_vector(universe, rng, uid),
+            p_long=float(rng.random()),
+            p_short=float(rng.random()),
+        )
+        for uid in range(n_users)
+    ]
+
+
+def make_query(universe, seed=0, category=0):
+    rng = np.random.default_rng(seed)
+    item = SocialItem(0, category, int(rng.integers(3)), (), "", 0.0)
+    entity_ids = universe.entity_ids()
+    weighted = [(int(rng.choice(entity_ids)), 1.0) for _ in range(3)]
+    weighted.append((99999, 0.5))  # out-of-universe entity
+    return QuerySignature.encode(item, weighted, universe, block_id=0)
+
+
+class TestBulkBuild:
+    def test_all_entries_present(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=4)
+        entries = make_entries(universe, 23)
+        tree.bulk_build(entries)
+        assert len(tree) == 23
+        assert [e.user_id for e in tree.all_entries()] == list(range(23))
+
+    def test_height_logarithmic(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=4)
+        tree.bulk_build(make_entries(universe, 64))
+        # 64 entries -> 16 leaf nodes -> 4 internal -> 1 root: 3 node levels.
+        assert tree.height() == 3
+
+    def test_empty_build(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=4)
+        tree.bulk_build([])
+        assert len(tree) == 0
+        assert tree.all_entries() == []
+
+    def test_invariants_hold_after_build(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build(make_entries(universe, 30))
+        tree.check_invariants()
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureTree(0, 0, make_universe(), fanout=1)
+
+
+class TestUpperBound:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=10))
+    def test_root_bound_dominates_every_leaf(self, n_users, seed):
+        """Lemma 1/2: the IEntry relevance upper-bounds every descendant's
+        exact relevance, for random signatures and random queries."""
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=4)
+        entries = make_entries(universe, n_users, seed=seed)
+        tree.bulk_build(entries)
+        query = make_query(universe, seed=seed)
+        bound = tree.root.relevance(query, lambda_s=0.4)
+        for entry in tree.all_entries():
+            assert bound >= entry.relevance(query, 0.4) - 1e-9
+
+    def test_internal_bounds_dominate_children(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build(make_entries(universe, 27, seed=3))
+        query = make_query(universe, seed=3)
+
+        def walk(node):
+            bound = node.relevance(query, 0.4)
+            if node.is_leaf:
+                for entry in node.entries:
+                    assert bound >= entry.relevance(query, 0.4) - 1e-9
+            else:
+                for child in node.children:
+                    assert bound >= child.relevance(query, 0.4) - 1e-9
+                    walk(child)
+
+        walk(tree.root)
+
+
+class TestUpdate:
+    def test_update_entry_refreshes_values_and_ancestors(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build(make_entries(universe, 12, seed=1))
+        rng = np.random.default_rng(99)
+        new_vector = make_vector(universe, rng, 5)
+        assert tree.update_entry(5, new_vector, p_long=0.99, p_short=0.98)
+        entry = tree.find_leaf_entry(5)
+        assert entry.p_long == pytest.approx(0.99)
+        tree.check_invariants()
+        assert tree.root.agg_p_long >= 0.99
+
+    def test_update_missing_user_returns_false(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build(make_entries(universe, 5))
+        rng = np.random.default_rng(0)
+        assert not tree.update_entry(999, make_vector(universe, rng, 999), 0.1, 0.1)
+
+    def test_find_leaf_entry(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build(make_entries(universe, 9))
+        assert tree.find_leaf_entry(4).user_id == 4
+        assert tree.find_leaf_entry(100) is None
+
+
+class TestInsert:
+    def test_insert_grows_tree_and_keeps_invariants(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build(make_entries(universe, 4, seed=2))
+        rng = np.random.default_rng(5)
+        for uid in range(100, 130):
+            tree.insert(
+                LeafEntry(
+                    user_id=uid,
+                    vector=make_vector(universe, rng, uid),
+                    p_long=float(rng.random()),
+                    p_short=float(rng.random()),
+                )
+            )
+        assert len(tree) == 34
+        tree.check_invariants()
+        assert 115 in tree
+
+    def test_duplicate_insert_rejected(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        entries = make_entries(universe, 3)
+        tree.bulk_build(entries)
+        with pytest.raises(ValueError, match="already indexed"):
+            tree.insert(entries[0])
+
+    def test_insert_into_empty_tree(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build([])
+        rng = np.random.default_rng(0)
+        tree.insert(
+            LeafEntry(user_id=1, vector=make_vector(universe, rng, 1), p_long=0.5, p_short=0.5)
+        )
+        assert len(tree) == 1
+        tree.check_invariants()
+
+    def test_bound_still_dominates_after_mixed_operations(self):
+        universe = make_universe()
+        tree = SignatureTree(0, 0, universe, fanout=3)
+        tree.bulk_build(make_entries(universe, 10, seed=4))
+        rng = np.random.default_rng(6)
+        for uid in range(200, 215):
+            tree.insert(
+                LeafEntry(
+                    user_id=uid,
+                    vector=make_vector(universe, rng, uid),
+                    p_long=float(rng.random()),
+                    p_short=float(rng.random()),
+                )
+            )
+        tree.update_entry(3, make_vector(universe, rng, 3), 0.9, 0.9)
+        query = make_query(universe, seed=4)
+        bound = tree.root.relevance(query, 0.4)
+        for entry in tree.all_entries():
+            assert bound >= entry.relevance(query, 0.4) - 1e-9

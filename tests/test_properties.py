@@ -1,0 +1,167 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+Each class targets one load-bearing contract of the system with randomized
+inputs: hash-table behaviour against a dict model, query-signature
+linearity, partition-protocol conservation laws, and synthesizer support
+constraints.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.schema import Dataset, Interaction, SocialItem
+from repro.datasets.partitions import partition_interactions
+from repro.datasets.synthpop import SynthpopSynthesizer
+from repro.index.hashing import ChainedHashTable
+from repro.index.signature import BlockUniverse, QuerySignature
+
+
+class TestHashTableModel:
+    """The chained hash table must behave exactly like a dict keyed by
+    (category, entity) regardless of bucket pressure."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),    # category
+                st.integers(min_value=0, max_value=30),   # entity
+                st.integers(min_value=0, max_value=3),    # block
+            ),
+            min_size=0,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=8),            # bucket count
+    )
+    def test_matches_dict_model(self, operations, n_buckets):
+        table = ChainedHashTable(n_buckets=n_buckets)
+        model: dict[tuple[int, int], dict[int, str]] = {}
+        for category, entity, block in operations:
+            tree = f"tree-{category}-{entity}-{block}"
+            table.insert(category, entity, block, tree)
+            model.setdefault((category, entity), {})[block] = tree
+        for (category, entity), expected in model.items():
+            assert table.lookup(category, entity) == expected
+        assert len(table) == len(model)
+        assert sum(table.chain_lengths()) == len(model)
+
+
+class TestQuerySignatureLinearity:
+    """entity_sum must be linear in the weights and in the impact list."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.floats(min_value=0.01, max_value=2.0),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_scaling_weights_scales_sum(self, weighted):
+        universe = BlockUniverse([0], range(10), slack=0.2)
+        item = SocialItem(0, 0, 0, (), "", 0.0)
+        rng = np.random.default_rng(0)
+        p_entity = rng.random(universe.entity_capacity)
+        floor = 0.001
+        single = QuerySignature.encode(item, weighted, universe, 0)
+        doubled = QuerySignature.encode(
+            item, [(e, 2 * w) for e, w in weighted], universe, 0
+        )
+        assert doubled.entity_sum(p_entity, floor) == pytest.approx(
+            2 * single.entity_sum(p_entity, floor)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=50))
+    def test_out_of_universe_entities_hit_the_floor(self, entity):
+        universe = BlockUniverse([0], range(10), slack=0.0)
+        item = SocialItem(0, 0, 0, (), "", 0.0)
+        query = QuerySignature.encode(item, [(entity, 1.0)], universe, 0)
+        p_entity = np.full(universe.entity_capacity, 0.7)
+        value = query.entity_sum(p_entity, floor_entity=0.001)
+        if universe.entity_slot(entity) is None:
+            assert value == pytest.approx(0.001)
+        else:
+            assert value == pytest.approx(0.7)
+
+
+def _dataset_from_times(times):
+    items = [SocialItem(0, 0, 0, (), "", 0.0)]
+    interactions = [
+        Interaction(user_id=1, item_id=0, category=0, producer=0, timestamp=t)
+        for t in times
+    ]
+    return Dataset(
+        name="prop",
+        n_categories=1,
+        items=items,
+        interactions=interactions,
+        entity_names=[],
+        producer_ids=[0],
+        consumer_ids=[1],
+    )
+
+
+class TestPartitionConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=6,
+            max_size=120,
+        ),
+        st.integers(min_value=2, max_value=6),
+    )
+    def test_every_interaction_in_exactly_one_partition(self, times, n_partitions):
+        dataset = _dataset_from_times(times)
+        stream = partition_interactions(dataset, n_partitions=n_partitions, n_train=1)
+        total = sum(len(p) for p in stream.partitions)
+        assert total == len(times)
+        # Partitions ordered, near-even, and globally time-sorted.
+        sizes = [len(p) for p in stream.partitions]
+        assert max(sizes) - min(sizes) <= len(times)  # sanity
+        flattened = [i.timestamp for p in stream.partitions for i in p]
+        assert flattened == sorted(flattened)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=10,
+            max_size=60,
+        )
+    )
+    def test_protocol_steps_monotone_training_growth(self, times):
+        dataset = _dataset_from_times(times)
+        stream = partition_interactions(dataset, n_partitions=5, n_train=2)
+        steps = stream.protocol_steps()
+        for (train_a, test_a), (train_b, test_b) in zip(steps, steps[1:]):
+            assert test_b == test_a + 1
+            assert train_b[: len(train_a)] == train_a
+
+
+class TestSynthesizerSupport:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_samples_stay_within_observed_support(self, rows):
+        """The synthesizer can only emit values it saw during fit."""
+        records = [{"a": a, "b": b} for a, b in rows]
+        synth = SynthpopSynthesizer(["a", "b"], max_context=1).fit(records)
+        seen_a = {r["a"] for r in records}
+        seen_b = {r["b"] for r in records}
+        for sample in synth.sample(30, seed=1):
+            assert sample["a"] in seen_a
+            assert sample["b"] in seen_b
