@@ -32,6 +32,13 @@ class SsRecConfig:
             for unseen entities (paper: "we reserve 20% space of each
             entry").
         default_k: top-k cutoff when none is given.
+        maintenance_interval: profile updates absorbed between periodic
+            CPPse-index maintenance runs (Algorithm 2's cadence; the paper
+            maintains the index "periodically by checking the activities
+            of social users").
+        batch_size: default micro-batch window of the batched serving path
+            (used by the batch topology and ``StreamEvaluator.run_batch``
+            when no explicit window size is given).
     """
 
     window_size: int = 5
@@ -51,6 +58,8 @@ class SsRecConfig:
     hash_buckets: int = 1024
     signature_slack: float = 0.2
     default_k: int = 30
+    maintenance_interval: int = 200
+    batch_size: int = 64
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
@@ -65,6 +74,12 @@ class SsRecConfig:
             raise ValueError(f"hash_buckets must be >= 1, got {self.hash_buckets}")
         if not (0.0 <= self.signature_slack < 1.0):
             raise ValueError(f"signature_slack must be in [0, 1), got {self.signature_slack}")
+        if self.maintenance_interval < 1:
+            raise ValueError(
+                f"maintenance_interval must be >= 1, got {self.maintenance_interval}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
     def with_options(self, **overrides) -> "SsRecConfig":
         """Copy with the given fields replaced (configs are frozen)."""

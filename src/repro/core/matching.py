@@ -26,6 +26,7 @@ Two scorer implementations share the exact same arithmetic:
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -173,8 +174,16 @@ class VectorizedMatcher:
         self.scorer = scorer
         self.profiles = profiles
         self._user_ids: list[int] = []
+        self._user_id_array: np.ndarray | None = None
         self._row_of: dict[int, int] = {}
         self._versions: dict[int, int] = {}
+        # Column caches for the batched path, valid for one data epoch (any
+        # refreshed/added row invalidates them — the underlying count
+        # matrices changed).
+        self._data_epoch = 0
+        self._cols_epoch = -1
+        self._producer_col_cache: dict[int, np.ndarray] = {}
+        self._entity_col_cache: dict[int, np.ndarray] = {}
         self._capacity = 0
         config = scorer.config
         self._mu = config.dirichlet_mu
@@ -212,6 +221,7 @@ class VectorizedMatcher:
         if row >= self._capacity:
             self._grow(max(16, self._capacity * 2, row + 1))
         self._user_ids.append(user_id)
+        self._user_id_array = None
         self._row_of[user_id] = row
         return row
 
@@ -232,6 +242,7 @@ class VectorizedMatcher:
         self._long_dist[row] = self.scorer.interest.long_term_distribution(profile)
         self._short_dist[row] = self.scorer.interest.short_term_distribution(profile)
         self._versions[profile.user_id] = profile.version
+        self._data_epoch += 1
 
     def sync(self) -> None:
         """Bring every registered profile's row up to date."""
@@ -246,6 +257,81 @@ class VectorizedMatcher:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
+    def _producer_column(self, producer: int) -> np.ndarray:
+        """Smoothed ``p^(u^p|u)`` over all user rows for one producer.
+
+        Shared by the per-item and batched paths so both produce
+        bit-identical probabilities (the batch path additionally caches
+        columns across the items of one batch).
+        """
+        n = len(self._user_ids)
+        mu = self._mu
+        if 0 <= producer < self.scorer.n_producers:
+            count = self._producer_counts[:n, producer]
+        else:
+            count = np.zeros(n)
+        return (count + mu / self.scorer.n_producers) / (self._n_long[:n] + mu)
+
+    def _entity_column(self, entity_id: int) -> np.ndarray:
+        """Smoothed ``p^(e|u)`` over all user rows for one entity."""
+        n = len(self._user_ids)
+        mu = self._mu
+        if 0 <= entity_id < self.scorer.n_entities:
+            count = self._entity_counts[:n, entity_id]
+        else:
+            count = np.zeros(n)
+        return (count + mu / self.scorer.n_entities) / (self._n_tokens[:n] + mu)
+
+    def _pair_parts(
+        self,
+        item: SocialItem,
+        producer_cols: dict[int, np.ndarray] | None = None,
+        entity_cols: dict[int, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(p_producer, entity_sum)`` of one item over all user rows,
+        assuming rows are already synced.
+
+        ``producer_cols`` / ``entity_cols`` are optional cross-item caches:
+        within a micro-batch many items share a producer or query entities,
+        so their smoothed columns are computed once and reused.
+        """
+        n = len(self._user_ids)
+        producer = int(item.producer)
+        if producer_cols is not None and producer in producer_cols:
+            p_producer = producer_cols[producer]
+        else:
+            p_producer = self._producer_column(producer)
+            if producer_cols is not None:
+                producer_cols[producer] = p_producer
+        entity_sum = np.zeros(n)
+        for entity_id, weight in self.scorer.expanded_query(item):
+            if entity_cols is not None:
+                col = entity_cols.get(entity_id)
+                if col is None:
+                    col = self._entity_column(entity_id)
+                    entity_cols[entity_id] = col
+            else:
+                col = self._entity_column(entity_id)
+            entity_sum += weight * col
+        return p_producer, entity_sum
+
+    @staticmethod
+    def _combine_parts(
+        p_long: np.ndarray,
+        p_producer: np.ndarray,
+        entity_sum: np.ndarray,
+        p_short: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eq. 2/4 in log-space; elementwise, so vectors and matrices both
+        work — applying it per row or once on stacked rows is bit-identical."""
+        r_long = (
+            np.log(p_long)
+            + np.log(np.maximum(p_producer, PROB_FLOOR))
+            + np.log(np.maximum(entity_sum, PROB_FLOOR))
+        )
+        r_short = np.log(p_short)
+        return r_long, r_short
+
     def score_components(self, item: SocialItem) -> tuple[np.ndarray, np.ndarray]:
         """``(R_l, R_s)`` arrays over all users (row order: ``user_ids``).
 
@@ -256,32 +342,46 @@ class VectorizedMatcher:
         n = len(self._user_ids)
         if n == 0:
             return np.zeros(0), np.zeros(0)
-        mu = self._mu
         c = item.category
         p_long = np.maximum(self._long_dist[:n, c], PROB_FLOOR)
         p_short = np.maximum(self._short_dist[:n, c], PROB_FLOOR)
-        producer = item.producer
-        if 0 <= producer < self.scorer.n_producers:
-            producer_count = self._producer_counts[:n, producer]
-        else:
-            producer_count = np.zeros(n)
-        p_producer = (producer_count + mu / self.scorer.n_producers) / (self._n_long[:n] + mu)
-        entity_sum = np.zeros(n)
-        for entity_id, weight in self.scorer.expanded_query(item):
-            if 0 <= entity_id < self.scorer.n_entities:
-                count = self._entity_counts[:n, entity_id]
-            else:
-                count = np.zeros(n)
-            entity_sum += weight * (count + mu / self.scorer.n_entities) / (
-                self._n_tokens[:n] + mu
+        p_producer, entity_sum = self._pair_parts(item)
+        return self._combine_parts(p_long, p_producer, entity_sum, p_short)
+
+    def score_components_batch(
+        self, items: Sequence[SocialItem]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(R_l, R_s)`` matrices of shape ``[n_items, n_users]``.
+
+        The batched path amortizes over the whole micro-batch what the
+        per-item path pays per call: one profile sync instead of one per
+        item, one smoothed producer/entity column per distinct symbol
+        instead of one per (item, symbol) occurrence, one gather for all
+        category parts, and one log/combine pass over the stacked part
+        matrices.  Row ``i`` is bit-identical to
+        ``score_components(items[i])`` on the same state.
+        """
+        self.sync()
+        n = len(self._user_ids)
+        n_items = len(items)
+        if n == 0 or n_items == 0:
+            return np.zeros((n_items, n)), np.zeros((n_items, n))
+        categories = np.fromiter((item.category for item in items), dtype=np.intp)
+        p_long = np.maximum(self._long_dist[:n, categories].T, PROB_FLOOR)
+        p_short = np.maximum(self._short_dist[:n, categories].T, PROB_FLOOR)
+        if self._cols_epoch != self._data_epoch:
+            self._producer_col_cache.clear()
+            self._entity_col_cache.clear()
+            self._cols_epoch = self._data_epoch
+        producer_cols = self._producer_col_cache
+        entity_cols = self._entity_col_cache
+        p_producer = np.empty((n_items, n), dtype=np.float64)
+        entity_sum = np.empty((n_items, n), dtype=np.float64)
+        for row, item in enumerate(items):
+            p_producer[row], entity_sum[row] = self._pair_parts(
+                item, producer_cols, entity_cols
             )
-        r_long = (
-            np.log(p_long)
-            + np.log(np.maximum(p_producer, PROB_FLOOR))
-            + np.log(np.maximum(entity_sum, PROB_FLOOR))
-        )
-        r_short = np.log(p_short)
-        return r_long, r_short
+        return self._combine_parts(p_long, p_producer, entity_sum, p_short)
 
     def score_all(self, item: SocialItem, lambda_s: float | None = None) -> np.ndarray:
         """Eq. 3 scores over all users."""
@@ -289,12 +389,49 @@ class VectorizedMatcher:
         r_long, r_short = self.score_components(item)
         return (1.0 - lam) * r_long + lam * r_short
 
-    def top_k(self, item: SocialItem, k: int, lambda_s: float | None = None) -> list[tuple[int, float]]:
-        """Top-``k`` ``(user_id, score)`` pairs, ties broken by user id."""
-        scores = self.score_all(item, lambda_s=lambda_s)
+    def score_all_batch(
+        self, items: Sequence[SocialItem], lambda_s: float | None = None
+    ) -> np.ndarray:
+        """Eq. 3 score matrix ``[n_items, n_users]`` for a micro-batch."""
+        lam = self.scorer.config.lambda_s if lambda_s is None else float(lambda_s)
+        r_long, r_short = self.score_components_batch(items)
+        return (1.0 - lam) * r_long + lam * r_short
+
+    def _select_top_k(self, scores: np.ndarray, k: int) -> list[tuple[int, float]]:
+        """Top-``k`` ``(user_id, score)`` by ``(-score, user_id)`` order.
+
+        For ``k`` well below the population a partial selection narrows the
+        candidate set before the exact sort; the threshold keeps every score
+        tied with the k-th best, so the result equals a full sort's prefix.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
         if scores.size == 0:
             return []
         k = min(int(k), scores.size)
-        # Stable selection: sort by (-score, user_id) for deterministic ties.
-        order = np.lexsort((np.array(self._user_ids), -scores))
-        return [(self._user_ids[i], float(scores[i])) for i in order[:k]]
+        if self._user_id_array is None or self._user_id_array.size != len(self._user_ids):
+            self._user_id_array = np.asarray(self._user_ids)
+        user_ids = self._user_id_array
+        if k < scores.size // 2:
+            kth_best = np.partition(scores, scores.size - k)[scores.size - k]
+            candidates = np.flatnonzero(scores >= kth_best)
+            order = candidates[np.lexsort((user_ids[candidates], -scores[candidates]))]
+        else:
+            order = np.lexsort((user_ids, -scores))
+        return [(int(user_ids[i]), float(scores[i])) for i in order[:k]]
+
+    def top_k(self, item: SocialItem, k: int, lambda_s: float | None = None) -> list[tuple[int, float]]:
+        """Top-``k`` ``(user_id, score)`` pairs, ties broken by user id."""
+        return self._select_top_k(self.score_all(item, lambda_s=lambda_s), k)
+
+    def top_k_batch(
+        self, items: Sequence[SocialItem], k: int, lambda_s: float | None = None
+    ) -> list[list[tuple[int, float]]]:
+        """Per-item top-``k`` lists for a micro-batch (one score matrix).
+
+        Entry ``i`` equals ``top_k(items[i], k)`` evaluated on the same
+        profile state — the batch amortizes sync and column construction
+        but never changes results.
+        """
+        score_matrix = self.score_all_batch(items, lambda_s=lambda_s)
+        return [self._select_top_k(score_matrix[i], k) for i in range(len(items))]

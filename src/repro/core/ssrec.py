@@ -12,6 +12,11 @@ Typical usage::
         recommender.observe_item(item)              # producer layer update
         top_users = recommender.recommend(item, k=30)
     recommender.update(interaction)                 # user profile update
+
+High-throughput serving drains the item stream in micro-batches instead::
+
+    for window in batched(item_stream, 64):
+        ranked_lists = recommender.recommend_batch(window, k=30)
 """
 
 from __future__ import annotations
@@ -60,7 +65,7 @@ class SsRecRecommender:
         self.matcher: VectorizedMatcher | None = None
         self.index = None  # CPPseIndex, built lazily to avoid an import cycle
         self._maintenance_pending: set[int] = set()
-        self.maintenance_interval = 200  # updates between index maintenance runs
+        self.maintenance_interval = self.config.maintenance_interval
         self._updates_since_maintenance = 0
         self._fitted = False
 
@@ -258,6 +263,29 @@ class SsRecRecommender:
                 self.run_maintenance()
             return self.index.knn(item, k)
         return self.matcher.top_k(item, k)
+
+    def recommend_batch(
+        self, items: Sequence[SocialItem], k: int | None = None
+    ) -> list[list[tuple[int, float]]]:
+        """Top-``k`` lists for a micro-batch of items, one per input item.
+
+        Result-identical to calling :meth:`recommend` per item on the same
+        profile state, but the serving cost is amortized across the window:
+        one profile sync / maintenance flush for the whole batch, shared
+        smoothed columns in scan mode, shared query encodings and sigtree
+        descents in index mode.
+        """
+        self._require_fitted()
+        assert self.matcher is not None
+        k = k or self.config.default_k
+        items = list(items)
+        if not items:
+            return []
+        if self.index is not None:
+            if self._maintenance_pending:
+                self.run_maintenance()
+            return self.index.knn_batch(items, k)
+        return self.matcher.top_k_batch(items, k)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "index" if self.use_index else "scan"

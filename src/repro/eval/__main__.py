@@ -9,6 +9,10 @@ Regenerate any of the paper's tables/figures from the shell::
     python -m repro.eval fig10 --dataset YTube --scale default
     python -m repro.eval fig11
 
+Beyond the paper, ``batch`` measures the batched serving path::
+
+    python -m repro.eval batch --dataset YTube --scale default
+
 ``--scale`` controls the dataset size (small | default | paper_shape);
 ``--dataset`` picks one of the four Table III datasets where applicable.
 """
@@ -21,7 +25,7 @@ import sys
 from repro.datasets.ytube import YTubeConfig, generate_ytube
 from repro.eval import experiments as ex
 
-SINGLE_DATASET_EXPERIMENTS = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+SINGLE_DATASET_EXPERIMENTS = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch"}
 ALL_EXPERIMENTS = sorted(SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11"})
 
 
@@ -80,6 +84,8 @@ def main(argv: list[str] | None = None) -> int:
         result = ex.run_fig9(dataset, min_truth=args.min_truth)
     elif args.experiment == "fig10":
         result = ex.run_fig10(dataset, min_truth=2)
+    elif args.experiment == "batch":
+        result = ex.run_batch_throughput(dataset, seed=args.seed)
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.experiment)
     print(result.to_text())

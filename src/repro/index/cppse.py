@@ -165,6 +165,29 @@ class CPPseIndex:
                 found[block_id] = tree
         return found
 
+    def _locate_trees_cached(
+        self,
+        item: SocialItem,
+        lookup_cache: dict[tuple[int, int], dict[int, SignatureTree]] | None,
+    ) -> dict[int, SignatureTree]:
+        """:meth:`locate_trees` with an optional per-batch lookup cache.
+
+        Items of one micro-batch overwhelmingly share categories and query
+        entities, so their ``(category, entity)`` hash probes repeat; the
+        cache turns the repeats into one dictionary hit each.
+        """
+        if lookup_cache is None:
+            return self.locate_trees(item)
+        found: dict[int, SignatureTree] = {}
+        for entity_id, _ in self.scorer.expanded_query(item):
+            probe = (item.category, entity_id)
+            hit = lookup_cache.get(probe)
+            if hit is None:
+                hit = self.hash_table.lookup(item.category, entity_id)
+                lookup_cache[probe] = hit
+            found.update(hit)
+        return found
+
     def knn(self, item: SocialItem, k: int) -> list[tuple[int, float]]:
         """Algorithm 1: top-``k`` users for ``item`` via best-first search.
 
@@ -173,16 +196,74 @@ class CPPseIndex:
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        return self._knn_search(item, k, None, None, None)
+
+    def knn_batch(
+        self, items: Sequence[SocialItem], k: int
+    ) -> list[list[tuple[int, float]]]:
+        """Batched Algorithm 1 over a micro-batch of items.
+
+        Entry ``i`` equals ``knn(items[i], k)`` on the same index state.
+        The batch amortizes three costs the per-item path pays per call:
+
+        - items are grouped by pseudo-query ``(category, producer, E u E')``
+          and duplicates answered by a single best-first search;
+        - ``(category, entity)`` hash-table probes are cached across the
+          batch (tree location, step 1 of Algorithm 1);
+        - per-block :class:`QuerySignature` encodings are cached, so items
+          sharing a query signature descend the same trees without
+          re-encoding.
+
+        Callers flush pending maintenance once before the batch (the ssRec
+        facade does) rather than once per item.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        results: list[list[tuple[int, float]]] = [[] for _ in items]
+        groups: dict[tuple, list[int]] = {}
+        for position, item in enumerate(items):
+            weighted = self.scorer.expanded_query(item)
+            query_key = (item.category, item.producer, tuple(weighted))
+            groups.setdefault(query_key, []).append(position)
+        lookup_cache: dict[tuple[int, int], dict[int, SignatureTree]] = {}
+        encode_cache: dict[tuple, QuerySignature] = {}
+        # Category-sorted group order keeps consecutive searches on the same
+        # trees (and their cached encodings).
+        for query_key in sorted(groups, key=lambda key: key[:2]):
+            positions = groups[query_key]
+            ranked = self._knn_search(
+                items[positions[0]], k, lookup_cache, encode_cache, query_key
+            )
+            for position in positions:
+                results[position] = list(ranked)
+        return results
+
+    def _knn_search(
+        self,
+        item: SocialItem,
+        k: int,
+        lookup_cache: dict[tuple[int, int], dict[int, SignatureTree]] | None,
+        encode_cache: dict[tuple, QuerySignature] | None,
+        query_key: tuple | None,
+    ) -> list[tuple[int, float]]:
+        """One best-first search, optionally sharing per-batch caches."""
         lambda_s = self.scorer.config.lambda_s
         weighted = self.scorer.expanded_query(item)
-        trees = self.locate_trees(item)
+        trees = self._locate_trees_cached(item, lookup_cache)
         if not trees:
             return []
         counter = itertools.count()
         # Best-first frontier: (-upper_bound, seq, node, query).
         frontier: list = []
         for block_id, tree in sorted(trees.items()):
-            query = QuerySignature.encode(item, weighted, tree.universe, block_id)
+            if encode_cache is not None and query_key is not None:
+                cache_key = (block_id, query_key)
+                query = encode_cache.get(cache_key)
+                if query is None:
+                    query = QuerySignature.encode(item, weighted, tree.universe, block_id)
+                    encode_cache[cache_key] = query
+            else:
+                query = QuerySignature.encode(item, weighted, tree.universe, block_id)
             bound = tree.root.relevance(query, lambda_s)
             heapq.heappush(frontier, (-bound, next(counter), tree.root, query))
         # Result heap U_k: min-heap on (score, -user_id); its root is the

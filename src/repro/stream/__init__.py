@@ -21,6 +21,11 @@ from repro.stream.recommend_topology import (
     TopKSinkBolt,
     build_recommendation_topology,
 )
+from repro.stream.batch_topology import (
+    BatchMatchBolt,
+    MicroBatchBolt,
+    build_batch_recommend_topology,
+)
 
 __all__ = [
     "StreamTuple",
@@ -36,4 +41,7 @@ __all__ = [
     "MatchBolt",
     "TopKSinkBolt",
     "build_recommendation_topology",
+    "MicroBatchBolt",
+    "BatchMatchBolt",
+    "build_batch_recommend_topology",
 ]

@@ -1,0 +1,139 @@
+"""Micro-batched deployment: recommendation over item windows.
+
+The per-item topology (:mod:`repro.stream.recommend_topology`) re-enters the
+recommender once per tuple, paying the full serving overhead — profile sync,
+tree location, query encoding — for every item.  The batched deployment
+drains the stream in configurable windows instead::
+
+    ItemSpout --> EntityExtractBolt --(fields: category)--> MicroBatchBolt x C
+              --(fields: category)--> BatchMatchBolt x C --> TopKSinkBolt
+
+- :class:`MicroBatchBolt` buffers items into per-category windows and emits
+  one batch tuple whenever a window fills; partial windows flush at end of
+  stream through the engine's ``finish`` pass.
+- :class:`BatchMatchBolt` hands each window to ``recommend_batch`` — the
+  amortized path through the vectorized matcher (scan mode) or the
+  CPPse-index (index mode) — and re-emits one result tuple per item, so the
+  unchanged :class:`~repro.stream.recommend_topology.TopKSinkBolt` collects
+  the same ``results[item_id] = [(user, score)]`` mapping.
+
+Batches are single-category by construction, matching the paper's
+one-match-bolt-per-category deployment and maximizing shared sigtree
+descents inside ``knn_batch``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from typing import Protocol
+
+from repro.datasets.schema import SocialItem
+from repro.entities.extractor import EntityExtractor
+from repro.stream.recommend_topology import EntityExtractBolt, ItemSpout, TopKSinkBolt
+from repro.stream.topology import Bolt, Emitter, Topology, TopologyBuilder
+from repro.stream.tuples import StreamTuple
+
+
+class BatchRecommender(Protocol):
+    """Minimal protocol the batch match bolts require."""
+
+    def recommend_batch(
+        self, items: Sequence[SocialItem], k: int
+    ) -> list[list[tuple[int, float]]]:
+        """Per-item top-``k`` ``(user_id, score)`` lists for a window."""
+        ...
+
+
+class MicroBatchBolt(Bolt):
+    """Buffers item tuples into fixed-size per-category windows.
+
+    Args:
+        batch_size: window size; a category's window is emitted as one
+            ``items`` tuple the moment it fills.  Partial windows are
+            emitted by ``finish`` when the stream ends, so every item is
+            served exactly once.
+    """
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._batch_size = int(batch_size)
+        self._windows: dict[int, list[SocialItem]] = defaultdict(list)
+
+    def _emit_window(self, category: int, emitter: Emitter) -> None:
+        window = self._windows.pop(category, [])
+        if not window:
+            return
+        emitter.emit_values(
+            "",
+            timestamp=window[-1].timestamp,
+            items=list(window),
+            category=category,
+        )
+
+    def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        item: SocialItem = tup["item"]
+        window = self._windows[item.category]
+        window.append(item)
+        if len(window) >= self._batch_size:
+            self._emit_window(item.category, emitter)
+
+    def finish(self, emitter: Emitter) -> None:
+        for category in sorted(self._windows):
+            self._emit_window(category, emitter)
+
+
+class BatchMatchBolt(Bolt):
+    """Serves one window per tuple through ``recommend_batch``.
+
+    Emits one result tuple per item of the window so the per-item sink
+    bolt collects results exactly as in the per-item topology.
+    """
+
+    def __init__(self, recommender: BatchRecommender, k: int) -> None:
+        self._recommender = recommender
+        self._k = int(k)
+
+    def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        items: list[SocialItem] = tup["items"]
+        ranked_lists = self._recommender.recommend_batch(items, self._k)
+        for item, ranked in zip(items, ranked_lists):
+            emitter.emit(
+                tup.with_values("", item_id=item.item_id, recommendations=ranked)
+            )
+
+
+def build_batch_recommend_topology(
+    items: Sequence[SocialItem],
+    extractor: EntityExtractor,
+    recommender: BatchRecommender,
+    n_categories: int,
+    k: int = 30,
+    batch_size: int | None = None,
+) -> tuple[Topology, TopKSinkBolt]:
+    """Wire the micro-batched topology; returns ``(topology, sink)``.
+
+    Mirrors :func:`~repro.stream.recommend_topology.build_recommendation_topology`
+    with the match stage split into batcher + batch matcher; both stages are
+    fields-grouped on ``category`` with one task per category, per the
+    paper's bolt count.  ``batch_size`` defaults to the recommender's
+    ``config.batch_size`` when it has one (the ssRec facade does), else 64.
+    """
+    if n_categories < 1:
+        raise ValueError(f"n_categories must be >= 1, got {n_categories}")
+    if batch_size is None:
+        config = getattr(recommender, "config", None)
+        batch_size = int(getattr(config, "batch_size", 64))
+    sink = TopKSinkBolt()
+    builder = TopologyBuilder()
+    builder.set_spout("items", ItemSpout(items))
+    builder.set_bolt("extract", lambda: EntityExtractBolt(extractor)).shuffle_grouping("items")
+    builder.set_bolt(
+        "batcher", lambda: MicroBatchBolt(batch_size), parallelism=n_categories
+    ).fields_grouping("extract", "category")
+    builder.set_bolt(
+        "match", lambda: BatchMatchBolt(recommender, k), parallelism=n_categories
+    ).fields_grouping("batcher", "category")
+    builder.set_bolt("sink", lambda: sink).global_grouping("match")
+    return builder.build(), sink

@@ -102,10 +102,30 @@ class LocalEngine:
                 started = time.perf_counter()
                 self._dispatch(sourced, report)
                 report.item_latencies.append(time.perf_counter() - started)
+        self._finish(report)
         for instances in self._tasks.values():
             for bolt in instances:
                 bolt.cleanup()
         return report
+
+    def _finish(self, report: EngineReport) -> None:
+        """End-of-stream pass: let every bolt flush buffered state.
+
+        Runs in topological order so tuples flushed by an upstream bolt
+        reach downstream bolts before their own ``finish`` is called.
+        """
+        for name in self.topology.topological_order():
+            for bolt in self._tasks[name]:
+                emitter = Emitter()
+                started = time.perf_counter()
+                bolt.finish(emitter)
+                report.bolt_seconds[name] += time.perf_counter() - started
+                for emitted in emitter.drain():
+                    out = StreamTuple(
+                        values=emitted.values, source=name, timestamp=emitted.timestamp
+                    )
+                    report.tuples_emitted[name] += 1
+                    self._dispatch(out, report)
 
     def task_instances(self, bolt_name: str) -> list[Bolt]:
         """The live task instances of ``bolt_name`` (for tests/inspection)."""

@@ -57,6 +57,11 @@ class Bolt(abc.ABC):
     def process(self, tup: StreamTuple, emitter: Emitter) -> None:
         """Handle one tuple; emit derived tuples through ``emitter``."""
 
+    def finish(self, emitter: Emitter) -> None:
+        """Called once per task when the source streams are exhausted,
+        before ``cleanup``.  Buffering bolts (e.g. micro-batchers) emit
+        their partial windows here; emissions flow downstream normally."""
+
     def cleanup(self) -> None:
         """Called once after the stream is exhausted."""
 

@@ -1,0 +1,174 @@
+"""Parity tests for the batched serving path.
+
+``recommend_batch`` (and the layers under it: ``top_k_batch`` in the
+vectorized matcher, ``knn_batch`` in the CPPse-index) must return exactly
+the lists the per-item path returns on the same state — batching amortizes
+cost, never changes results.  Equality below is exact (``==`` on the
+``(user_id, score)`` lists), not approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.eval.harness import StreamEvaluator
+
+
+def _fresh(ytube_small, ytube_stream, use_index):
+    rec = SsRecRecommender(config=SsRecConfig(), use_index=use_index, seed=1)
+    rec.fit(ytube_small, ytube_stream.training_interactions())
+    return rec
+
+
+class TestMatcherBatch:
+    def test_score_components_batch_rows_match_per_item(self, fitted_ssrec, ytube_stream):
+        matcher = fitted_ssrec.matcher
+        items = ytube_stream.items_in_partition(2)[:12]
+        r_long_m, r_short_m = matcher.score_components_batch(items)
+        assert r_long_m.shape == (len(items), len(matcher.user_ids))
+        for row, item in enumerate(items):
+            r_long, r_short = matcher.score_components(item)
+            assert np.array_equal(r_long_m[row], r_long)
+            assert np.array_equal(r_short_m[row], r_short)
+
+    def test_top_k_batch_matches_per_item(self, fitted_ssrec, ytube_stream):
+        matcher = fitted_ssrec.matcher
+        items = ytube_stream.items_in_partition(2)[:12]
+        assert matcher.top_k_batch(items, 7) == [matcher.top_k(it, 7) for it in items]
+
+    def test_partial_selection_matches_full_sort(self, fitted_ssrec, ytube_stream):
+        # k below and above the partial-selection cutoff agree with the
+        # full lexsort prefix (ties included).
+        matcher = fitted_ssrec.matcher
+        item = ytube_stream.items_in_partition(2)[0]
+        n = len(matcher.user_ids)
+        full = matcher.top_k(item, n)
+        for k in (1, 5, n // 2, n):
+            assert matcher.top_k(item, k) == full[:k]
+
+    def test_empty_batch(self, fitted_ssrec):
+        assert fitted_ssrec.matcher.top_k_batch([], 5) == []
+
+
+class TestRecommendBatchParity:
+    @pytest.mark.parametrize("use_index", [False, True])
+    def test_parity_on_static_state(
+        self, ytube_small, ytube_stream, fitted_ssrec, fitted_ssrec_indexed, use_index
+    ):
+        rec = fitted_ssrec_indexed if use_index else fitted_ssrec
+        items = ytube_stream.items_in_partition(2)[:20]
+        assert rec.recommend_batch(items, 7) == [rec.recommend(it, 7) for it in items]
+
+    @pytest.mark.parametrize("use_index", [False, True])
+    def test_parity_across_mid_stream_updates(self, ytube_small, ytube_stream, use_index):
+        # Twin recommenders (identical fit): one served per item, one in
+        # micro-batches, with the same profile updates applied between
+        # windows.  Every window's results must match exactly.
+        seq = _fresh(ytube_small, ytube_stream, use_index)
+        bat = _fresh(ytube_small, ytube_stream, use_index)
+        items = ytube_stream.items_in_partition(2)[:24]
+        updates = ytube_stream.partitions[2][:30]
+        window_size = 8
+        for start in range(0, len(items), window_size):
+            for inter in updates[start : start + window_size]:
+                item = ytube_small.item(inter.item_id)
+                seq.update(inter, item)
+                bat.update(inter, item)
+            window = items[start : start + window_size]
+            assert bat.recommend_batch(window, 5) == [
+                seq.recommend(it, 5) for it in window
+            ]
+
+    def test_duplicate_items_in_window(self, fitted_ssrec_indexed, ytube_stream):
+        # knn_batch dedupes identical pseudo-queries; duplicates must still
+        # each get their (identical) result.
+        item = ytube_stream.items_in_partition(2)[0]
+        out = fitted_ssrec_indexed.recommend_batch([item, item, item], 5)
+        assert out == [fitted_ssrec_indexed.recommend(item, 5)] * 3
+
+    def test_empty_batch(self, fitted_ssrec):
+        assert fitted_ssrec.recommend_batch([], 5) == []
+
+    def test_default_k_from_config(self, fitted_ssrec, ytube_stream):
+        items = ytube_stream.items_in_partition(2)[:3]
+        out = fitted_ssrec.recommend_batch(items)
+        assert all(len(ranked) == fitted_ssrec.config.default_k for ranked in out)
+
+    def test_batch_flushes_pending_maintenance_once(
+        self, fresh_ssrec_indexed, ytube_stream
+    ):
+        rec = fresh_ssrec_indexed
+        inter = ytube_stream.partitions[2][0]
+        rec.update(inter, ytube_stream.dataset.item(inter.item_id))
+        assert rec._maintenance_pending
+        rec.recommend_batch(ytube_stream.items_in_partition(2)[:4], 3)
+        assert not rec._maintenance_pending
+
+
+class TestMaintenanceIntervalConfig:
+    def test_interval_comes_from_config(self, ytube_small, ytube_stream):
+        rec = SsRecRecommender(
+            config=SsRecConfig(maintenance_interval=7), use_index=True, seed=1
+        )
+        assert rec.maintenance_interval == 7
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError, match="maintenance_interval"):
+            SsRecConfig(maintenance_interval=0)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            SsRecConfig(batch_size=0)
+
+    def test_configured_interval_triggers_maintenance(self, ytube_small, ytube_stream):
+        rec = SsRecRecommender(
+            config=SsRecConfig(maintenance_interval=3), use_index=True, seed=1
+        )
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        inter = ytube_small.interactions[-1]
+        item = ytube_small.item(inter.item_id)
+        for _ in range(3):
+            rec.update(inter, item)
+        assert rec._updates_since_maintenance == 0
+        assert not rec._maintenance_pending
+
+
+class TestHarnessRunBatch:
+    def test_batch_size_one_matches_run(self, ytube_small, ytube_stream):
+        evaluator = StreamEvaluator(ytube_stream, ks=(5, 10))
+        seq = _fresh(ytube_small, ytube_stream, use_index=False)
+        bat = _fresh(ytube_small, ytube_stream, use_index=False)
+        out_seq = evaluator.run(seq)
+        out_bat = evaluator.run_batch(bat, batch_size=1)
+        assert out_bat.p_at_k == out_seq.p_at_k
+        assert out_bat.hits == out_seq.hits
+        assert out_bat.n_items == out_seq.n_items
+
+    def test_windowed_run_covers_all_items(self, ytube_small, ytube_stream):
+        evaluator = StreamEvaluator(ytube_stream, ks=(5,))
+        seq = _fresh(ytube_small, ytube_stream, use_index=False)
+        bat = _fresh(ytube_small, ytube_stream, use_index=False)
+        out_seq = evaluator.run(seq)
+        out_bat = evaluator.run_batch(bat, batch_size=16)
+        assert out_bat.n_items == out_seq.n_items
+        assert len(out_bat.per_partition_timing) == len(ytube_stream.test_indices)
+        assert out_bat.timing.n == out_bat.n_items
+
+    def test_invalid_batch_size_rejected(self, ytube_stream, fitted_ssrec):
+        with pytest.raises(ValueError, match="batch_size"):
+            StreamEvaluator(ytube_stream).run_batch(fitted_ssrec, batch_size=0)
+
+    def test_default_window_comes_from_config(self, ytube_small, ytube_stream):
+        # A recommender whose config caps the window at 1 must behave like
+        # an explicit batch_size=1 run (exact parity with run()).
+        evaluator = StreamEvaluator(ytube_stream, ks=(5,))
+        config = SsRecConfig(batch_size=1)
+        seq = SsRecRecommender(config=config, seed=1)
+        seq.fit(ytube_small, ytube_stream.training_interactions())
+        bat = SsRecRecommender(config=config, seed=1)
+        bat.fit(ytube_small, ytube_stream.training_interactions())
+        out_seq = evaluator.run(seq)
+        out_bat = evaluator.run_batch(bat)  # batch_size resolved from config
+        assert out_bat.p_at_k == out_seq.p_at_k
+        assert out_bat.hits == out_seq.hits

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.entities.extractor import EntityExtractor
+from repro.stream.batch_topology import MicroBatchBolt, build_batch_recommend_topology
 from repro.stream.engine import LocalEngine
 from repro.stream.recommend_topology import build_recommendation_topology
 from repro.stream.topology import Bolt, Emitter, Grouping, Spout, TopologyBuilder
@@ -215,3 +216,139 @@ class TestRecommendationTopology:
     def test_invalid_category_count_rejected(self, ytube_small):
         with pytest.raises(ValueError):
             build_recommendation_topology([], EntityExtractor(), self.DummyRecommender(), 0)
+
+
+class BufferingBolt(Bolt):
+    """Test bolt: buffers everything, emits only on finish."""
+
+    def __init__(self):
+        self.buffer = []
+
+    def process(self, tup, emitter):
+        self.buffer.append(tup["word"])
+
+    def finish(self, emitter):
+        emitter.emit_values("", words=list(self.buffer))
+
+
+class TestEngineFinish:
+    def test_finish_emissions_flow_downstream(self):
+        builder = TopologyBuilder()
+        builder.set_spout("lines", ListSpout([{"line": "a b"}, {"line": "c"}]))
+        builder.set_bolt("split", SplitBolt).shuffle_grouping("lines")
+        buffering = BufferingBolt()
+        builder.set_bolt("buffer", lambda: buffering).shuffle_grouping("split")
+        sink = BufferingBolt()
+
+        class CollectBolt(Bolt):
+            def process(self, tup, emitter):
+                sink.buffer.extend(tup["words"])
+
+        builder.set_bolt("collect", CollectBolt).shuffle_grouping("buffer")
+        report = LocalEngine(builder.build()).run()
+        assert sorted(sink.buffer) == ["a", "b", "c"]
+        assert report.tuples_emitted["buffer"] == 1
+        assert report.tuples_processed["collect"] == 1
+
+
+class TestMicroBatchBolt:
+    def _tuple(self, item):
+        return StreamTuple(values={"item": item, "category": item.category})
+
+    def test_emits_full_windows_per_category(self, ytube_small):
+        items = [it for it in ytube_small.items if it.category == 0][:4]
+        bolt = MicroBatchBolt(batch_size=2)
+        emitter = Emitter()
+        for item in items:
+            bolt.process(self._tuple(item), emitter)
+        batches = emitter.drain()
+        assert len(batches) == 2
+        assert all(len(b["items"]) == 2 for b in batches)
+        assert all(b["category"] == 0 for b in batches)
+
+    def test_partial_window_flushes_on_finish(self, ytube_small):
+        bolt = MicroBatchBolt(batch_size=10)
+        emitter = Emitter()
+        bolt.process(self._tuple(ytube_small.items[0]), emitter)
+        assert emitter.drain() == []
+        bolt.finish(emitter)
+        (batch,) = emitter.drain()
+        assert [it.item_id for it in batch["items"]] == [ytube_small.items[0].item_id]
+
+    def test_windows_are_single_category(self, ytube_small):
+        bolt = MicroBatchBolt(batch_size=3)
+        emitter = Emitter()
+        for item in ytube_small.items[:12]:
+            bolt.process(self._tuple(item), emitter)
+        bolt.finish(emitter)
+        for batch in emitter.drain():
+            categories = {it.category for it in batch["items"]}
+            assert categories == {batch["category"]}
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            MicroBatchBolt(batch_size=0)
+
+
+class TestBatchRecommendationTopology:
+    class RecordingBatchRecommender:
+        def __init__(self):
+            self.window_sizes = []
+
+        def recommend_batch(self, items, k):
+            self.window_sizes.append(len(items))
+            return [[(item.item_id % 7, 1.0)][:k] for item in items]
+
+    def test_end_to_end_collects_all_items(self, ytube_small):
+        extractor = EntityExtractor()
+        extractor.add_phrases(ytube_small.entity_names)
+        recommender = self.RecordingBatchRecommender()
+        items = ytube_small.items[:20]
+        topology, sink = build_batch_recommend_topology(
+            items,
+            extractor,
+            recommender,
+            n_categories=ytube_small.n_categories,
+            k=5,
+            batch_size=4,
+        )
+        LocalEngine(topology).run()
+        assert set(sink.results) == {it.item_id for it in items}
+        assert sum(recommender.window_sizes) == len(items)
+        assert all(size <= 4 for size in recommender.window_sizes)
+        # At least one real micro-batch formed (not all singleton flushes).
+        assert max(recommender.window_sizes) > 1
+
+    def test_matches_per_item_topology_with_ssrec(
+        self, ytube_small, ytube_stream, fitted_ssrec
+    ):
+        extractor = EntityExtractor()
+        extractor.add_phrases(ytube_small.entity_names)
+        items = ytube_stream.items_in_partition(2)[:15]
+        per_item_topology, per_item_sink = build_recommendation_topology(
+            items, extractor, fitted_ssrec, ytube_small.n_categories, k=5
+        )
+        LocalEngine(per_item_topology).run()
+        batch_topology, batch_sink = build_batch_recommend_topology(
+            items, extractor, fitted_ssrec, ytube_small.n_categories, k=5, batch_size=4
+        )
+        LocalEngine(batch_topology).run()
+        assert batch_sink.results == per_item_sink.results
+
+    def test_invalid_category_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_batch_recommend_topology(
+                [], EntityExtractor(), self.RecordingBatchRecommender(), 0
+            )
+
+    def test_window_size_defaults_to_recommender_config(self, fitted_ssrec):
+        topology, _ = build_batch_recommend_topology(
+            [], EntityExtractor(), fitted_ssrec, n_categories=2
+        )
+        batcher = topology.bolts["batcher"].factory()
+        assert batcher._batch_size == fitted_ssrec.config.batch_size
+
+        topology, _ = build_batch_recommend_topology(
+            [], EntityExtractor(), self.RecordingBatchRecommender(), n_categories=2
+        )
+        assert topology.bolts["batcher"].factory()._batch_size == 64
