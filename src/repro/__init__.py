@@ -13,6 +13,8 @@ The package implements the paper's ssRec framework end to end:
   facade;
 - :mod:`repro.index` — the CPPse-index (hashing, user blocks, extended
   signature trees, branch-and-bound KNN, dynamic maintenance);
+- :mod:`repro.serve` — the sharded serving runtime (user sharding plans,
+  per-shard matcher/index, fan-out/merge facade, snapshot persistence);
 - :mod:`repro.baselines` — CTT, UCD, naive scan, single-layer HMM;
 - :mod:`repro.eval` — metrics, the stream evaluation harness and one driver
   per table/figure of the paper.
@@ -34,12 +36,14 @@ from repro.datasets.mlens import MLensConfig, generate_mlens
 from repro.datasets.partitions import partition_interactions
 from repro.datasets.synthpop import synthesize_dataset
 from repro.datasets.ytube import YTubeConfig, generate_ytube
+from repro.serve.service import ShardedRecommender
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SsRecConfig",
     "SsRecRecommender",
+    "ShardedRecommender",
     "YTubeConfig",
     "generate_ytube",
     "MLensConfig",

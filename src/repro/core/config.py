@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+
+#: User-partitioning strategies understood by the serving layer
+#: (:mod:`repro.serve.sharding`).
+SHARD_STRATEGIES = ("hash", "block")
 
 
 @dataclass(frozen=True)
@@ -39,6 +43,15 @@ class SsRecConfig:
         batch_size: default micro-batch window of the batched serving path
             (used by the batch topology and ``StreamEvaluator.run_batch``
             when no explicit window size is given).
+        n_shards: user partitions of the sharded serving runtime
+            (:mod:`repro.serve`); 1 = a single shard holding everyone.
+        shard_strategy: how users map to shards — ``"block"`` (CPPse user
+            blocks are assigned whole, so no block is split across shards
+            and sharded index results stay bit-identical to the single
+            index) or ``"hash"`` (stateless hash of the user id; exact in
+            scan mode, approximate probed-set in index mode).
+        serve_workers: threads the sharded facade fans a query out with;
+            0 or 1 = sequential fan-out.
     """
 
     window_size: int = 5
@@ -60,6 +73,9 @@ class SsRecConfig:
     default_k: int = 30
     maintenance_interval: int = 200
     batch_size: int = 64
+    n_shards: int = 1
+    shard_strategy: str = "block"
+    serve_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
@@ -80,10 +96,40 @@ class SsRecConfig:
             )
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.shard_strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"shard_strategy must be one of {SHARD_STRATEGIES}, "
+                f"got {self.shard_strategy!r}"
+            )
+        if self.serve_workers < 0:
+            raise ValueError(f"serve_workers must be >= 0, got {self.serve_workers}")
 
     def with_options(self, **overrides) -> "SsRecConfig":
         """Copy with the given fields replaced (configs are frozen)."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization (snapshots, experiment manifests)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All fields as a plain JSON-serializable dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SsRecConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected rather than silently dropped — a snapshot
+        written by a newer code version must not load with silently missing
+        semantics.  Field validation runs as usual via ``__post_init__``.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown config keys: {', '.join(unknown)}")
+        return cls(**data)
 
     @classmethod
     def for_mlens(cls) -> "SsRecConfig":

@@ -32,6 +32,23 @@ class ProfileEvent:
     entities: tuple[int, ...]
     timestamp: float = 0.0
 
+    @classmethod
+    def from_interaction(cls, interaction, item=None) -> "ProfileEvent":
+        """The event an ``Interaction`` (plus its optional ``SocialItem``
+        payload for entities) records into a profile.
+
+        The one construction rule shared by the single-process facade, the
+        sharded runtime and the evaluation harness — the profile state they
+        build from the same stream must be identical.
+        """
+        return cls(
+            category=interaction.category,
+            producer=interaction.producer,
+            item_id=interaction.item_id,
+            entities=tuple(item.entities) if item is not None else (),
+            timestamp=interaction.timestamp,
+        )
+
 
 class UserProfile:
     """One consumer's profile.
@@ -200,6 +217,16 @@ class ProfileStore:
             profile = UserProfile(user_id, window_size=self.window_size)
             self._profiles[int(user_id)] = profile
         return profile
+
+    def add(self, profile: UserProfile) -> None:
+        """Adopt an existing profile object (shared, not copied).
+
+        The sharded serving runtime partitions one population into
+        per-shard stores; shard stores and the global store deliberately
+        alias the same :class:`UserProfile` objects so an update through
+        either view is seen by both.
+        """
+        self._profiles[int(profile.user_id)] = profile
 
     def user_ids(self) -> list[int]:
         return sorted(self._profiles)

@@ -193,6 +193,29 @@ class SsRecRecommender:
         if not self._fitted:
             raise RuntimeError("fit() must be called before this operation")
 
+    def attach_index(self) -> "SsRecRecommender":
+        """Build (or rebuild) the CPPse-index over the current profiles and
+        switch serving to index mode.
+
+        Lets a recommender fitted in scan mode upgrade without refitting —
+        the serving layer and throughput harness use this to compare both
+        modes on one trained state.
+        """
+        self._require_fitted()
+        from repro.index.cppse import CPPseIndex  # local: avoids cycle
+
+        assert self.interest is not None and self.scorer is not None
+        self.index = CPPseIndex.build(
+            profiles=self.profiles,
+            scorer=self.scorer,
+            n_categories=self.interest.n_categories,
+            config=self.config,
+        )
+        self.use_index = True
+        self._maintenance_pending.clear()
+        self._updates_since_maintenance = 0
+        return self
+
     # ------------------------------------------------------------------
     # Streaming operations
     # ------------------------------------------------------------------
@@ -220,14 +243,7 @@ class SsRecRecommender:
         periodically by checking the activities of social users").
         """
         self._require_fitted()
-        entities = item.entities if item is not None else ()
-        event = ProfileEvent(
-            category=interaction.category,
-            producer=interaction.producer,
-            item_id=interaction.item_id,
-            entities=tuple(entities),
-            timestamp=interaction.timestamp,
-        )
+        event = ProfileEvent.from_interaction(interaction, item)
         profile, _ = self.profiles.record(interaction.user_id, event)
         if self.index is not None:
             self._maintenance_pending.add(profile.user_id)
@@ -286,6 +302,23 @@ class SsRecRecommender:
                 self.run_maintenance()
             return self.index.knn_batch(items, k)
         return self.matcher.top_k_batch(items, k)
+
+    # ------------------------------------------------------------------
+    # Persistence (delegates to the serving layer's snapshot format)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write a warm-startable snapshot (see :mod:`repro.serve.snapshot`)."""
+        from repro.serve.snapshot import save_snapshot  # local: avoids cycle
+
+        self._require_fitted()
+        save_snapshot(self, path)
+
+    @staticmethod
+    def load(path) -> "SsRecRecommender":
+        """Restore a fitted recommender from a snapshot without retraining."""
+        from repro.serve.snapshot import load_recommender  # local: avoids cycle
+
+        return load_recommender(path)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "index" if self.use_index else "scan"

@@ -67,6 +67,25 @@ class EntityExpander:
             lambda: defaultdict(lambda: defaultdict(float))
         )
 
+    # The lambda-backed defaultdict chain cannot be pickled; snapshots
+    # (repro.serve.snapshot) serialize the credit graph as plain dicts and
+    # restore the defaultdict behaviour on load.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_credit"] = {
+            cat: {anchor: dict(related) for anchor, related in by_cat.items()}
+            for cat, by_cat in self._credit.items()
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        credit = state.pop("_credit")
+        self.__dict__.update(state)
+        self._credit = defaultdict(lambda: defaultdict(lambda: defaultdict(float)))
+        for cat, by_cat in credit.items():
+            for anchor, related in by_cat.items():
+                self._credit[cat][anchor].update(related)
+
     def observe(self, category: int, mentions: Sequence[EntityMention]) -> None:
         """Accumulate proximity credit for all entity pairs in one item."""
         category = int(category)

@@ -9,9 +9,11 @@ Regenerate any of the paper's tables/figures from the shell::
     python -m repro.eval fig10 --dataset YTube --scale default
     python -m repro.eval fig11
 
-Beyond the paper, ``batch`` measures the batched serving path::
+Beyond the paper, ``batch`` measures the batched serving path and
+``sharded`` sweeps the sharded serving runtime::
 
     python -m repro.eval batch --dataset YTube --scale default
+    python -m repro.eval sharded --dataset YTube --scale default
 
 ``--scale`` controls the dataset size (small | default | paper_shape);
 ``--dataset`` picks one of the four Table III datasets where applicable.
@@ -25,7 +27,9 @@ import sys
 from repro.datasets.ytube import YTubeConfig, generate_ytube
 from repro.eval import experiments as ex
 
-SINGLE_DATASET_EXPERIMENTS = {"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch"}
+SINGLE_DATASET_EXPERIMENTS = {
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch", "sharded",
+}
 ALL_EXPERIMENTS = sorted(SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11"})
 
 
@@ -86,6 +90,8 @@ def main(argv: list[str] | None = None) -> int:
         result = ex.run_fig10(dataset, min_truth=2)
     elif args.experiment == "batch":
         result = ex.run_batch_throughput(dataset, seed=args.seed)
+    elif args.experiment == "sharded":
+        result = ex.run_sharded_throughput(dataset, seed=args.seed)
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.experiment)
     print(result.to_text())

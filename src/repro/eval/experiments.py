@@ -17,7 +17,10 @@ benchmarks control scale) and returns a structured result whose
 | Fig. 11        | run_fig11     |
 
 Beyond the paper, ``run_batch_throughput`` measures the repo's batched
-serving path (``recommend_batch``) against the per-item loop.
+serving path (``recommend_batch``) against the per-item loop, and
+``run_sharded_throughput`` sweeps the sharded serving runtime
+(:mod:`repro.serve`) over shard counts, asserting exact parity with the
+single index while reporting throughput and tail-latency percentiles.
 """
 
 from __future__ import annotations
@@ -42,6 +45,7 @@ from repro.datasets.schema import Dataset
 from repro.datasets.synthpop import synthesize_dataset
 from repro.datasets.ytube import YTubeConfig, generate_ytube
 from repro.eval.harness import StreamEvaluator
+from repro.eval.metrics import TimingStats
 from repro.eval.reporting import format_series, format_table
 from repro.hmm.bihmm import BiHMM
 from repro.index.blocks import block_statistics, one_pass_clustering
@@ -631,6 +635,174 @@ class BatchThroughputResult:
             self.items_per_sec,
             x_label="batch",
         )
+
+
+# ----------------------------------------------------------------------
+# Sharded serving throughput (the repro.serve runtime)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardScalingResult:
+    """Throughput and tail latency of the sharded runtime vs shard count.
+
+    Attributes:
+        dataset: benchmark dataset name.
+        n_items: items served per measurement.
+        strategy: shard strategy swept (``"block"`` for exact parity).
+        items_per_sec: path -> {n_shards: items/sec}; paths are
+            ``sharded-<mode>-<serve>`` for mode in scan/index and serve in
+            item (per-item fan-out) / batch (micro-batched fan-out).
+        baselines: unsharded reference throughputs — ``scan-item``,
+            ``scan-batch``, ``index-item``, ``index-batch``.
+        latency_ms: n_shards -> mean/p50/p95/p99 of the sharded-index
+            per-item path in milliseconds (tail latency is what the
+            percentile satellite surfaces).
+        parity_ok: every swept shard count returned results identical to
+            the single recommender in the same mode, per item and per
+            batch (index mode is the acceptance-critical comparison).
+    """
+
+    dataset: str
+    n_items: int
+    strategy: str
+    items_per_sec: dict[str, dict[int, float]]
+    baselines: dict[str, float]
+    latency_ms: dict[int, dict[str, float]]
+    parity_ok: bool
+
+    def speedup_over_scan(
+        self, n_shards: int, path: str = "sharded-scan-batch"
+    ) -> float:
+        """Sharded throughput relative to the unsharded per-item scan."""
+        base = self.baselines["scan-item"]
+        return self.items_per_sec[path][int(n_shards)] / base if base else 0.0
+
+    def to_text(self) -> str:
+        lines = [
+            format_series(
+                f"Sharded serving ({self.dataset}) — items/sec vs shard count",
+                self.items_per_sec,
+                x_label="shards",
+            ),
+            "",
+            "Unsharded baselines (items/sec): "
+            + "  ".join(f"{name}={ips:.1f}" for name, ips in self.baselines.items()),
+            "",
+            format_series(
+                "Sharded-index per-item serving latency (ms) vs shard count",
+                {
+                    stat: {n: self.latency_ms[n][stat] for n in sorted(self.latency_ms)}
+                    for stat in ("mean_ms", "p50_ms", "p95_ms", "p99_ms")
+                },
+                x_label="shards",
+            ),
+            "",
+            f"parity with single index: {'exact' if self.parity_ok else 'BROKEN'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_sharded_throughput(
+    dataset: Dataset,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    k: int = 30,
+    max_items: int = 512,
+    strategy: str = "block",
+    workers: int = 0,
+    config: SsRecConfig | None = None,
+    seed: int = 1,
+) -> ShardScalingResult:
+    """Sweep shard counts over a fixed serving slice, with parity checks.
+
+    One scan-mode recommender is trained and reused: the unsharded scan
+    and index baselines, the parity reference, and every sharded service
+    all share its trained state (serving is read-only), so differences in
+    results can only come from the serving structures — which is exactly
+    what the parity check isolates.  All paths are warmed untimed first.
+    """
+    from repro.serve.service import ShardedRecommender  # local: keeps eval import-light
+
+    base = config or SsRecConfig()
+    stream = partition_interactions(dataset)
+    items = [
+        item
+        for partition in stream.test_indices
+        for item in stream.items_in_partition(partition)
+    ][: int(max_items)]
+    if not items:
+        raise ValueError("dataset has no test items to serve")
+    batch_size = base.batch_size
+
+    trained = _fit_ssrec(dataset, stream, base, use_index=False, seed=seed)
+
+    def timed_item_loop(rec) -> tuple[float, list[float]]:
+        stats: list[float] = []
+        started_all = time.perf_counter()
+        for item in items:
+            started = time.perf_counter()
+            rec.recommend(item, k)
+            stats.append(time.perf_counter() - started)
+        return time.perf_counter() - started_all, stats
+
+    def timed_batch_loop(rec) -> float:
+        started = time.perf_counter()
+        for start in range(0, len(items), batch_size):
+            rec.recommend_batch(items[start : start + batch_size], k)
+        return time.perf_counter() - started
+
+    # Scan baselines first (warmed untimed), then upgrade the same trained
+    # state to index mode for the index baselines and parity references —
+    # one measurement protocol for both modes.
+    baselines: dict[str, float] = {}
+    references: dict[str, list] = {}
+    for mode in ("scan", "index"):
+        if mode == "index":
+            trained.attach_index()
+        for item in items:
+            trained.recommend(item, k)
+        trained.recommend_batch(items, k)
+        item_seconds, _ = timed_item_loop(trained)
+        baselines[f"{mode}-item"] = len(items) / item_seconds
+        baselines[f"{mode}-batch"] = len(items) / timed_batch_loop(trained)
+        references[mode] = [trained.recommend(item, k) for item in items]
+
+    items_per_sec: dict[str, dict[int, float]] = {
+        f"sharded-{mode}-{serve}": {}
+        for mode in ("scan", "index")
+        for serve in ("item", "batch")
+    }
+    latency_ms: dict[int, dict[str, float]] = {}
+    parity_ok = True
+    for n_shards in sorted({int(n) for n in shard_counts}):
+        for mode, reference in references.items():
+            with ShardedRecommender.from_trained(
+                trained,
+                n_shards=n_shards,
+                strategy=strategy,
+                use_index=(mode == "index"),
+                workers=workers,
+            ) as service:
+                # Parity first (also warms the shard structures).
+                per_item = [service.recommend(item, k) for item in items]
+                per_batch = service.recommend_batch(items, k)
+                parity_ok = (
+                    parity_ok and per_item == reference and per_batch == reference
+                )
+                seconds, samples = timed_item_loop(service)
+                items_per_sec[f"sharded-{mode}-item"][n_shards] = len(items) / seconds
+                items_per_sec[f"sharded-{mode}-batch"][n_shards] = len(
+                    items
+                ) / timed_batch_loop(service)
+                if mode == "index":
+                    latency_ms[n_shards] = TimingStats(samples=samples).summary_ms()
+    return ShardScalingResult(
+        dataset=dataset.name,
+        n_items=len(items),
+        strategy=strategy,
+        items_per_sec=items_per_sec,
+        baselines=baselines,
+        latency_ms=latency_ms,
+        parity_ok=parity_ok,
+    )
 
 
 def run_batch_throughput(

@@ -336,10 +336,4 @@ def _configured_batch_size(recommender, fallback: int = 64) -> int:
 def _to_event(inter: Interaction, item: SocialItem | None):
     from repro.core.profiles import ProfileEvent
 
-    return ProfileEvent(
-        category=inter.category,
-        producer=inter.producer,
-        item_id=inter.item_id,
-        entities=item.entities if item is not None else (),
-        timestamp=inter.timestamp,
-    )
+    return ProfileEvent.from_interaction(inter, item)

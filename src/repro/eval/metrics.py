@@ -125,5 +125,30 @@ class TimingStats:
             return 0.0
         return float(np.percentile(np.asarray(self.samples), q))
 
+    @property
+    def p50(self) -> float:
+        """Median response time — robust to warm-up spikes."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile response time — the tail the mean hides (and
+        the quantity sharded serving is meant to improve)."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile response time."""
+        return self.percentile(99)
+
+    def summary_ms(self) -> dict[str, float]:
+        """Mean/p50/p95/p99 in milliseconds, for harness reporting."""
+        return {
+            "mean_ms": self.mean * 1000.0,
+            "p50_ms": self.p50 * 1000.0,
+            "p95_ms": self.p95 * 1000.0,
+            "p99_ms": self.p99 * 1000.0,
+        }
+
     def merge(self, other: "TimingStats") -> None:
         self.samples.extend(other.samples)

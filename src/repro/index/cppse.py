@@ -86,6 +86,39 @@ class CPPseIndex:
             index._build_block(block)
         return index
 
+    @classmethod
+    def build_from_blocks(
+        cls,
+        profiles: ProfileStore,
+        scorer: MatchingScorer,
+        n_categories: int,
+        blocks: Sequence[UserBlock],
+        config: SsRecConfig | None = None,
+    ) -> "CPPseIndex":
+        """Build over a caller-supplied block partition.
+
+        The sharded serving runtime (:mod:`repro.serve`) reuses one global
+        blocking across all shards: each shard passes the blocks it owns
+        (re-numbered densely from 0) instead of re-clustering its slice.
+        Because a query probes exactly the trees whose block universe holds
+        a query entity, sharing the blocking makes the union of per-shard
+        probed users equal the single index's probed set — which is what
+        makes sharded results bit-identical to the unsharded index.
+
+        ``blocks`` must have dense ids ``0..len-1`` and every member user
+        must exist in ``profiles``.
+        """
+        index = cls(profiles, scorer, n_categories, config)
+        index.blocks = list(blocks)
+        for position, block in enumerate(index.blocks):
+            if block.block_id != position:
+                raise ValueError(
+                    f"blocks must be densely numbered: position {position} "
+                    f"has block_id {block.block_id}"
+                )
+            index._build_block(block)
+        return index
+
     def _build_block(self, block: UserBlock) -> None:
         """(Re)build one block: universe, user vectors, trees, hash entries."""
         members = [self.profiles.get(uid) for uid in block.user_ids]

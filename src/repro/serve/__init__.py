@@ -1,0 +1,45 @@
+"""repro.serve — the sharded serving runtime.
+
+Layers partitioned, warm-startable serving on top of the core/index
+stack:
+
+- :mod:`repro.serve.sharding` — :class:`UserSharder`/:class:`ShardPlan`
+  (hash and block-aware user partitioning, balance/rebalance stats) and
+  the exact :func:`merge_top_k`;
+- :mod:`repro.serve.shard` — :class:`RecommenderShard`, one exact
+  matcher/CPPse-index over a user slice with shard-local Algorithm-2
+  maintenance;
+- :mod:`repro.serve.service` — :class:`ShardedRecommender`, the
+  fan-out/merge facade (sequential or thread-pool) with per-shard
+  latency/candidate metrics;
+- :mod:`repro.serve.snapshot` — versioned save/load of the full trained
+  state so a server warm-starts without retraining.
+"""
+
+from repro.serve.service import ShardedRecommender
+from repro.serve.shard import RecommenderShard, ShardMetrics
+from repro.serve.sharding import ShardPlan, UserSharder, hash_shard, merge_top_k
+from repro.serve.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    load_recommender,
+    load_sharded,
+    read_manifest,
+    save_snapshot,
+)
+
+__all__ = [
+    "ShardedRecommender",
+    "RecommenderShard",
+    "ShardMetrics",
+    "ShardPlan",
+    "UserSharder",
+    "hash_shard",
+    "merge_top_k",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "save_snapshot",
+    "load_recommender",
+    "load_sharded",
+    "read_manifest",
+]

@@ -1,0 +1,321 @@
+"""The sharded serving facade: fan-out, merge, observe, snapshot.
+
+:class:`ShardedRecommender` partitions a trained ssRec model's users into
+N :class:`~repro.serve.shard.RecommenderShard` slices and serves queries
+by fanning out to every shard (sequentially or on a thread pool) and
+merging the per-shard top-k heaps into the global top-k by the
+``(-score, user_id)`` order.
+
+**Exactness.** In scan mode every shard scores its users with the shared
+trained parameters, so merged results are bit-identical to the single
+:class:`SsRecRecommender` under *any* strategy.  In index mode a CPPse
+query probes only the trees whose block universe holds a query entity, so
+parity additionally requires that shards share the single index's
+blocking: the ``"block"`` strategy assigns whole blocks to shards and
+rebuilds each shard's slice of the one global clustering
+(:func:`~repro.serve.sharding.build_shard_blocks`), making the union of
+probed users — and therefore results — identical to the unsharded index
+for the planned population, updates and Algorithm-2 maintenance
+included.  The ``"hash"`` strategy splits blocks, so each shard clusters
+its own slice: still exact within every shard's probed trees (the
+paper's no-false-dismissal guarantee), but the probed candidate set may
+differ slightly from the single index's.  One boundary applies to index
+mode only: a *brand-new* user joining mid-stream is hash-routed to a
+shard whose local index assigns it to a shard-local block, while a
+single global index would pick the globally most-similar block — the two
+placements (and hence the new user's probed-set membership) can differ.
+Scan mode scores every stored user, so new users are exact there under
+any strategy.  The parity tests and ``bench_shard_scaling`` assert the
+exact combinations.
+
+Mutable trained state (the BiHMM producer layer, the entity expander)
+stays shared and single-copy: ``observe_item`` advances it once, exactly
+as the unsharded facade does.  Interaction updates route to the owning
+shard, which runs its own Algorithm-2 maintenance cadence.
+
+Typical usage::
+
+    service = ShardedRecommender.from_trained(recommender, n_shards=4)
+    service.observe_item(item)
+    top = service.recommend(item, k=30)
+    service.save("snapshots/today")        # warm-startable snapshot
+    service = ShardedRecommender.load("snapshots/today")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.config import SsRecConfig
+from repro.core.profiles import ProfileStore
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.schema import Dataset, Interaction, SocialItem
+from repro.serve.shard import RecommenderShard
+from repro.serve.sharding import ShardPlan, UserSharder, build_shard_blocks, merge_top_k
+
+
+class ShardedRecommender:
+    """Partitioned serving over a trained :class:`SsRecRecommender`.
+
+    Build with :meth:`from_trained` (or :meth:`fit` for the one-call
+    train-and-shard path); restore from disk with :meth:`load`.
+
+    Args:
+        trained: a fitted recommender supplying the shared model state.
+        plan: the user partition; one shard is built per plan shard.
+        use_index: build a shard-local CPPse-index per shard (defaults to
+            the trained recommender's mode).
+        workers: fan-out threads; 0/1 = sequential.  Defaults to the
+            config's ``serve_workers``.
+    """
+
+    def __init__(
+        self,
+        trained: SsRecRecommender,
+        plan: ShardPlan,
+        use_index: bool | None = None,
+        workers: int | None = None,
+    ) -> None:
+        if trained.bihmm is None or trained.scorer is None:
+            raise ValueError("trained recommender must be fitted")
+        self.trained = trained
+        self.config = trained.config
+        self.plan = plan
+        self.use_index = trained.use_index if use_index is None else bool(use_index)
+        self.workers = (
+            self.config.serve_workers if workers is None else max(0, int(workers))
+        )
+        self.scorer = trained.scorer
+        self.profiles = trained.profiles  # the global (all-shard) view
+        n_categories = trained.bihmm.n_categories
+        # Block plans ship every shard its slice of the one global
+        # blocking, so shard indexes probe exactly the trees the single
+        # index would — the bit-identical-parity guarantee.  Hash plans
+        # split blocks, so each shard clusters its own slice instead.
+        shard_blocks = (
+            build_shard_blocks(plan, trained.profiles, n_categories)
+            if self.use_index
+            else {}
+        )
+        # One pass over the plan buckets users per shard (users_of() would
+        # rescan all assignments per shard — O(S·U) at warm-start scale).
+        users_by_shard: dict[int, list[int]] = {s: [] for s in range(plan.n_shards)}
+        for uid, shard_id in plan.assignments.items():
+            users_by_shard[shard_id].append(uid)
+        self.shards: list[RecommenderShard] = []
+        for shard_id in range(plan.n_shards):
+            store = ProfileStore(window_size=self.config.window_size)
+            for uid in sorted(users_by_shard[shard_id]):
+                profile = trained.profiles.get(uid)
+                if profile is not None:
+                    store.add(profile)
+            self.shards.append(
+                RecommenderShard(
+                    shard_id=shard_id,
+                    profiles=store,
+                    scorer=self.scorer,
+                    n_categories=n_categories,
+                    config=self.config,
+                    use_index=self.use_index,
+                    blocks=shard_blocks.get(shard_id),
+                    maintenance_interval=trained.maintenance_interval,
+                )
+            )
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trained(
+        cls,
+        trained: SsRecRecommender,
+        n_shards: int | None = None,
+        strategy: str | None = None,
+        use_index: bool | None = None,
+        workers: int | None = None,
+    ) -> "ShardedRecommender":
+        """Shard an already-fitted recommender (no retraining).
+
+        ``n_shards``/``strategy`` default to the recommender's config
+        (``n_shards``, ``shard_strategy``).
+        """
+        if trained.bihmm is None:
+            raise ValueError("trained recommender must be fitted")
+        config = trained.config
+        sharder = UserSharder(
+            n_shards=config.n_shards if n_shards is None else int(n_shards),
+            strategy=config.shard_strategy if strategy is None else strategy,
+            config=config,
+        )
+        plan = sharder.plan(trained.profiles, n_categories=trained.bihmm.n_categories)
+        return cls(trained, plan, use_index=use_index, workers=workers)
+
+    @classmethod
+    def fit(
+        cls,
+        dataset: Dataset,
+        train_interactions: Sequence[Interaction] | None = None,
+        config: SsRecConfig | None = None,
+        n_shards: int | None = None,
+        strategy: str | None = None,
+        use_index: bool = True,
+        workers: int | None = None,
+        seed: int = 0,
+    ) -> "ShardedRecommender":
+        """Train once, then shard: the one-call serving bootstrap.
+
+        The underlying recommender is fitted in scan mode (no redundant
+        global index); ``use_index`` controls the shard-local indexes.
+        """
+        rec = SsRecRecommender(config=config, use_index=False, seed=seed)
+        rec.fit(dataset, train_interactions)
+        return cls.from_trained(
+            rec, n_shards=n_shards, strategy=strategy, use_index=use_index, workers=workers
+        )
+
+    # ------------------------------------------------------------------
+    # Fan-out plumbing
+    # ------------------------------------------------------------------
+    def _fan_out(self, call: Callable[[RecommenderShard], object]) -> list:
+        """Run ``call`` on every shard; threaded when workers > 1.
+
+        Results come back in shard order either way, so merging is
+        deterministic regardless of completion order.
+        """
+        if self.workers > 1 and len(self.shards) > 1:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(self.shards)),
+                    thread_name_prefix="repro-serve",
+                )
+            return list(self._executor.map(call, self.shards))
+        return [call(shard) for shard in self.shards]
+
+    # Thread pools cannot be pickled/deepcopied; drop and rebuild lazily.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_executor"] = None
+        return state
+
+    def close(self) -> None:
+        """Release the fan-out thread pool (no-op when sequential).
+
+        The service stays usable afterwards — the pool is rebuilt lazily
+        on the next threaded call.  Use this (or the context-manager form)
+        when constructing many worker-enabled services, e.g. a resharding
+        sweep, so discarded instances do not pin threads until GC.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedRecommender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
+        """Global top-``k`` ``(user_id, score)`` — identical to the single
+        index's :meth:`SsRecRecommender.recommend` on the same state."""
+        k = k or self.config.default_k
+        # Warm the shared expanded-query cache once so concurrent shard
+        # lookups read instead of redundantly recomputing it.
+        self.scorer.expanded_query(item)
+        per_shard = self._fan_out(lambda shard: shard.recommend(item, k))
+        return merge_top_k(per_shard, k)
+
+    def recommend_batch(
+        self, items: Sequence[SocialItem], k: int | None = None
+    ) -> list[list[tuple[int, float]]]:
+        """Per-item global top-``k`` lists for a micro-batch."""
+        k = k or self.config.default_k
+        items = list(items)
+        if not items:
+            return []
+        for item in items:
+            self.scorer.expanded_query(item)
+        per_shard = self._fan_out(lambda shard: shard.recommend_batch(items, k))
+        return [
+            merge_top_k([ranked_lists[i] for ranked_lists in per_shard], k)
+            for i in range(len(items))
+        ]
+
+    # ------------------------------------------------------------------
+    # Stream updates
+    # ------------------------------------------------------------------
+    def observe_item(self, item: SocialItem) -> None:
+        """Register a newly streamed item once, in the shared model state."""
+        self.trained.observe_item(item)
+
+    #: ``observe`` is the serving-layer name for the same operation.
+    observe = observe_item
+
+    def update(self, interaction: Interaction, item: SocialItem | None = None) -> None:
+        """Route one interaction to the owning shard (new users included)."""
+        user_id = int(interaction.user_id)
+        shard = self.shards[self.plan.shard_of(user_id)]
+        # Keep the global store and the shard store aliased to one object,
+        # also for users joining mid-stream.
+        profile = self.profiles.get_or_create(user_id)
+        if shard.profiles.get(user_id) is None:
+            shard.adopt(profile)
+        shard.update(interaction, item)
+
+    def run_maintenance(self) -> int:
+        """Flush every shard's pending Algorithm-2 work; returns profiles
+        refreshed across shards."""
+        return sum(shard.run_maintenance() for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_users(self) -> int:
+        return sum(shard.n_users for shard in self.shards)
+
+    def metrics(self) -> list[dict]:
+        """One summary row per shard (latency percentiles, candidate and
+        maintenance counts), plus the user count."""
+        rows = []
+        for shard in self.shards:
+            row = {"shard_id": shard.shard_id, "users": shard.n_users}
+            row.update(shard.metrics.as_dict())
+            rows.append(row)
+        return rows
+
+    def balance_stats(self) -> dict:
+        return self.plan.balance_stats()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write a warm-startable snapshot directory (see
+        :mod:`repro.serve.snapshot`)."""
+        from repro.serve.snapshot import save_snapshot
+
+        save_snapshot(self, path)
+
+    @classmethod
+    def load(cls, path, workers: int | None = None) -> "ShardedRecommender":
+        """Rebuild a service from a snapshot without retraining."""
+        from repro.serve.snapshot import load_sharded
+
+        return load_sharded(path, workers=workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "index" if self.use_index else "scan"
+        return (
+            f"ShardedRecommender(shards={self.n_shards}, users={self.n_users}, "
+            f"mode={mode}, strategy={self.plan.strategy!r}, workers={self.workers})"
+        )

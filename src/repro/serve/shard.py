@@ -1,0 +1,229 @@
+"""One serving shard: an exact recommender over a slice of the users.
+
+A :class:`RecommenderShard` owns a per-shard :class:`~repro.core.profiles.ProfileStore`
+(aliasing the global profile objects), its own
+:class:`~repro.core.matching.VectorizedMatcher` and — in index mode — its
+own :class:`~repro.index.cppse.CPPseIndex` built over just its user slice.
+The trained model state (BiHMM, interest predictor, expander, scorer) is
+*shared* across shards: scoring a user involves only that user's profile
+and the shared parameters, so per-shard results are bit-identical to the
+corresponding rows of a single global matcher/index.
+
+Algorithm 2 maintenance runs shard-locally: each shard tracks its own
+pending profile updates and flushes them into its own index on the
+configured cadence (or lazily before serving), exactly as the single-index
+facade does — just over a smaller population.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import SsRecConfig
+from repro.core.matching import MatchingScorer, VectorizedMatcher
+from repro.core.profiles import ProfileEvent, ProfileStore, UserProfile
+from repro.datasets.schema import Interaction, SocialItem
+from repro.eval.metrics import TimingStats
+from repro.index.cppse import CPPseIndex
+
+
+@dataclass
+class ShardMetrics:
+    """Serving statistics of one shard.
+
+    Attributes:
+        queries: per-item ``recommend`` calls answered.
+        batches: ``recommend_batch`` windows answered.
+        items_served: items across both paths.
+        candidates_returned: total ``(user, score)`` pairs returned.
+        maintenance_runs: Algorithm 2 flushes executed.
+        profiles_refreshed: profiles Algorithm 2 touched in total.
+        item_latency: per-*item* serving seconds — one sample per served
+            item, with a window's wall-clock amortized over its items so
+            per-item and batched traffic contribute on the same scale
+            (mirrors ``StreamEvaluator.run_batch``'s accounting).
+    """
+
+    queries: int = 0
+    batches: int = 0
+    items_served: int = 0
+    candidates_returned: int = 0
+    maintenance_runs: int = 0
+    profiles_refreshed: int = 0
+    item_latency: TimingStats = field(default_factory=TimingStats)
+
+    def record_serve(self, seconds: float, n_items: int, n_candidates: int) -> None:
+        per_item = float(seconds) / n_items if n_items else 0.0
+        for _ in range(n_items):
+            self.item_latency.record(per_item)
+        self.items_served += n_items
+        self.candidates_returned += n_candidates
+
+    @property
+    def total_seconds(self) -> float:
+        return self.item_latency.total
+
+    @property
+    def mean_latency(self) -> float:
+        return self.item_latency.mean
+
+    def as_dict(self) -> dict:
+        """Summary row the service's ``metrics()`` report exposes."""
+        row = {
+            "queries": self.queries,
+            "batches": self.batches,
+            "items_served": self.items_served,
+            "candidates_returned": self.candidates_returned,
+            "maintenance_runs": self.maintenance_runs,
+            "profiles_refreshed": self.profiles_refreshed,
+        }
+        row.update(
+            (name.replace("_ms", "_latency_ms"), value)
+            for name, value in self.item_latency.summary_ms().items()
+        )
+        return row
+
+
+class RecommenderShard:
+    """Exact top-k serving over one user slice.
+
+    Args:
+        shard_id: dense id within the service.
+        profiles: the shard-local store (aliases global profile objects).
+        scorer: the shared trained scorer (interest + expansion + config).
+        n_categories: category count for index construction.
+        config: ssRec tunables (maintenance cadence, index parameters).
+        use_index: build a shard-local CPPse-index; otherwise the shard
+            serves through its vectorized sequential scan.
+        blocks: pre-assigned slice of the global blocking (block-aware
+            plans); when given, the index is built over exactly these
+            blocks instead of re-clustering the shard's users — the key
+            to bit-identical parity with the single index.
+        maintenance_interval: Algorithm-2 flush cadence; defaults to the
+            config value.  The service passes the trained facade's
+            (mutable) ``maintenance_interval`` attribute through so a
+            runtime-tuned cadence survives sharding.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        profiles: ProfileStore,
+        scorer: MatchingScorer,
+        n_categories: int,
+        config: SsRecConfig,
+        use_index: bool = False,
+        blocks=None,
+        maintenance_interval: int | None = None,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.profiles = profiles
+        self.scorer = scorer
+        self.n_categories = int(n_categories)
+        self.config = config
+        self.use_index = bool(use_index)
+        self.matcher = VectorizedMatcher(scorer, profiles)
+        self.matcher.sync()
+        self.index: CPPseIndex | None = None
+        if self.use_index:
+            if blocks is not None:
+                self.index = CPPseIndex.build_from_blocks(
+                    profiles=profiles,
+                    scorer=scorer,
+                    n_categories=self.n_categories,
+                    blocks=blocks,
+                    config=config,
+                )
+            else:
+                self.index = CPPseIndex.build(
+                    profiles=profiles,
+                    scorer=scorer,
+                    n_categories=self.n_categories,
+                    config=config,
+                )
+        self.metrics = ShardMetrics()
+        self.maintenance_interval = int(
+            config.maintenance_interval
+            if maintenance_interval is None
+            else maintenance_interval
+        )
+        self._maintenance_pending: set[int] = set()
+        self._updates_since_maintenance = 0
+
+    @property
+    def n_users(self) -> int:
+        return len(self.profiles)
+
+    # ------------------------------------------------------------------
+    # Stream updates (shard-local Algorithm 2)
+    # ------------------------------------------------------------------
+    def adopt(self, profile: UserProfile) -> None:
+        """Take ownership of a (possibly brand-new) user profile."""
+        self.profiles.add(profile)
+
+    def update(self, interaction: Interaction, item: SocialItem | None = None) -> None:
+        """Record one interaction for a user this shard owns."""
+        event = ProfileEvent.from_interaction(interaction, item)
+        profile, _ = self.profiles.record(interaction.user_id, event)
+        if self.index is not None:
+            self._maintenance_pending.add(profile.user_id)
+            self._updates_since_maintenance += 1
+            if self._updates_since_maintenance >= self.maintenance_interval:
+                self.run_maintenance()
+
+    def run_maintenance(self) -> int:
+        """Flush pending profile updates into this shard's index."""
+        if self.index is None or not self._maintenance_pending:
+            self._maintenance_pending.clear()
+            self._updates_since_maintenance = 0
+            return 0
+        updated = self.index.maintain(sorted(self._maintenance_pending))
+        self._maintenance_pending.clear()
+        self._updates_since_maintenance = 0
+        self.metrics.maintenance_runs += 1
+        self.metrics.profiles_refreshed += updated
+        return updated
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def recommend(self, item: SocialItem, k: int) -> list[tuple[int, float]]:
+        """Shard-local exact top-``k``, sorted by ``(-score, user_id)``."""
+        started = time.perf_counter()
+        if self.index is not None:
+            if self._maintenance_pending:
+                self.run_maintenance()
+            ranked = self.index.knn(item, k)
+        else:
+            ranked = self.matcher.top_k(item, k)
+        self.metrics.queries += 1
+        self.metrics.record_serve(time.perf_counter() - started, 1, len(ranked))
+        return ranked
+
+    def recommend_batch(
+        self, items: Sequence[SocialItem], k: int
+    ) -> list[list[tuple[int, float]]]:
+        """Shard-local exact top-``k`` lists for a micro-batch."""
+        items = list(items)
+        if not items:
+            return []
+        started = time.perf_counter()
+        if self.index is not None:
+            if self._maintenance_pending:
+                self.run_maintenance()
+            ranked_lists = self.index.knn_batch(items, k)
+        else:
+            ranked_lists = self.matcher.top_k_batch(items, k)
+        self.metrics.batches += 1
+        self.metrics.record_serve(
+            time.perf_counter() - started,
+            len(items),
+            sum(len(r) for r in ranked_lists),
+        )
+        return ranked_lists
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "index" if self.use_index else "scan"
+        return f"RecommenderShard(id={self.shard_id}, users={self.n_users}, mode={mode})"

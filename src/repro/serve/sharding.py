@@ -1,0 +1,315 @@
+"""User partitioning for the sharded serving runtime.
+
+A :class:`ShardPlan` is a deterministic ``user_id -> shard`` mapping plus
+the bookkeeping the service layer needs (strategy, balance statistics,
+serialization for snapshots).  Plans are produced by a
+:class:`UserSharder` under one of two strategies:
+
+- ``"hash"`` — a stateless mixed hash of the user id.  New users joining
+  mid-stream route without any coordination, and the same id always lands
+  on the same shard across processes and restarts.
+- ``"block"`` — CPPse user blocks (Sec. V-A one-pass clustering) are
+  assigned whole, largest block first onto the least-loaded shard, so a
+  block's signature trees never straddle a shard boundary.  Users that
+  join after planning fall back to the hash route.
+
+Exactness note: every shard answers its slice exactly and the service
+merges by the global ``(-score, user_id)`` order, so in scan mode *any*
+total partition yields results identical to the single recommender.  In
+index mode a query probes only trees whose block universe holds a query
+entity, so identical results additionally require the single index's
+blocking to be shared across shards — which is exactly what the block
+strategy (plus :func:`build_shard_blocks`) provides and the hash
+strategy, splitting blocks, does not; see
+:mod:`repro.serve.service` for the full semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SHARD_STRATEGIES, SsRecConfig
+from repro.core.profiles import ProfileStore, UserProfile
+from repro.index.blocks import UserBlock, one_pass_clustering
+
+
+def hash_shard(user_id: int, n_shards: int) -> int:
+    """Deterministic shard of ``user_id`` under the hash strategy.
+
+    Uses a splitmix64-style finalizer rather than ``hash()`` so the
+    mapping is stable across processes (``PYTHONHASHSEED``-independent)
+    and well mixed even for dense sequential ids.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    x = (int(user_id) + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    return x % n_shards
+
+
+@dataclass
+class ShardPlan:
+    """A concrete user partition.
+
+    Attributes:
+        n_shards: number of partitions.
+        strategy: the :data:`~repro.core.config.SHARD_STRATEGIES` member
+            that produced the plan.
+        assignments: ``user_id -> shard`` for every planned user; users
+            discovered later are routed by :meth:`shard_of` and recorded
+            here so balance statistics stay truthful.
+        block_of_shard: for the block strategy, ``shard -> block ids`` it
+            owns (empty for hash plans).
+        block_of_user: for the block strategy, ``user_id -> global block``
+            membership — what lets every shard rebuild exactly its slice
+            of the one global blocking (empty for hash plans).
+    """
+
+    n_shards: int
+    strategy: str = "hash"
+    assignments: dict[int, int] = field(default_factory=dict)
+    block_of_shard: dict[int, list[int]] = field(default_factory=dict)
+    block_of_user: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {SHARD_STRATEGIES}, got {self.strategy!r}"
+            )
+        for user_id, shard in self.assignments.items():
+            if not (0 <= shard < self.n_shards):
+                raise ValueError(
+                    f"user {user_id} assigned to shard {shard} outside "
+                    f"[0, {self.n_shards})"
+                )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of(self, user_id: int) -> int:
+        """Shard owning ``user_id``; unseen users are hash-routed and the
+        assignment is recorded (Algorithm 2's new-user case, shard-local)."""
+        user_id = int(user_id)
+        shard = self.assignments.get(user_id)
+        if shard is None:
+            shard = hash_shard(user_id, self.n_shards)
+            self.assignments[user_id] = shard
+        return shard
+
+    def users_of(self, shard: int) -> list[int]:
+        """Planned user ids of one shard, ascending."""
+        if not (0 <= shard < self.n_shards):
+            raise ValueError(f"shard {shard} outside [0, {self.n_shards})")
+        return sorted(uid for uid, s in self.assignments.items() if s == shard)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def shard_sizes(self) -> list[int]:
+        """Users per shard, indexed by shard id."""
+        sizes = [0] * self.n_shards
+        for shard in self.assignments.values():
+            sizes[shard] += 1
+        return sizes
+
+    def balance_stats(self) -> dict:
+        """Load-balance summary: sizes, extremes and the imbalance ratio
+        (max/mean; 1.0 = perfectly even)."""
+        sizes = self.shard_sizes()
+        total = sum(sizes)
+        mean = total / self.n_shards if self.n_shards else 0.0
+        return {
+            "strategy": self.strategy,
+            "n_shards": self.n_shards,
+            "n_users": total,
+            "sizes": sizes,
+            "min_size": min(sizes) if sizes else 0,
+            "max_size": max(sizes) if sizes else 0,
+            "imbalance": (max(sizes) / mean) if total else 1.0,
+        }
+
+    def rebalance_stats(self, other: "ShardPlan") -> dict:
+        """How much user movement switching to ``other`` would cost.
+
+        Counts users present in both plans whose shard differs, the users
+        only one plan knows, and the moved fraction — the quantity an
+        operator weighs before resharding a live service.
+        """
+        common = self.assignments.keys() & other.assignments.keys()
+        moved = sum(1 for uid in common if self.assignments[uid] != other.assignments[uid])
+        return {
+            "n_common": len(common),
+            "n_moved": moved,
+            "moved_fraction": (moved / len(common)) if common else 0.0,
+            "only_self": len(self.assignments.keys() - other.assignments.keys()),
+            "only_other": len(other.assignments.keys() - self.assignments.keys()),
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization (snapshot manifests)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (dict keys become strings in JSON)."""
+        return {
+            "n_shards": self.n_shards,
+            "strategy": self.strategy,
+            "assignments": {str(uid): shard for uid, shard in self.assignments.items()},
+            "block_of_shard": {
+                str(shard): list(blocks) for shard, blocks in self.block_of_shard.items()
+            },
+            "block_of_user": {
+                str(uid): block for uid, block in self.block_of_user.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPlan":
+        return cls(
+            n_shards=int(data["n_shards"]),
+            strategy=str(data["strategy"]),
+            assignments={int(uid): int(s) for uid, s in data["assignments"].items()},
+            block_of_shard={
+                int(shard): [int(b) for b in blocks]
+                for shard, blocks in data.get("block_of_shard", {}).items()
+            },
+            block_of_user={
+                int(uid): int(b) for uid, b in data.get("block_of_user", {}).items()
+            },
+        )
+
+
+class UserSharder:
+    """Builds :class:`ShardPlan` objects for a user population.
+
+    Args:
+        n_shards: target shard count.
+        strategy: ``"hash"`` or ``"block"`` (see module docstring).
+        config: supplies the blocking tunables (similarity threshold, max
+            blocks) for the block strategy; defaults apply when omitted.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        strategy: str = "hash",
+        config: SsRecConfig | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {SHARD_STRATEGIES}, got {strategy!r}"
+            )
+        self.n_shards = int(n_shards)
+        self.strategy = strategy
+        self.config = config or SsRecConfig()
+
+    def plan(
+        self,
+        profiles: Iterable[UserProfile],
+        n_categories: int | None = None,
+    ) -> ShardPlan:
+        """Partition ``profiles`` into a deterministic :class:`ShardPlan`.
+
+        Args:
+            profiles: the user population; consumed in sorted-user-id order
+                regardless of input order (determinism).
+            n_categories: category-vector dimensionality for the block
+                strategy's clustering; required when ``strategy="block"``.
+        """
+        ordered = sorted(profiles, key=lambda p: p.user_id)
+        if self.strategy == "hash":
+            assignments = {
+                p.user_id: hash_shard(p.user_id, self.n_shards) for p in ordered
+            }
+            return ShardPlan(self.n_shards, "hash", assignments)
+        if n_categories is None:
+            raise ValueError("block strategy requires n_categories")
+        blocks = one_pass_clustering(
+            ordered,
+            int(n_categories),
+            similarity_threshold=self.config.block_similarity_threshold,
+            max_blocks=self.config.max_blocks,
+        )
+        # Greedy bin packing: largest block first onto the least-loaded
+        # shard (ties by shard id) — blocks are never split.
+        loads = [0] * self.n_shards
+        assignments: dict[int, int] = {}
+        block_of_shard: dict[int, list[int]] = {s: [] for s in range(self.n_shards)}
+        block_of_user: dict[int, int] = {}
+        for block in sorted(blocks, key=lambda b: (-len(b.user_ids), b.block_id)):
+            shard = min(range(self.n_shards), key=lambda s: (loads[s], s))
+            loads[shard] += len(block.user_ids)
+            block_of_shard[shard].append(block.block_id)
+            for uid in block.user_ids:
+                assignments[uid] = shard
+                block_of_user[uid] = block.block_id
+        return ShardPlan(self.n_shards, "block", assignments, block_of_shard, block_of_user)
+
+
+def build_shard_blocks(
+    plan: ShardPlan,
+    profiles: ProfileStore,
+    n_categories: int,
+) -> dict[int, list[UserBlock]]:
+    """Reconstruct each shard's slice of the global blocking.
+
+    For a ``"block"`` plan: every global block the shard owns becomes a
+    shard-local :class:`UserBlock` (densely renumbered from 0) with the
+    *same membership* — members are absorbed in ascending user id, the
+    order the one-pass scan visited them, so centroids and universes
+    reproduce the global clustering exactly.  Feeding these blocks to
+    :meth:`CPPseIndex.build_from_blocks` gives every shard the same
+    probed-tree semantics the single global index has.
+
+    Returns an empty dict for hash plans (shards then cluster their own
+    slice — exact within each shard, but the union of probed users may
+    differ from the single index's; see :mod:`repro.serve.service`).
+    """
+    if plan.strategy != "block" or not plan.block_of_user:
+        return {}
+    members_of_block: dict[int, list[int]] = {}
+    for uid, block_id in plan.block_of_user.items():
+        members_of_block.setdefault(block_id, []).append(uid)
+    shard_blocks: dict[int, list[UserBlock]] = {}
+    for shard in range(plan.n_shards):
+        local: list[UserBlock] = []
+        for global_id in sorted(plan.block_of_shard.get(shard, [])):
+            block = UserBlock(block_id=len(local))
+            for uid in sorted(members_of_block.get(global_id, [])):
+                profile = profiles.get(uid)
+                if profile is None:
+                    continue
+                vector = np.asarray(profile.category_vector(n_categories), dtype=float)
+                block.absorb(profile, vector)
+            if block.user_ids:
+                local.append(block)
+        shard_blocks[shard] = local
+    return shard_blocks
+
+
+def merge_top_k(
+    per_shard: Sequence[Sequence[tuple[int, float]]], k: int
+) -> list[tuple[int, float]]:
+    """Merge per-shard top-k lists into the global top-``k``.
+
+    Each input list must already be exact for its shard's user slice and
+    sorted by ``(-score, user_id)`` — which is what both the vectorized
+    matcher and the CPPse-index produce.  The merged prefix is then
+    bit-identical to running the single index over the whole population:
+    the global top-k is the top-k of the union of per-shard top-k sets.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    merged: list[tuple[int, float]] = []
+    for ranked in per_shard:
+        merged.extend(ranked)
+    merged.sort(key=lambda pair: (-pair[1], pair[0]))
+    return merged[:k]

@@ -1,0 +1,150 @@
+"""Versioned on-disk snapshots of trained serving state.
+
+A snapshot is a directory::
+
+    <path>/
+      manifest.json   # format version, kind, config, shard plan, checksum
+      state.pkl       # the live recommender/service object graph
+
+``state.pkl`` pickles the fitted object itself — profiles, entity
+vocabulary/extractor/expander, the BiHMM, the interest predictor
+(including its per-user filtered states), the vectorized matcher and any
+CPPse-index, shard stores included for a sharded service.  Persisting
+the *live* structures rather than re-deriving them on load matters for
+exactness: a maintained CPPse-index has absorbed Algorithm-2 updates
+(reserved-zone claims, block rebuilds) that a fresh re-clustering of the
+same profiles would not reproduce, and a query probes trees by block
+universe — so only the preserved index is guaranteed to return
+bit-identical recommendations after a warm start.
+
+``manifest.json`` duplicates the :class:`~repro.core.config.SsRecConfig`
+and the optional :class:`~repro.serve.sharding.ShardPlan` as plain JSON
+for operator inspection, records the format version, and carries a
+SHA-256 of the payload so corruption fails loudly instead of serving
+garbage.  On load the manifest config is round-tripped through
+``SsRecConfig.from_dict`` (unknown keys rejected) and cross-checked
+against the pickled object's config.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import time
+from pathlib import Path
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+
+#: Bump when the payload layout changes incompatibly.
+SNAPSHOT_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+STATE_NAME = "state.pkl"
+
+
+class SnapshotError(ValueError):
+    """A snapshot directory is missing, corrupt, or incompatible."""
+
+
+def _trained_of(recommender) -> SsRecRecommender:
+    trained = getattr(recommender, "trained", recommender)
+    if not isinstance(trained, SsRecRecommender) or trained.bihmm is None:
+        raise ValueError("only a fitted recommender can be snapshotted")
+    return trained
+
+
+def save_snapshot(recommender, path) -> Path:
+    """Write ``recommender`` (a fitted :class:`SsRecRecommender` or a
+    :class:`~repro.serve.service.ShardedRecommender`) to ``path``.
+
+    Returns the snapshot directory.  The payload is written before the
+    manifest, so a torn write leaves no valid manifest behind.
+    """
+    trained = _trained_of(recommender)
+    plan = getattr(recommender, "plan", None)
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    blob = pickle.dumps(recommender, protocol=pickle.HIGHEST_PROTOCOL)
+    (directory / STATE_NAME).write_bytes(blob)
+    manifest = {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "kind": "sharded" if plan is not None else "ssrec",
+        "created_unix": time.time(),
+        "config": trained.config.to_dict(),
+        "use_index": bool(getattr(recommender, "use_index", trained.use_index)),
+        "seed": trained.seed,
+        "n_categories": trained.bihmm.n_categories,
+        "n_users": len(trained.profiles),
+        "payload": STATE_NAME,
+        "payload_sha256": hashlib.sha256(blob).hexdigest(),
+        "shard_plan": plan.to_dict() if plan is not None else None,
+    }
+    (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def read_manifest(path) -> dict:
+    """Parse and version-check a snapshot's manifest."""
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise SnapshotError(f"no snapshot manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format {version!r} unsupported "
+            f"(this code reads version {SNAPSHOT_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _load_payload(path, manifest: dict):
+    blob = (Path(path) / manifest["payload"]).read_bytes()
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != manifest["payload_sha256"]:
+        raise SnapshotError(
+            f"snapshot payload checksum mismatch at {path} "
+            f"(expected {manifest['payload_sha256'][:12]}…, got {digest[:12]}…)"
+        )
+    restored = pickle.loads(blob)
+    # The manifest config is authoritative documentation of what was
+    # saved; round-trip it (rejecting unknown keys) and cross-check.
+    config = SsRecConfig.from_dict(manifest["config"])
+    trained = _trained_of(restored)
+    if trained.config != config:
+        raise SnapshotError(
+            "snapshot manifest config disagrees with the pickled state"
+        )
+    return restored
+
+
+def load_recommender(path) -> SsRecRecommender:
+    """Warm-start a single-process :class:`SsRecRecommender` from ``path``.
+
+    For ``"sharded"`` snapshots this returns the underlying trained
+    recommender (use :func:`load_sharded` to restore the full service).
+    """
+    manifest = read_manifest(path)
+    restored = _load_payload(path, manifest)
+    return _trained_of(restored)
+
+
+def load_sharded(path, workers: int | None = None):
+    """Warm-start a :class:`~repro.serve.service.ShardedRecommender`.
+
+    ``"sharded"`` snapshots restore their shards — indexes, pending
+    maintenance and plan — exactly as saved.  ``"ssrec"`` snapshots are
+    sharded on load using the config's ``n_shards``/``shard_strategy``.
+    """
+    from repro.serve.service import ShardedRecommender  # local: avoids cycle
+
+    manifest = read_manifest(path)
+    restored = _load_payload(path, manifest)
+    if isinstance(restored, ShardedRecommender):
+        if workers is not None:
+            restored.workers = max(0, int(workers))
+        return restored
+    return ShardedRecommender.from_trained(
+        restored, use_index=bool(manifest["use_index"]), workers=workers
+    )

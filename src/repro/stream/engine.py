@@ -39,6 +39,34 @@ class EngineReport:
             return 0.0
         return sum(self.item_latencies) / len(self.item_latencies)
 
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile (0..100) of the per-item end-to-end latencies.
+
+        Delegates to :class:`repro.eval.metrics.TimingStats` (imported
+        lazily so the stream substrate stays import-light) — one
+        percentile implementation serves engine reports, shard metrics
+        and the evaluation harness alike.
+        """
+        from repro.eval.metrics import TimingStats
+
+        return TimingStats(samples=self.item_latencies).percentile(q)
+
+    @property
+    def p50_latency(self) -> float:
+        """Median per-item latency (seconds)."""
+        return self.latency_percentile(50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile per-item latency (seconds) — the tail the mean
+        hides, and the quantity sharding is meant to improve."""
+        return self.latency_percentile(95)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile per-item latency (seconds)."""
+        return self.latency_percentile(99)
+
     @property
     def total_seconds(self) -> float:
         return sum(self.item_latencies)
@@ -65,26 +93,31 @@ class LocalEngine:
             self._tasks[name] = instances
 
     def _dispatch(self, tup: StreamTuple, report: EngineReport) -> None:
-        """Push one tuple to every subscribed bolt task, depth-first."""
+        """Push one tuple to every subscribed bolt task, depth-first.
+
+        ``all``-grouped bolts receive the tuple on every task (broadcast);
+        all other groupings resolve to exactly one task.
+        """
         for spec in self.topology.downstream_of(tup.source):
             grouping = next(g for g in spec.groupings if g.source == tup.source)
             rr_key = (tup.source, spec.name)
-            task_index = grouping.route(tup, spec.parallelism, self._round_robin[rr_key])
+            task_indices = grouping.route(tup, spec.parallelism, self._round_robin[rr_key])
             self._round_robin[rr_key] += 1
-            bolt = self._tasks[spec.name][task_index]
-            emitter = Emitter()
-            started = time.perf_counter()
-            bolt.process(tup, emitter)
-            report.bolt_seconds[spec.name] += time.perf_counter() - started
-            report.tuples_processed[spec.name] += 1
-            for emitted in emitter.drain():
-                out = StreamTuple(
-                    values=emitted.values,
-                    source=spec.name,
-                    timestamp=emitted.timestamp or tup.timestamp,
-                )
-                report.tuples_emitted[spec.name] += 1
-                self._dispatch(out, report)
+            for task_index in task_indices:
+                bolt = self._tasks[spec.name][task_index]
+                emitter = Emitter()
+                started = time.perf_counter()
+                bolt.process(tup, emitter)
+                report.bolt_seconds[spec.name] += time.perf_counter() - started
+                report.tuples_processed[spec.name] += 1
+                for emitted in emitter.drain():
+                    out = StreamTuple(
+                        values=emitted.values,
+                        source=spec.name,
+                        timestamp=emitted.timestamp or tup.timestamp,
+                    )
+                    report.tuples_emitted[spec.name] += 1
+                    self._dispatch(out, report)
 
     def run(self, max_tuples: int | None = None) -> EngineReport:
         """Pump every spout to exhaustion (or ``max_tuples`` per spout)."""

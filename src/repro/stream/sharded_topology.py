@@ -1,0 +1,127 @@
+"""Sharded deployment: fan-out/merge recommendation as a topology.
+
+The paper parallelizes match bolts by *category*; the sharded runtime
+(:mod:`repro.serve`) parallelizes by *user partition* instead — every
+shard must see every item, and the per-shard top-k lists are merged into
+the global top-k.  As a Storm-style dataflow::
+
+    ItemSpout --> EntityExtractBolt --(all)--> ShardMatchBolt x N
+              --(global)--> ShardMergeBolt --> TopKSinkBolt
+
+- :class:`ShardMatchBolt` is instantiated once per shard (the *all*
+  grouping broadcasts each item to every task); task ``i`` serves shard
+  ``i`` of a :class:`~repro.serve.service.ShardedRecommender` and emits
+  its shard-local top-k.
+- :class:`ShardMergeBolt` buffers the partial lists per item and, once
+  all ``N`` shards have reported, emits the merged global top-k — which
+  is exactly what ``ShardedRecommender.recommend`` computes in-process.
+
+The unchanged :class:`~repro.stream.recommend_topology.TopKSinkBolt`
+collects ``results[item_id] = [(user, score)]`` as in the other
+deployments, so parity with the per-item topology is a list equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datasets.schema import SocialItem
+from repro.entities.extractor import EntityExtractor
+from repro.serve.service import ShardedRecommender
+from repro.serve.sharding import merge_top_k
+from repro.stream.recommend_topology import EntityExtractBolt, ItemSpout, TopKSinkBolt
+from repro.stream.topology import Bolt, Emitter, Topology, TopologyBuilder
+from repro.stream.tuples import StreamTuple
+
+
+class ShardMatchBolt(Bolt):
+    """Serves one shard's slice; task index selects the shard."""
+
+    def __init__(self, service: ShardedRecommender, k: int) -> None:
+        self._service = service
+        self._k = int(k)
+        self._shard = None
+
+    def prepare(self, task_index: int, n_tasks: int) -> None:
+        if n_tasks != self._service.n_shards:
+            raise ValueError(
+                f"shard bolt parallelism {n_tasks} != service shard count "
+                f"{self._service.n_shards}"
+            )
+        self._shard = self._service.shards[task_index]
+
+    def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        item: SocialItem = tup["item"]
+        ranked = self._shard.recommend(item, self._k)
+        emitter.emit(
+            tup.with_values(
+                "",
+                item_id=item.item_id,
+                shard_id=self._shard.shard_id,
+                partial=ranked,
+            )
+        )
+
+
+class ShardMergeBolt(Bolt):
+    """Merges per-shard partial top-k lists into the global top-k.
+
+    Emits an item's final list only when every shard has reported it, so
+    downstream sees exactly one result tuple per item.
+    """
+
+    def __init__(self, n_shards: int, k: int) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self._n_shards = int(n_shards)
+        self._k = int(k)
+        self._partials: dict[int, list[list[tuple[int, float]]]] = {}
+
+    def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        item_id = tup["item_id"]
+        partials = self._partials.setdefault(item_id, [])
+        partials.append(tup["partial"])
+        if len(partials) == self._n_shards:
+            del self._partials[item_id]
+            emitter.emit(
+                tup.with_values(
+                    "",
+                    item_id=item_id,
+                    recommendations=merge_top_k(partials, self._k),
+                )
+            )
+
+    def cleanup(self) -> None:
+        if self._partials:  # pragma: no cover - indicates a routing bug
+            raise RuntimeError(
+                f"{len(self._partials)} items ended the stream with missing "
+                f"shard partials"
+            )
+
+
+def build_sharded_recommend_topology(
+    items: Sequence[SocialItem],
+    extractor: EntityExtractor,
+    service: ShardedRecommender,
+    k: int = 30,
+) -> tuple[Topology, TopKSinkBolt]:
+    """Wire the fan-out/merge topology; returns ``(topology, sink)``.
+
+    One match task per shard (all-grouped broadcast), one merge task
+    (global grouping) — the Storm shape of what
+    ``ShardedRecommender.recommend`` does in-process.
+    """
+    sink = TopKSinkBolt()
+    builder = TopologyBuilder()
+    builder.set_spout("items", ItemSpout(items))
+    builder.set_bolt("extract", lambda: EntityExtractBolt(extractor)).shuffle_grouping("items")
+    builder.set_bolt(
+        "shard_match",
+        lambda: ShardMatchBolt(service, k),
+        parallelism=service.n_shards,
+    ).all_grouping("extract")
+    builder.set_bolt(
+        "merge", lambda: ShardMergeBolt(service.n_shards, k)
+    ).global_grouping("shard_match")
+    builder.set_bolt("sink", lambda: sink).global_grouping("merge")
+    return builder.build(), sink

@@ -74,23 +74,28 @@ class Grouping:
         - ``"shuffle"``: round-robin across tasks;
         - ``"fields"``: hash of the named fields picks the task (tuples with
           equal field values always hit the same task);
-        - ``"global"``: every tuple goes to task 0.
+        - ``"global"``: every tuple goes to task 0;
+        - ``"all"``: every tuple is broadcast to *every* task (Storm's all
+          grouping — what fans a query out to every shard bolt).
     """
 
     source: str
     kind: str = "shuffle"
     fields: tuple[str, ...] = ()
 
-    def route(self, tup: StreamTuple, n_tasks: int, round_robin: int) -> int:
+    def route(self, tup: StreamTuple, n_tasks: int, round_robin: int) -> list[int]:
+        """Task indices this tuple goes to (one for all kinds but ``all``)."""
+        if self.kind == "all":
+            return list(range(n_tasks))
         if n_tasks <= 1:
-            return 0
+            return [0]
         if self.kind == "shuffle":
-            return round_robin % n_tasks
+            return [round_robin % n_tasks]
         if self.kind == "fields":
             key = tuple(tup.get(f) for f in self.fields)
-            return hash(key) % n_tasks
+            return [hash(key) % n_tasks]
         if self.kind == "global":
-            return 0
+            return [0]
         raise ValueError(f"unknown grouping kind {self.kind!r}")
 
 
@@ -115,6 +120,10 @@ class BoltSpec:
 
     def global_grouping(self, source: str) -> "BoltSpec":
         self.groupings.append(Grouping(source=source, kind="global"))
+        return self
+
+    def all_grouping(self, source: str) -> "BoltSpec":
+        self.groupings.append(Grouping(source=source, kind="all"))
         return self
 
 

@@ -38,3 +38,9 @@ class TestMain:
         assert main(["fig9", "--dataset", "MLens"]) == 0
         out = capsys.readouterr().out
         assert "ssRec-nu" in out
+
+    def test_sharded_runs_and_prints(self, capsys):
+        assert main(["sharded", "--dataset", "YTube"]) == 0
+        out = capsys.readouterr().out
+        assert "Sharded serving" in out
+        assert "parity with single index: exact" in out

@@ -74,3 +74,25 @@ class TestResultFormatting:
     def test_fig11_text_lists_datasets(self, ytube_small):
         result = ex.run_fig11({"YTube": ytube_small}, sizes=(1,))
         assert "YTube" in result.to_text()
+
+
+class TestShardedThroughput:
+    def test_parity_and_reporting(self, ytube_small):
+        result = ex.run_sharded_throughput(
+            ytube_small, shard_counts=(1, 2), k=10, max_items=48
+        )
+        assert result.parity_ok
+        assert result.n_items == 48
+        for path, series in result.items_per_sec.items():
+            assert set(series) == {1, 2}, path
+            assert all(ips > 0 for ips in series.values())
+        assert set(result.baselines) == {
+            "scan-item", "scan-batch", "index-item", "index-batch",
+        }
+        for n in (1, 2):
+            summary = result.latency_ms[n]
+            assert summary["p95_ms"] >= summary["p50_ms"] >= 0.0
+        text = result.to_text()
+        assert "parity with single index: exact" in text
+        assert "p99_ms" in text
+        assert result.speedup_over_scan(1) > 0

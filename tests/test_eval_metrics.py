@@ -113,3 +113,19 @@ class TestTimingStats:
         a, b = TimingStats([1.0]), TimingStats([3.0])
         a.merge(b)
         assert a.mean == pytest.approx(2.0)
+
+    def test_percentile_properties(self):
+        stats = TimingStats(samples=[float(i) for i in range(101)])
+        assert stats.p50 == pytest.approx(50.0)
+        assert stats.p95 == pytest.approx(95.0)
+        assert stats.p99 == pytest.approx(99.0)
+
+    def test_percentile_properties_empty(self):
+        stats = TimingStats()
+        assert stats.p50 == stats.p95 == stats.p99 == 0.0
+
+    def test_summary_ms(self):
+        stats = TimingStats(samples=[0.001, 0.003])
+        summary = stats.summary_ms()
+        assert summary["mean_ms"] == pytest.approx(2.0)
+        assert set(summary) == {"mean_ms", "p50_ms", "p95_ms", "p99_ms"}

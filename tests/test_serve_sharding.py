@@ -1,0 +1,179 @@
+"""Sharder determinism, balance, block integrity and plan round-trips."""
+
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.serve.sharding import (
+    ShardPlan,
+    UserSharder,
+    build_shard_blocks,
+    hash_shard,
+    merge_top_k,
+)
+
+
+def _profiles(recommender):
+    return list(recommender.profiles)
+
+
+class TestHashShard:
+    def test_deterministic_and_in_range(self):
+        for n in (1, 2, 5, 16):
+            for uid in (0, 1, 7, 12345, 10**12):
+                s = hash_shard(uid, n)
+                assert s == hash_shard(uid, n)
+                assert 0 <= s < n
+
+    def test_mixes_dense_ids(self):
+        # Sequential ids must not all land on one shard (a raw modulo of
+        # the id would stripe perfectly; the mixer should spread roughly).
+        sizes = [0] * 4
+        for uid in range(400):
+            sizes[hash_shard(uid, 4)] += 1
+        assert min(sizes) > 0
+        assert max(sizes) < 400 * 0.5
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            hash_shard(1, 0)
+
+
+class TestUserSharder:
+    def test_hash_plan_covers_everyone(self, fitted_ssrec):
+        plan = UserSharder(4, "hash").plan(_profiles(fitted_ssrec))
+        assert len(plan.assignments) == len(fitted_ssrec.profiles)
+        assert sum(plan.shard_sizes()) == len(fitted_ssrec.profiles)
+
+    def test_plans_are_deterministic(self, fitted_ssrec):
+        n_cats = fitted_ssrec.bihmm.n_categories
+        for strategy in ("hash", "block"):
+            a = UserSharder(3, strategy).plan(_profiles(fitted_ssrec), n_categories=n_cats)
+            b = UserSharder(3, strategy).plan(
+                list(reversed(_profiles(fitted_ssrec))), n_categories=n_cats
+            )
+            assert a.assignments == b.assignments
+            assert a.block_of_shard == b.block_of_shard
+
+    def test_block_plan_never_splits_blocks(self, fitted_ssrec):
+        n_cats = fitted_ssrec.bihmm.n_categories
+        plan = UserSharder(3, "block").plan(_profiles(fitted_ssrec), n_categories=n_cats)
+        assert plan.block_of_user  # membership recorded
+        shard_of_block = {}
+        for uid, block in plan.block_of_user.items():
+            shard = plan.assignments[uid]
+            assert shard_of_block.setdefault(block, shard) == shard
+
+    def test_block_plan_requires_categories(self, fitted_ssrec):
+        with pytest.raises(ValueError, match="n_categories"):
+            UserSharder(2, "block").plan(_profiles(fitted_ssrec))
+
+    def test_block_plan_balances_greedily(self, fitted_ssrec):
+        n_cats = fitted_ssrec.bihmm.n_categories
+        plan = UserSharder(3, "block").plan(_profiles(fitted_ssrec), n_categories=n_cats)
+        stats = plan.balance_stats()
+        # Greedy largest-first cannot be pathologically lopsided unless
+        # one block dominates; the tiny YTube blocking has many blocks.
+        assert stats["min_size"] > 0
+        assert stats["imbalance"] < 2.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            UserSharder(0)
+        with pytest.raises(ValueError, match="strategy"):
+            UserSharder(2, "roundrobin")
+
+
+class TestShardPlan:
+    def test_shard_of_unseen_user_is_recorded_hash_route(self):
+        plan = ShardPlan(n_shards=4)
+        shard = plan.shard_of(999)
+        assert shard == hash_shard(999, 4)
+        assert plan.assignments[999] == shard
+        assert plan.shard_of(999) == shard  # stable
+
+    def test_users_of_partitions(self, fitted_ssrec):
+        plan = UserSharder(3, "hash").plan(_profiles(fitted_ssrec))
+        seen = set()
+        for shard in range(plan.n_shards):
+            users = plan.users_of(shard)
+            assert users == sorted(users)
+            assert not (seen & set(users))
+            seen.update(users)
+        assert len(seen) == len(fitted_ssrec.profiles)
+
+    def test_round_trip_dict(self, fitted_ssrec):
+        n_cats = fitted_ssrec.bihmm.n_categories
+        plan = UserSharder(3, "block").plan(_profiles(fitted_ssrec), n_categories=n_cats)
+        clone = ShardPlan.from_dict(plan.to_dict())
+        assert clone.assignments == plan.assignments
+        assert clone.block_of_shard == plan.block_of_shard
+        assert clone.block_of_user == plan.block_of_user
+        assert clone.strategy == plan.strategy
+
+    def test_rebalance_stats(self):
+        a = ShardPlan(2, assignments={1: 0, 2: 1, 3: 0})
+        b = ShardPlan(2, assignments={1: 1, 2: 1, 4: 0})
+        stats = a.rebalance_stats(b)
+        assert stats["n_common"] == 2
+        assert stats["n_moved"] == 1
+        assert stats["moved_fraction"] == 0.5
+        assert stats["only_self"] == 1
+        assert stats["only_other"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardPlan(0)
+        with pytest.raises(ValueError, match="strategy"):
+            ShardPlan(2, strategy="nope")
+        with pytest.raises(ValueError, match="outside"):
+            ShardPlan(2, assignments={1: 5})
+
+
+class TestBuildShardBlocks:
+    def test_reconstructs_global_membership(self, fitted_ssrec):
+        n_cats = fitted_ssrec.bihmm.n_categories
+        plan = UserSharder(3, "block").plan(_profiles(fitted_ssrec), n_categories=n_cats)
+        shard_blocks = build_shard_blocks(plan, fitted_ssrec.profiles, n_cats)
+        rebuilt = {
+            uid
+            for blocks in shard_blocks.values()
+            for block in blocks
+            for uid in block.user_ids
+        }
+        assert rebuilt == set(plan.assignments)
+        for blocks in shard_blocks.values():
+            assert [b.block_id for b in blocks] == list(range(len(blocks)))
+
+    def test_hash_plan_yields_no_blocks(self, fitted_ssrec):
+        plan = UserSharder(3, "hash").plan(_profiles(fitted_ssrec))
+        assert build_shard_blocks(plan, fitted_ssrec.profiles, 4) == {}
+
+
+class TestMergeTopK:
+    def test_merges_by_score_then_user(self):
+        a = [(3, 5.0), (1, 2.0)]
+        b = [(2, 5.0), (4, 3.0)]
+        assert merge_top_k([a, b], 3) == [(2, 5.0), (3, 5.0), (4, 3.0)]
+
+    def test_k_larger_than_union(self):
+        assert merge_top_k([[(1, 1.0)], [(2, 0.5)]], 10) == [(1, 1.0), (2, 0.5)]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k"):
+            merge_top_k([], 0)
+
+
+class TestConfigShardFields:
+    def test_defaults_valid(self):
+        cfg = SsRecConfig()
+        assert cfg.n_shards == 1
+        assert cfg.shard_strategy == "block"
+        assert cfg.serve_workers == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            SsRecConfig(n_shards=0)
+        with pytest.raises(ValueError, match="shard_strategy"):
+            SsRecConfig(shard_strategy="x")
+        with pytest.raises(ValueError, match="serve_workers"):
+            SsRecConfig(serve_workers=-1)

@@ -106,7 +106,7 @@ class TestGroupingRouting:
     def test_shuffle_round_robins(self):
         g = Grouping(source="s", kind="shuffle")
         tup = StreamTuple(values={})
-        assert [g.route(tup, 3, i) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+        assert [g.route(tup, 3, i) for i in range(6)] == [[0], [1], [2], [0], [1], [2]]
 
     def test_fields_grouping_is_consistent(self):
         g = Grouping(source="s", kind="fields", fields=("k",))
@@ -116,7 +116,11 @@ class TestGroupingRouting:
 
     def test_global_grouping_always_task_zero(self):
         g = Grouping(source="s", kind="global")
-        assert g.route(StreamTuple(values={"k": 1}), 7, 3) == 0
+        assert g.route(StreamTuple(values={"k": 1}), 7, 3) == [0]
+
+    def test_all_grouping_broadcasts(self):
+        g = Grouping(source="s", kind="all")
+        assert g.route(StreamTuple(values={}), 4, 2) == [0, 1, 2, 3]
 
     def test_unknown_kind_rejected(self):
         g = Grouping(source="s", kind="bogus")

@@ -1,0 +1,145 @@
+"""Sharded fan-out/merge topology and the all-grouping broadcast."""
+
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.serve import ShardedRecommender
+from repro.stream.engine import LocalEngine
+from repro.stream.recommend_topology import build_recommendation_topology
+from repro.stream.sharded_topology import (
+    ShardMatchBolt,
+    ShardMergeBolt,
+    build_sharded_recommend_topology,
+)
+from repro.stream.topology import Bolt, Emitter, Grouping, TopologyBuilder
+from repro.stream.tuples import StreamTuple
+
+
+class _CountingBolt(Bolt):
+    def __init__(self, log):
+        self._log = log
+        self._task = None
+
+    def prepare(self, task_index, n_tasks):
+        self._task = task_index
+
+    def process(self, tup, emitter):
+        self._log.append((self._task, tup["x"]))
+
+
+class TestAllGrouping:
+    def test_route_returns_every_task(self):
+        g = Grouping(source="s", kind="all")
+        assert g.route(StreamTuple(values={}), 4, 0) == [0, 1, 2, 3]
+
+    def test_other_kinds_return_single_task(self):
+        tup = StreamTuple(values={"f": 1})
+        assert Grouping(source="s", kind="shuffle").route(tup, 4, 5) == [1]
+        assert Grouping(source="s", kind="global").route(tup, 4, 5) == [0]
+        assert len(Grouping(source="s", kind="fields", fields=("f",)).route(tup, 4, 0)) == 1
+
+    def test_engine_broadcasts_to_all_tasks(self):
+        from repro.stream.topology import Spout
+
+        class ListSpout(Spout):
+            def __init__(self, values):
+                self._values = list(values)
+
+            def open(self):
+                self._cursor = 0
+
+            def next_tuple(self):
+                if self._cursor >= len(self._values):
+                    return None
+                v = self._values[self._cursor]
+                self._cursor += 1
+                return StreamTuple(values={"x": v})
+
+        log = []
+        builder = TopologyBuilder()
+        builder.set_spout("src", ListSpout([10, 20]))
+        builder.set_bolt("fan", lambda: _CountingBolt(log), parallelism=3).all_grouping("src")
+        report = LocalEngine(builder.build()).run()
+        # Every tuple reached every one of the 3 tasks.
+        assert sorted(log) == sorted((t, v) for t in range(3) for v in (10, 20))
+        assert report.tuples_processed["fan"] == 6
+
+
+class TestShardedTopology:
+    def _service_and_single(self, ytube_small, ytube_stream, n_shards=3):
+        def fresh():
+            rec = SsRecRecommender(config=SsRecConfig(), use_index=True, seed=1)
+            rec.fit(ytube_small, ytube_stream.training_interactions())
+            return rec
+
+        single = fresh()
+        service = ShardedRecommender.from_trained(
+            fresh(), n_shards=n_shards, strategy="block"
+        )
+        return single, service
+
+    def test_matches_single_recommender_topology(self, ytube_small, ytube_stream):
+        single, service = self._service_and_single(ytube_small, ytube_stream)
+        items = ytube_stream.items_in_partition(2)[:12]
+        topo_single, sink_single = build_recommendation_topology(
+            items, single.extractor, single, ytube_small.n_categories, k=5
+        )
+        LocalEngine(topo_single).run()
+        topo_sharded, sink_sharded = build_sharded_recommend_topology(
+            items, service.trained.extractor, service, k=5
+        )
+        LocalEngine(topo_sharded).run()
+        assert sink_sharded.results == sink_single.results
+
+    def test_one_result_per_item(self, ytube_small, ytube_stream):
+        _, service = self._service_and_single(ytube_small, ytube_stream, n_shards=2)
+        items = ytube_stream.items_in_partition(2)[:8]
+        topology, sink = build_sharded_recommend_topology(
+            items, service.trained.extractor, service, k=4
+        )
+        LocalEngine(topology).run()
+        assert len(sink.results) == len(items)
+        assert all(len(ranked) == 4 for ranked in sink.results.values())
+
+    def test_match_bolt_rejects_wrong_parallelism(self, ytube_small, ytube_stream):
+        _, service = self._service_and_single(ytube_small, ytube_stream, n_shards=2)
+        bolt = ShardMatchBolt(service, k=5)
+        with pytest.raises(ValueError, match="parallelism"):
+            bolt.prepare(0, 5)
+
+    def test_merge_bolt_waits_for_all_shards(self):
+        bolt = ShardMergeBolt(n_shards=2, k=3)
+        emitter = Emitter()
+        tup = StreamTuple(values={"item_id": 1, "shard_id": 0, "partial": [(1, 2.0)]})
+        bolt.process(tup, emitter)
+        assert emitter.drain() == []
+        tup2 = StreamTuple(values={"item_id": 1, "shard_id": 1, "partial": [(2, 3.0)]})
+        bolt.process(tup2, emitter)
+        out = emitter.drain()
+        assert len(out) == 1
+        assert out[0]["recommendations"] == [(2, 3.0), (1, 2.0)]
+        bolt.cleanup()  # no leftovers
+
+    def test_merge_bolt_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardMergeBolt(0, 5)
+
+
+class TestEngineReportPercentiles:
+    def test_percentiles_from_latencies(self):
+        from repro.stream.engine import EngineReport
+
+        report = EngineReport()
+        report.item_latencies.extend([0.001 * i for i in range(1, 101)])
+        assert report.p50_latency == pytest.approx(0.0505, rel=1e-6)
+        assert report.p95_latency >= report.p50_latency
+        assert report.p99_latency >= report.p95_latency
+
+    def test_empty_report(self):
+        from repro.stream.engine import EngineReport
+
+        report = EngineReport()
+        assert report.p50_latency == 0.0
+        assert report.p95_latency == 0.0
+        assert report.p99_latency == 0.0
