@@ -1,0 +1,52 @@
+"""Differential conformance of every serving path (the repro.sim harness).
+
+Replays the adversarial scenario catalog — bursts, cold starts, drift,
+popularity skew, duplicate/out-of-order delivery, maintenance-boundary
+storms — through the per-item scan, batched scan, CPPse-index and sharded
+serving paths (one mid-stream snapshot reload included) and judges every
+window against the naive per-pair oracle.
+
+Two assertions, both regression backstops for serving-path work:
+
+- **zero divergences** across the whole scenario x path matrix — any
+  future optimization that moves a single result breaks this bench;
+- the report also carries per-path throughput, persisted to
+  ``benchmarks/results/conformance.txt`` for eyeballing which path pays
+  what under adversarial traffic.
+"""
+
+import os
+
+from repro.eval import experiments as ex
+
+#: CI smoke runs set these to shrink the replayed stream / catalog.
+MAX_EVENTS = int(os.environ.get("REPRO_BENCH_CONFORMANCE_EVENTS", "500"))
+_names = os.environ.get("REPRO_BENCH_CONFORMANCE_SCENARIOS", "")
+SCENARIOS = tuple(name for name in _names.split(",") if name) or None
+
+
+def test_conformance(benchmark, bench_seed, save_result):
+    result = benchmark.pedantic(
+        lambda: ex.run_conformance(
+            scenarios=SCENARIOS,
+            seed=bench_seed,
+            max_events=MAX_EVENTS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("conformance", result.to_text())
+    # The tentpole claim: every serving path agrees with the oracle on
+    # every window of every adversarial scenario.
+    assert result.conformant, result.to_text()
+    # Each replayed scenario actually exercised the full path matrix.
+    for report in result.reports:
+        assert set(report.paths) == {
+            "scan-item",
+            "scan-batch",
+            "index-item",
+            "index-batch",
+            "sharded-scan-hash",
+            "sharded-index-block",
+        }
+        assert report.paths["sharded-index-block"].snapshot_reloads >= 1

@@ -1,9 +1,12 @@
 """Benchmark fixtures: shared datasets and result persistence.
 
 Scale is controlled by ``REPRO_BENCH_SCALE`` (``small`` | ``default`` |
-``paper_shape``); each benchmark runs its experiment driver once
-(``benchmark.pedantic``) and writes the regenerated table/figure text to
-``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote it.
+``paper_shape``) and every seeded stage — dataset generation, synthpop
+resampling, model init — derives from ``REPRO_BENCH_SEED``, so a bench
+run is reproducible from those two knobs alone.  Each benchmark runs its
+experiment driver once (``benchmark.pedantic``) and writes the
+regenerated table/figure text to ``benchmarks/results/<name>.txt`` so
+EXPERIMENTS.md can quote it.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.datasets.ytube import YTubeConfig, generate_ytube
 from repro.eval import experiments as ex
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Ground-truth density threshold for effectiveness benches; shapes are
@@ -25,15 +29,21 @@ MIN_TRUTH = 3
 
 
 @pytest.fixture(scope="session")
+def bench_seed():
+    """The one seed every bench stage derives from (``REPRO_BENCH_SEED``)."""
+    return SEED
+
+
+@pytest.fixture(scope="session")
 def datasets():
     """The paper's four datasets (Table III) at the configured scale."""
-    return ex.make_datasets(SCALE)
+    return ex.make_datasets(SCALE, seed=SEED)
 
 
 @pytest.fixture(scope="session")
 def sparse_ytube():
     """Paper-sparsity YTube variant (Table II's regime)."""
-    return generate_ytube(YTubeConfig.sparse())
+    return generate_ytube(YTubeConfig.sparse(seed=SEED))
 
 
 @pytest.fixture(scope="session")
@@ -46,7 +56,7 @@ def efficiency_datasets():
     benches run ``small``.
     """
     scale = "default" if SCALE == "small" else SCALE
-    return ex.make_datasets(scale)
+    return ex.make_datasets(scale, seed=SEED)
 
 
 @pytest.fixture(scope="session")

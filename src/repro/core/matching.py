@@ -184,6 +184,12 @@ class VectorizedMatcher:
         self._cols_epoch = -1
         self._producer_col_cache: dict[int, np.ndarray] = {}
         self._entity_col_cache: dict[int, np.ndarray] = {}
+        # Sparse overflow counts for symbols outside the trained universe
+        # (a producer or entity first seen mid-stream has no dense column;
+        # dropping its counts would silently diverge from the reference
+        # scorer and the CPPse-index, which both count it).
+        self._extra_producer_counts: dict[int, dict[int, float]] = {}
+        self._extra_entity_counts: dict[int, dict[int, float]] = {}
         self._capacity = 0
         config = scorer.config
         self._mu = config.dirichlet_mu
@@ -230,13 +236,19 @@ class VectorizedMatcher:
         if self._versions.get(profile.user_id) == profile.version:
             return
         self._producer_counts[row, :] = 0.0
+        self._clear_overflow_row(self._extra_producer_counts, row)
         for producer, count in profile.producer_counts.items():
             if 0 <= producer < self.scorer.n_producers:
                 self._producer_counts[row, producer] = count
+            else:
+                self._extra_producer_counts.setdefault(int(producer), {})[row] = count
         self._entity_counts[row, :] = 0.0
+        self._clear_overflow_row(self._extra_entity_counts, row)
         for entity, count in profile.entity_counts.items():
             if 0 <= entity < self.scorer.n_entities:
                 self._entity_counts[row, entity] = count
+            else:
+                self._extra_entity_counts.setdefault(int(entity), {})[row] = count
         self._n_long[row] = profile.n_long_events
         self._n_tokens[row] = profile.n_entity_tokens
         self._long_dist[row] = self.scorer.interest.long_term_distribution(profile)
@@ -262,15 +274,40 @@ class VectorizedMatcher:
 
         Shared by the per-item and batched paths so both produce
         bit-identical probabilities (the batch path additionally caches
-        columns across the items of one batch).
+        columns across the items of one batch).  Producers outside the
+        trained universe read their counts from the sparse overflow store,
+        so mid-stream producers score identically to the reference scorer.
         """
         n = len(self._user_ids)
         mu = self._mu
         if 0 <= producer < self.scorer.n_producers:
             count = self._producer_counts[:n, producer]
         else:
-            count = np.zeros(n)
+            count = self._overflow_column(self._extra_producer_counts.get(producer), n)
         return (count + mu / self.scorer.n_producers) / (self._n_long[:n] + mu)
+
+    @staticmethod
+    def _clear_overflow_row(store: dict[int, dict[int, float]], row: int) -> None:
+        """Drop ``row``'s counts from every overflow symbol, deleting
+        symbols that empty — the store tracks live counts only, so a
+        long-lived server never pays for symbols no current profile holds."""
+        emptied = []
+        for symbol, overflow in store.items():
+            overflow.pop(row, None)
+            if not overflow:
+                emptied.append(symbol)
+        for symbol in emptied:
+            del store[symbol]
+
+    @staticmethod
+    def _overflow_column(overflow: dict[int, float] | None, n: int) -> np.ndarray:
+        """Dense column of one out-of-universe symbol's sparse counts."""
+        count = np.zeros(n)
+        if overflow:
+            for row, value in overflow.items():
+                if row < n:
+                    count[row] = value
+        return count
 
     def _entity_column(self, entity_id: int) -> np.ndarray:
         """Smoothed ``p^(e|u)`` over all user rows for one entity."""
@@ -279,7 +316,7 @@ class VectorizedMatcher:
         if 0 <= entity_id < self.scorer.n_entities:
             count = self._entity_counts[:n, entity_id]
         else:
-            count = np.zeros(n)
+            count = self._overflow_column(self._extra_entity_counts.get(entity_id), n)
         return (count + mu / self.scorer.n_entities) / (self._n_tokens[:n] + mu)
 
     def _pair_parts(
@@ -403,10 +440,11 @@ class VectorizedMatcher:
         For ``k`` well below the population a partial selection narrows the
         candidate set before the exact sort; the threshold keeps every score
         tied with the k-th best, so the result equals a full sort's prefix.
+        ``k == 0`` (an empty recommendation window) yields an empty list.
         """
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        if scores.size == 0:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if k == 0 or scores.size == 0:
             return []
         k = min(int(k), scores.size)
         if self._user_id_array is None or self._user_id_array.size != len(self._user_ids):

@@ -267,10 +267,14 @@ class SsRecRecommender:
         return updated
 
     def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
-        """Top-``k`` ``(user_id, score)`` for an incoming item (Eq. 3 order)."""
+        """Top-``k`` ``(user_id, score)`` for an incoming item (Eq. 3 order).
+
+        ``k=None`` means the configured ``default_k``; an explicit ``k=0``
+        is an empty recommendation window and yields an empty list.
+        """
         self._require_fitted()
         assert self.matcher is not None
-        k = k or self.config.default_k
+        k = self.config.default_k if k is None else int(k)
         if self.index is not None:
             # Serve fresh results: apply any pending profile maintenance
             # before querying (queries between maintenance cycles would
@@ -293,7 +297,7 @@ class SsRecRecommender:
         """
         self._require_fitted()
         assert self.matcher is not None
-        k = k or self.config.default_k
+        k = self.config.default_k if k is None else int(k)
         items = list(items)
         if not items:
             return []

@@ -23,6 +23,23 @@ import numpy as np
 
 from repro.datasets.schema import Dataset, Interaction
 
+#: Anything accepted where randomness is seeded: an integer seed or an
+#: already-constructed generator (callers composing several seeded stages —
+#: the workload simulator, the eval drivers — pass one generator through).
+SeedLike = int | np.random.Generator
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing a generator through unchanged lets one explicit seed drive a
+    whole pipeline (synthesize -> perturb -> replay) deterministically; an
+    integer keeps the historical call sites reproducible as-is.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
 
 class SynthpopSynthesizer:
     """Sequential conditional resampler for categorical records.
@@ -70,11 +87,11 @@ class SynthpopSynthesizer:
                 return values[int(rng.choice(len(values), p=weights))]
         raise RuntimeError(f"no distribution for column {self.columns[j]!r}")
 
-    def sample(self, n: int, seed: int = 0) -> list[dict]:
-        """Draw ``n`` synthetic records."""
+    def sample(self, n: int, seed: SeedLike = 0) -> list[dict]:
+        """Draw ``n`` synthetic records (``seed``: int or Generator)."""
         if not self._fitted:
             raise RuntimeError("fit() must be called before sample()")
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         out: list[dict] = []
         for _ in range(n):
             values: list = []
@@ -101,7 +118,7 @@ def _visible_prefix(pool: list, t: float) -> list:
 def synthesize_dataset(
     source: Dataset,
     name: str | None = None,
-    seed: int = 0,
+    seed: SeedLike = 0,
     interaction_growth: float = 0.06,
     own_item_affinity: float = 4.0,
     recent_pool: int = 25,
@@ -124,6 +141,9 @@ def synthesize_dataset(
     stream-recommendation signal.
 
     Args:
+        seed: integer seed or a live :class:`numpy.random.Generator`; the
+            latter lets callers thread one generator through a multi-stage
+            pipeline (the workload simulator does).
         interaction_growth: relative size change of the synthetic stream
             (the paper's SynYTube has ~6% more interactions than YTube).
         own_item_affinity: extra weight on items the user originally
@@ -135,7 +155,7 @@ def synthesize_dataset(
     """
     if not source.interactions:
         raise ValueError("source dataset has no interactions to synthesize from")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     name = name or f"Syn{source.name}"
 
     popularity = Counter(i.item_id for i in source.interactions)

@@ -9,11 +9,15 @@ Regenerate any of the paper's tables/figures from the shell::
     python -m repro.eval fig10 --dataset YTube --scale default
     python -m repro.eval fig11
 
-Beyond the paper, ``batch`` measures the batched serving path and
-``sharded`` sweeps the sharded serving runtime::
+Beyond the paper, ``batch`` measures the batched serving path, ``sharded``
+sweeps the sharded serving runtime, and ``conformance`` replays the
+adversarial scenario catalog through every serving path against the naive
+oracle (exit status 1 on any divergence — CI gates on it)::
 
     python -m repro.eval batch --dataset YTube --scale default
     python -m repro.eval sharded --dataset YTube --scale default
+    python -m repro.eval conformance
+    python -m repro.eval conformance --scenarios bursty_uploads,abrupt_drift --events 300
 
 ``--scale`` controls the dataset size (small | default | paper_shape);
 ``--dataset`` picks one of the four Table III datasets where applicable.
@@ -30,7 +34,9 @@ from repro.eval import experiments as ex
 SINGLE_DATASET_EXPERIMENTS = {
     "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch", "sharded",
 }
-ALL_EXPERIMENTS = sorted(SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11"})
+ALL_EXPERIMENTS = sorted(
+    SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11", "conformance"}
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum interacting users for an item to be judged (default: 3)",
     )
     parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help="conformance only: comma-separated scenario names "
+        "(default: the full catalog)",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=600,
+        help="conformance only: serving-stream length per scenario (default: 600)",
+    )
+    parser.add_argument(
+        "--k",
+        type=int,
+        default=10,
+        help="conformance only: recommendation depth per query (default: 10)",
+    )
     return parser
 
 
@@ -69,25 +93,41 @@ def main(argv: list[str] | None = None) -> int:
         print(ex.run_table2(dataset).to_text())
         return 0
     if args.experiment == "table3":
-        print(ex.run_table3(scale=args.scale).to_text())
+        print(ex.run_table3(scale=args.scale, seed=args.seed).to_text())
         return 0
+    if args.experiment == "conformance":
+        names = args.scenarios.split(",") if args.scenarios else None
+        result = ex.run_conformance(
+            scenarios=names,
+            seed=args.seed,
+            k=args.k,
+            max_events=args.events,
+        )
+        print(result.to_text())
+        # Non-zero exit on any divergence: CI gates on this.
+        return 0 if result.total_divergences == 0 else 1
     datasets = ex.make_datasets(args.scale, seed=args.seed)
     if args.experiment == "fig11":
-        print(ex.run_fig11(datasets).to_text())
+        print(ex.run_fig11(datasets, seed=args.seed).to_text())
         return 0
     dataset = datasets[args.dataset]
+    # One --seed drives both the dataset generators above and the model
+    # initialization inside every driver — a run is reproducible from the
+    # command line alone.
     if args.experiment == "fig5":
-        result = ex.run_fig5(dataset, max_users=16, max_states=4, min_history=25)
+        result = ex.run_fig5(
+            dataset, max_users=16, max_states=4, min_history=25, seed=args.seed
+        )
     elif args.experiment == "fig6":
-        result = ex.run_fig6(dataset, min_truth=args.min_truth)
+        result = ex.run_fig6(dataset, min_truth=args.min_truth, seed=args.seed)
     elif args.experiment == "fig7":
-        result = ex.run_fig7(dataset, min_truth=args.min_truth)
+        result = ex.run_fig7(dataset, min_truth=args.min_truth, seed=args.seed)
     elif args.experiment == "fig8":
-        result = ex.run_fig8(dataset, min_truth=args.min_truth)
+        result = ex.run_fig8(dataset, min_truth=args.min_truth, seed=args.seed)
     elif args.experiment == "fig9":
-        result = ex.run_fig9(dataset, min_truth=args.min_truth)
+        result = ex.run_fig9(dataset, min_truth=args.min_truth, seed=args.seed)
     elif args.experiment == "fig10":
-        result = ex.run_fig10(dataset, min_truth=2)
+        result = ex.run_fig10(dataset, min_truth=2, seed=args.seed)
     elif args.experiment == "batch":
         result = ex.run_batch_throughput(dataset, seed=args.seed)
     elif args.experiment == "sharded":

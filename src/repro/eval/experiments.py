@@ -17,10 +17,12 @@ benchmarks control scale) and returns a structured result whose
 | Fig. 11        | run_fig11     |
 
 Beyond the paper, ``run_batch_throughput`` measures the repo's batched
-serving path (``recommend_batch``) against the per-item loop, and
+serving path (``recommend_batch``) against the per-item loop,
 ``run_sharded_throughput`` sweeps the sharded serving runtime
 (:mod:`repro.serve`) over shard counts, asserting exact parity with the
-single index while reporting throughput and tail-latency percentiles.
+single index while reporting throughput and tail-latency percentiles, and
+``run_conformance`` replays the :mod:`repro.sim` adversarial scenario
+catalog through every serving path against the naive oracle.
 """
 
 from __future__ import annotations
@@ -176,9 +178,11 @@ class Table3Result:
         )
 
 
-def run_table3(datasets: dict[str, Dataset] | None = None, scale: str = "small") -> Table3Result:
+def run_table3(
+    datasets: dict[str, Dataset] | None = None, scale: str = "small", seed: int = 7
+) -> Table3Result:
     """Dataset statistics in Table III's column layout."""
-    datasets = datasets or make_datasets(scale)
+    datasets = datasets or make_datasets(scale, seed=seed)
     return Table3Result([ds.stats().as_row() for ds in datasets.values()])
 
 
@@ -803,6 +807,84 @@ def run_sharded_throughput(
         latency_ms=latency_ms,
         parity_ok=parity_ok,
     )
+
+
+# ----------------------------------------------------------------------
+# Differential conformance (the repro.sim harness)
+# ----------------------------------------------------------------------
+@dataclass
+class ConformanceSuiteResult:
+    """Per-scenario conformance reports over the serving-path matrix.
+
+    Attributes:
+        seed: master seed the scenario generator ran with.
+        k: recommendation depth per query.
+        reports: one :class:`~repro.sim.conformance.ConformanceReport`
+            per replayed scenario, in replay order.
+    """
+
+    seed: int
+    k: int
+    reports: list  # list[ConformanceReport]
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(report.total_divergences for report in self.reports)
+
+    @property
+    def conformant(self) -> bool:
+        return self.total_divergences == 0
+
+    def to_text(self) -> str:
+        lines = ["Differential conformance — serving paths vs the naive oracle", ""]
+        for report in self.reports:
+            lines.append(report.to_text())
+            lines.append("")
+        verdict = (
+            "all scenarios EXACT"
+            if self.conformant
+            else f"BROKEN: {self.total_divergences} divergences"
+        )
+        lines.append(f"suite verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def run_conformance(
+    scenarios: Sequence[str] | None = None,
+    seed: int = 7,
+    k: int = 10,
+    window_size: int = 8,
+    n_shards: int = 3,
+    max_events: int = 600,
+    base: Dataset | None = None,
+    config: SsRecConfig | None = None,
+) -> ConformanceSuiteResult:
+    """Replay the adversarial scenario catalog through every serving path.
+
+    Each scenario is generated deterministically from ``seed``, replayed
+    through the per-item scan, batched scan, CPPse-index (per-item and
+    batched), and sharded (hash-scan and block-index, with one mid-stream
+    snapshot reload) paths, and judged window by window against the naive
+    per-pair oracle.  Zero total divergences is the acceptance bar every
+    serving-path change must hold.
+
+    Args:
+        scenarios: catalog names to replay (default: the full catalog).
+        base: base dataset for the scenario generator (default: the small
+            YTube generator at ``seed``).
+    """
+    from repro.sim import ConformanceRunner, ScenarioGenerator  # local: keeps eval import-light
+
+    generator = ScenarioGenerator(base=base, seed=seed, max_events=max_events)
+    runner = ConformanceRunner(
+        k=k,
+        window_size=window_size,
+        n_shards=n_shards,
+        config=config,
+        snapshot_window=1,
+    )
+    reports = [runner.run(scenario) for scenario in generator.generate_all(scenarios)]
+    return ConformanceSuiteResult(seed=int(seed), k=int(k), reports=reports)
 
 
 def run_batch_throughput(

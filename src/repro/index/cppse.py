@@ -225,10 +225,13 @@ class CPPseIndex:
         """Algorithm 1: top-``k`` users for ``item`` via best-first search.
 
         Returns ``(user_id, score)`` sorted by descending score then user
-        id — the same order the sequential scan produces.
+        id — the same order the sequential scan produces.  ``k == 0`` is
+        an empty recommendation window and yields an empty list.
         """
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return []
         return self._knn_search(item, k, None, None, None)
 
     def knn_batch(
@@ -248,11 +251,14 @@ class CPPseIndex:
           re-encoding.
 
         Callers flush pending maintenance once before the batch (the ssRec
-        facade does) rather than once per item.
+        facade does) rather than once per item.  An empty window, and
+        ``k == 0``, both yield empty results rather than an error.
         """
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
         results: list[list[tuple[int, float]]] = [[] for _ in items]
+        if k == 0 or not items:
+            return results
         groups: dict[tuple, list[int]] = {}
         for position, item in enumerate(items):
             weighted = self.scorer.expanded_query(item)

@@ -222,8 +222,9 @@ class ShardedRecommender:
     # ------------------------------------------------------------------
     def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
         """Global top-``k`` ``(user_id, score)`` — identical to the single
-        index's :meth:`SsRecRecommender.recommend` on the same state."""
-        k = k or self.config.default_k
+        index's :meth:`SsRecRecommender.recommend` on the same state.
+        ``k=None`` means ``default_k``; ``k=0`` yields an empty list."""
+        k = self.config.default_k if k is None else int(k)
         # Warm the shared expanded-query cache once so concurrent shard
         # lookups read instead of redundantly recomputing it.
         self.scorer.expanded_query(item)
@@ -234,7 +235,7 @@ class ShardedRecommender:
         self, items: Sequence[SocialItem], k: int | None = None
     ) -> list[list[tuple[int, float]]]:
         """Per-item global top-``k`` lists for a micro-batch."""
-        k = k or self.config.default_k
+        k = self.config.default_k if k is None else int(k)
         items = list(items)
         if not items:
             return []

@@ -305,9 +305,12 @@ def merge_top_k(
     matcher and the CPPse-index produce.  The merged prefix is then
     bit-identical to running the single index over the whole population:
     the global top-k is the top-k of the union of per-shard top-k sets.
+    ``k == 0`` (an empty recommendation window) yields an empty list.
     """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k == 0:
+        return []
     merged: list[tuple[int, float]] = []
     for ranked in per_shard:
         merged.extend(ranked)

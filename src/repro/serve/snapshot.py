@@ -85,11 +85,31 @@ def save_snapshot(recommender, path) -> Path:
 
 
 def read_manifest(path) -> dict:
-    """Parse and version-check a snapshot's manifest."""
+    """Parse and version-check a snapshot's manifest.
+
+    Every failure mode — missing directory, unreadable file, malformed
+    JSON, unsupported version — raises :class:`SnapshotError`, so callers
+    handle exactly one exception type.
+    """
     manifest_path = Path(path) / MANIFEST_NAME
     if not manifest_path.exists():
         raise SnapshotError(f"no snapshot manifest at {manifest_path}")
-    manifest = json.loads(manifest_path.read_text())
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"unreadable snapshot manifest at {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SnapshotError(f"snapshot manifest at {manifest_path} is not an object")
+    missing = [
+        key
+        for key in ("format_version", "payload", "payload_sha256", "config")
+        if key not in manifest
+    ]
+    if missing:
+        raise SnapshotError(
+            f"snapshot manifest at {manifest_path} is missing "
+            f"required keys: {', '.join(missing)}"
+        )
     version = manifest.get("format_version")
     if version != SNAPSHOT_FORMAT_VERSION:
         raise SnapshotError(
@@ -100,14 +120,26 @@ def read_manifest(path) -> dict:
 
 
 def _load_payload(path, manifest: dict):
-    blob = (Path(path) / manifest["payload"]).read_bytes()
+    payload_path = Path(path) / manifest["payload"]
+    try:
+        blob = payload_path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"snapshot payload missing at {payload_path}: {exc}") from exc
     digest = hashlib.sha256(blob).hexdigest()
     if digest != manifest["payload_sha256"]:
         raise SnapshotError(
             f"snapshot payload checksum mismatch at {path} "
             f"(expected {manifest['payload_sha256'][:12]}…, got {digest[:12]}…)"
         )
-    restored = pickle.loads(blob)
+    try:
+        restored = pickle.loads(blob)
+    except Exception as exc:
+        # Checksum passed but the pickle does not deserialize: the payload
+        # was written by incompatible code (or truncated before the
+        # manifest was).  Surface the typed error, never partial state.
+        raise SnapshotError(
+            f"snapshot payload at {payload_path} failed to deserialize: {exc}"
+        ) from exc
     # The manifest config is authoritative documentation of what was
     # saved; round-trip it (rejecting unknown keys) and cross-check.
     config = SsRecConfig.from_dict(manifest["config"])

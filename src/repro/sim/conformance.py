@@ -1,0 +1,417 @@
+"""Differential conformance: every serving path vs the naive oracle.
+
+:class:`ConformanceRunner` replays one :class:`~repro.sim.scenarios.Scenario`
+through every serving path the repo offers, all driven by byte-identical
+event sequences from byte-identical trained state (one ``fit``, one
+``deepcopy`` per path):
+
+========================  =====================================================
+``scan-item``             per-item ``SsRecRecommender.recommend`` (scan mode)
+``scan-batch``            micro-batched ``recommend_batch`` (scan mode)
+``index-item``            per-item CPPse-index serving (Algorithms 1 + 2)
+``index-batch``           micro-batched CPPse-index serving (``knn_batch``)
+``sharded-scan-hash``     ``ShardedRecommender``, hash plan, scan shards —
+                          served per item *and* per batch each window
+``sharded-index-block``   ``ShardedRecommender``, block-aware plan, CPPse
+                          shards — served per item and per batch, with one
+                          snapshot save/reload mid-stream
+========================  =====================================================
+
+Checks per window (see :mod:`repro.sim.oracle` for why two predicates):
+
+- ``scan-item`` must equal the oracle's full-population ranking within
+  the tie discipline (the oracle's scalar ``math.log`` and the matcher's
+  SIMD ``np.log`` may disagree by one ULP, so anchoring to the
+  independent oracle tolerates last-bit noise — never ranking changes);
+- ``scan-batch`` and ``sharded-scan-hash`` must equal ``scan-item``
+  **bit for bit** — same arithmetic, so batching and fan-out/merge must
+  not move a single bit;
+- ``index-item`` must equal the oracle restricted to its probed candidate
+  set (no false dismissals, Lemmas 1-2) within the tie discipline;
+- ``index-batch`` must equal ``index-item`` bit for bit;
+- ``sharded-index-block`` must equal the oracle restricted to the union
+  of its shards' probed sets — valid even for the documented new-user
+  placement boundary, where the shard-local blocking may probe a
+  different candidate set than the single global index would.
+
+The runner is the regression backstop for serving-path optimizations:
+any future fast path must keep every one of these comparisons at zero
+divergences (wired into CI; see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import copy
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.schema import SocialItem
+from repro.serve.service import ShardedRecommender
+from repro.sim.oracle import OracleMatcher, matches_exactly, matches_within_ties
+from repro.sim.scenarios import Scenario
+
+#: Every serving path the runner knows, in serve order per window.
+#: ``scan-item`` and ``index-item`` come first in their families — they
+#: are the bitwise references the other family members are judged against.
+CONFORMANCE_PATHS: tuple[str, ...] = (
+    "scan-item",
+    "scan-batch",
+    "index-item",
+    "index-batch",
+    "sharded-scan-hash",
+    "sharded-index-block",
+)
+
+
+@dataclass
+class Divergence:
+    """First observed mismatch of one path (kept for diagnosis)."""
+
+    path: str
+    window: int
+    item_id: int
+    expected: list[tuple[int, float]]
+    got: list[tuple[int, float]]
+
+    def to_text(self) -> str:
+        return (
+            f"{self.path} diverged at window {self.window}, item {self.item_id}: "
+            f"expected {self.expected[:3]}..., got {self.got[:3]}..."
+        )
+
+
+@dataclass
+class PathReport:
+    """Replay outcome of one serving path."""
+
+    path: str
+    n_windows: int = 0
+    n_queries: int = 0
+    divergences: int = 0
+    serve_seconds: float = 0.0
+    snapshot_reloads: int = 0
+    first_divergence: Divergence | None = None
+
+    @property
+    def items_per_sec(self) -> float:
+        return self.n_queries / self.serve_seconds if self.serve_seconds else 0.0
+
+    def record_divergence(self, divergence: Divergence) -> None:
+        self.divergences += 1
+        if self.first_divergence is None:
+            self.first_divergence = divergence
+
+
+@dataclass
+class ConformanceReport:
+    """All-path outcome of one scenario replay."""
+
+    scenario: str
+    description: str
+    seed: int
+    k: int
+    window_size: int
+    n_events: int
+    n_uploads: int
+    n_interactions: int
+    paths: dict[str, PathReport] = field(default_factory=dict)
+
+    @property
+    def total_divergences(self) -> int:
+        return sum(report.divergences for report in self.paths.values())
+
+    @property
+    def conformant(self) -> bool:
+        return self.total_divergences == 0
+
+    def to_text(self) -> str:
+        lines = [
+            f"Scenario {self.scenario!r} (seed {self.seed}): {self.description}",
+            f"  events={self.n_events} uploads={self.n_uploads} "
+            f"interactions={self.n_interactions} k={self.k} window={self.window_size}",
+        ]
+        for name in self.paths:
+            report = self.paths[name]
+            reload_note = (
+                f" reloads={report.snapshot_reloads}" if report.snapshot_reloads else ""
+            )
+            lines.append(
+                f"  {name:<22} windows={report.n_windows:<3} "
+                f"queries={report.n_queries:<4} divergences={report.divergences:<3} "
+                f"items/sec={report.items_per_sec:8.1f}{reload_note}"
+            )
+            if report.first_divergence is not None:
+                lines.append(f"    first: {report.first_divergence.to_text()}")
+        verdict = "EXACT" if self.conformant else f"BROKEN ({self.total_divergences})"
+        lines.append(f"  conformance: {verdict}")
+        return "\n".join(lines)
+
+
+class _PathState:
+    """One path's live replica plus its accumulating report."""
+
+    def __init__(self, name: str, recommender) -> None:
+        self.name = name
+        self.recommender = recommender  # SsRecRecommender | ShardedRecommender
+        self.report = PathReport(path=name)
+
+    @property
+    def is_sharded(self) -> bool:
+        return isinstance(self.recommender, ShardedRecommender)
+
+    def observe(self, item: SocialItem) -> None:
+        self.recommender.observe_item(item)
+
+    def update(self, interaction, payload_item) -> None:
+        self.recommender.update(interaction, payload_item)
+
+    def probed_users(self, item: SocialItem) -> set[int]:
+        """The candidate set this path's index structures admit for ``item``
+        (call after serving, so pending maintenance has been flushed)."""
+        if self.is_sharded:
+            probed: set[int] = set()
+            for shard in self.recommender.shards:
+                if shard.index is not None:
+                    probed |= shard.index.users_in_probed_trees(item)
+            return probed
+        assert self.recommender.index is not None
+        return self.recommender.index.users_in_probed_trees(item)
+
+
+class ConformanceRunner:
+    """Replays scenarios through every serving path, counting divergences.
+
+    Args:
+        k: recommendation depth per query.
+        window_size: uploads per recommendation window (the micro-batch
+            the batched paths serve; per-item paths serve the same items
+            one by one).
+        n_shards: shard count of the sharded paths.
+        workers: fan-out threads of the sharded paths (0 = sequential; the
+            merge is deterministic either way).
+        fit_seed: model-init seed of the one shared ``fit``.
+        config: base configuration; the scenario's ``maintenance_interval``
+            is applied on top.
+        paths: subset of :data:`CONFORMANCE_PATHS` to replay.
+        snapshot_window: before serving this window index, the sharded
+            index path is saved to disk and reloaded — the warm-started
+            service must continue bit-compatibly mid-stream.
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        window_size: int = 8,
+        n_shards: int = 3,
+        workers: int = 0,
+        fit_seed: int = 1,
+        config: SsRecConfig | None = None,
+        paths: tuple[str, ...] = CONFORMANCE_PATHS,
+        snapshot_window: int = 2,
+    ) -> None:
+        unknown = sorted(set(paths) - set(CONFORMANCE_PATHS))
+        if unknown:
+            raise ValueError(f"unknown conformance paths: {', '.join(unknown)}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.k = int(k)
+        self.window_size = int(window_size)
+        self.n_shards = int(n_shards)
+        self.workers = int(workers)
+        self.fit_seed = int(fit_seed)
+        self.config = config
+        self.paths = tuple(name for name in CONFORMANCE_PATHS if name in paths)
+        self.snapshot_window = int(snapshot_window)
+
+    # ------------------------------------------------------------------
+    # Replica construction
+    # ------------------------------------------------------------------
+    def _build_paths(self, template: SsRecRecommender) -> dict[str, _PathState]:
+        states: dict[str, _PathState] = {}
+        for name in self.paths:
+            replica = copy.deepcopy(template)
+            if name in ("index-item", "index-batch"):
+                replica.attach_index()
+                recommender = replica
+            elif name == "sharded-scan-hash":
+                recommender = ShardedRecommender.from_trained(
+                    replica,
+                    n_shards=self.n_shards,
+                    strategy="hash",
+                    use_index=False,
+                    workers=self.workers,
+                )
+            elif name == "sharded-index-block":
+                recommender = ShardedRecommender.from_trained(
+                    replica,
+                    n_shards=self.n_shards,
+                    strategy="block",
+                    use_index=True,
+                    workers=self.workers,
+                )
+            else:  # scan-item / scan-batch
+                recommender = replica
+            states[name] = _PathState(name, recommender)
+        return states
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario, snapshot_dir=None) -> ConformanceReport:
+        """Replay ``scenario`` through every configured path.
+
+        Args:
+            snapshot_dir: where the mid-stream snapshot is written; a
+                temporary directory is used (and cleaned up) when omitted.
+        """
+        config = (self.config or SsRecConfig()).with_options(
+            maintenance_interval=scenario.maintenance_interval
+        )
+        template = SsRecRecommender(config=config, use_index=False, seed=self.fit_seed)
+        template.fit(scenario.dataset, scenario.train_interactions)
+
+        oracle_rec = copy.deepcopy(template)
+        oracle = OracleMatcher(oracle_rec.scorer, oracle_rec.profiles)
+        states = self._build_paths(template)
+        summary = scenario.summary()
+        report = ConformanceReport(
+            scenario=scenario.name,
+            description=scenario.description,
+            seed=scenario.seed,
+            k=self.k,
+            window_size=self.window_size,
+            n_events=summary["n_events"],
+            n_uploads=summary["n_uploads"],
+            n_interactions=summary["n_interactions"],
+            paths={name: states[name].report for name in states},
+        )
+
+        if snapshot_dir is not None:
+            self._replay(scenario, oracle_rec, oracle, states, Path(snapshot_dir))
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-conformance-") as tmp:
+                self._replay(scenario, oracle_rec, oracle, states, Path(tmp))
+        for state in states.values():
+            if state.is_sharded:
+                state.recommender.close()
+        return report
+
+    def _replay(self, scenario, oracle_rec, oracle, states, snapshot_dir) -> None:
+        window: list[SocialItem] = []
+        window_index = 0
+        for event in scenario.events:
+            if event.kind == "upload":
+                item = event.payload
+                oracle_rec.observe_item(item)
+                for state in states.values():
+                    state.observe(item)
+                window.append(item)
+                if len(window) >= self.window_size:
+                    self._serve_window(
+                        window, window_index, oracle, states, snapshot_dir
+                    )
+                    window = []
+                    window_index += 1
+            else:
+                interaction = event.payload
+                payload_item = scenario.item_payload(interaction)
+                oracle_rec.update(interaction, payload_item)
+                for state in states.values():
+                    state.update(interaction, payload_item)
+        if window:
+            self._serve_window(window, window_index, oracle, states, snapshot_dir)
+
+    # ------------------------------------------------------------------
+    # One window: serve every path, judge every result
+    # ------------------------------------------------------------------
+    def _serve_window(self, window, window_index, oracle, states, snapshot_dir) -> None:
+        oracle_scores = {item.item_id: oracle.score_all(item) for item in window}
+        anchors: dict[str, list[list[tuple[int, float]]]] = {}
+
+        for name, state in states.items():
+            if (
+                name == "sharded-index-block"
+                and window_index == self.snapshot_window
+            ):
+                self._snapshot_reload(state, snapshot_dir)
+            results = self._serve(state, window)
+            state.report.n_windows += 1
+            state.report.n_queries += len(window) * (2 if state.is_sharded else 1)
+            if name in ("scan-item", "index-item"):
+                anchors[name] = results["item"]
+            self._judge(
+                name, state, window, window_index, results, oracle,
+                oracle_scores, anchors,
+            )
+
+    def _serve(self, state: _PathState, window) -> dict[str, list]:
+        """Serve one window; sharded paths serve per item *and* batched."""
+        rec = state.recommender
+        started = time.perf_counter()
+        if state.is_sharded:
+            results = {
+                "item": [rec.recommend(item, self.k) for item in window],
+                "batch": rec.recommend_batch(window, self.k),
+            }
+        elif state.name.endswith("-batch"):
+            results = {"batch": rec.recommend_batch(window, self.k)}
+        else:
+            results = {"item": [rec.recommend(item, self.k) for item in window]}
+        state.report.serve_seconds += time.perf_counter() - started
+        return results
+
+    #: Which family anchor (if replayed) each path must match bit for bit.
+    _ANCHOR_OF = {"scan-batch": "scan-item", "sharded-scan-hash": "scan-item",
+                  "index-batch": "index-item"}
+
+    def _judge(
+        self,
+        name,
+        state,
+        window,
+        window_index,
+        results,
+        oracle,
+        oracle_scores,
+        anchors,
+    ) -> None:
+        uses_index = name.startswith("index") or name == "sharded-index-block"
+        anchor = anchors.get(self._ANCHOR_OF.get(name, ""))
+        for position, item in enumerate(window):
+            if anchor is not None:
+                # Family members must not move a single bit vs the
+                # family's per-item anchor path.
+                want = anchor[position]
+                predicate = matches_exactly
+            else:
+                # Anchor paths (and paths replayed without their anchor)
+                # are judged against the independent naive oracle, over
+                # the candidate set their structures admit.
+                candidates = state.probed_users(item) if uses_index else None
+                want = oracle.rank(oracle_scores[item.item_id], self.k, candidates)
+                predicate = matches_within_ties
+            for got in (ranked[position] for ranked in results.values()):
+                if not predicate(got, want):
+                    state.report.record_divergence(
+                        Divergence(
+                            path=name,
+                            window=window_index,
+                            item_id=item.item_id,
+                            expected=want,
+                            got=got,
+                        )
+                    )
+
+    def _snapshot_reload(self, state: _PathState, snapshot_dir: Path) -> None:
+        """Save the live sharded service and continue from the reload."""
+        target = snapshot_dir / f"{state.name}-w"
+        state.recommender.save(target)
+        state.recommender.close()
+        state.recommender = ShardedRecommender.load(target, workers=self.workers)
+        state.report.snapshot_reloads += 1

@@ -1,0 +1,103 @@
+"""The naive cross-path top-k oracle.
+
+:class:`OracleMatcher` is the slowest, most obviously-correct matcher the
+repo can state: one :meth:`MatchingScorer.score` call per (item, user)
+pair — no NumPy batching, no signatures, no pruning, no caches beyond the
+scorer's own — followed by a plain global ``(-score, user_id)`` sort.
+Every serving path is judged against it:
+
+- the per-item scan path must reproduce the oracle's ``(user_id, score)``
+  ranking over the full population, and the per-item CPPse-index path the
+  oracle restricted to its *probed* candidate set (the paper's
+  no-false-dismissal guarantee, Lemmas 1-2).  Both comparisons tolerate
+  last-float-bit noise only: the oracle's scalar ``math.log`` and
+  summation order can differ from the matcher's SIMD ``np.log`` and the
+  index's signature arithmetic by ~1 ULP (observed <= ~1e-15), so the
+  oracle predicates use the same 1e-9 tie discipline the index exactness
+  tests use;
+- every *other* path is compared **bit for bit** against its family's
+  per-item anchor: batched scan and the sharded scan fan-out against
+  ``scan-item``, batched index serving against ``index-item`` — same
+  arithmetic, so optimization layers must not move a single bit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.matching import MatchingScorer
+from repro.core.profiles import ProfileStore
+from repro.datasets.schema import SocialItem
+
+#: Score tolerance for index-family comparisons (matches the discipline of
+#: ``tests/test_index_cppse.py``): differences at or below this are float
+#: noise from summation order, not ranking defects.
+SCORE_TOLERANCE = 1e-9
+
+
+class OracleMatcher:
+    """Per-pair reference matcher over a live profile store.
+
+    Args:
+        scorer: the trained reference scorer (shared model parameters).
+        profiles: the profile store to rank — the oracle always scores
+            the store's *current* state, so callers replay stream updates
+            into it before asking for rankings.
+    """
+
+    def __init__(self, scorer: MatchingScorer, profiles: ProfileStore) -> None:
+        self.scorer = scorer
+        self.profiles = profiles
+
+    def score_all(self, item: SocialItem) -> dict[int, float]:
+        """``user_id -> R(v, u^c)`` for every stored user (Eq. 3)."""
+        return {
+            profile.user_id: self.scorer.score(item, profile)
+            for profile in self.profiles
+        }
+
+    @staticmethod
+    def rank(
+        scores: dict[int, float], k: int, candidates: Iterable[int] | None = None
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` of ``scores`` by ``(-score, user_id)``, optionally
+        restricted to ``candidates`` (the index-path probed set)."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        if candidates is None:
+            pairs = list(scores.items())
+        else:
+            pairs = [(uid, scores[uid]) for uid in candidates if uid in scores]
+        pairs.sort(key=lambda pair: (-pair[1], pair[0]))
+        return pairs[:k]
+
+    def top_k(
+        self, item: SocialItem, k: int, candidates: Iterable[int] | None = None
+    ) -> list[tuple[int, float]]:
+        """Naive top-``k`` for ``item`` (convenience over score_all+rank)."""
+        return self.rank(self.score_all(item), k, candidates)
+
+
+def matches_exactly(
+    got: list[tuple[int, float]], want: list[tuple[int, float]]
+) -> bool:
+    """Bitwise list equality — the scan-family conformance predicate."""
+    return got == want
+
+
+def matches_within_ties(
+    got: list[tuple[int, float]],
+    want: list[tuple[int, float]],
+    tolerance: float = SCORE_TOLERANCE,
+) -> bool:
+    """Index-family conformance predicate: same length, positionally equal
+    scores within ``tolerance``, and equal users wherever scores are not
+    tied within the tolerance (tied users may swap order)."""
+    if len(got) != len(want):
+        return False
+    for (_, got_score), (_, want_score) in zip(got, want):
+        if abs(got_score - want_score) > tolerance:
+            return False
+    # Positional scores agree; any user reordering must be a pure
+    # within-tolerance swap, so the user multiset must be unchanged.
+    return sorted(u for u, _ in got) == sorted(u for u, _ in want)

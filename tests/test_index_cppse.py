@@ -80,9 +80,16 @@ class TestKnnExactness:
         scores = [s for _, s in fitted_ssrec_indexed.index.knn(item, 20)]
         assert scores == sorted(scores, reverse=True)
 
-    def test_knn_rejects_bad_k(self, fitted_ssrec_indexed, ytube_small):
+    def test_knn_rejects_negative_k(self, fitted_ssrec_indexed, ytube_small):
         with pytest.raises(ValueError):
-            fitted_ssrec_indexed.index.knn(ytube_small.items[0], 0)
+            fitted_ssrec_indexed.index.knn(ytube_small.items[0], -1)
+
+    def test_knn_zero_k_is_empty_window(self, fitted_ssrec_indexed, ytube_small):
+        """k=0 is an empty recommendation window, not an error."""
+        index = fitted_ssrec_indexed.index
+        assert index.knn(ytube_small.items[0], 0) == []
+        assert index.knn_batch(ytube_small.items[:3], 0) == [[], [], []]
+        assert index.knn_batch([], 5) == []
 
     def test_unindexed_category_returns_empty(self, fitted_ssrec_indexed):
         item = SocialItem(

@@ -15,6 +15,7 @@ from repro.datasets.partitions import partition_interactions
 from repro.datasets.synthpop import SynthpopSynthesizer
 from repro.index.hashing import ChainedHashTable
 from repro.index.signature import BlockUniverse, QuerySignature
+from repro.serve.sharding import merge_top_k
 
 
 class TestHashTableModel:
@@ -144,6 +145,73 @@ class TestPartitionConservation:
             assert train_b[: len(train_a)] == train_a
 
 
+#: Scores drawn from a small pool on purpose: collisions across users and
+#: shards must be common so the (-score, user_id) tie-break carries real
+#: weight in every example.
+_COLLIDING_SCORES = st.one_of(
+    st.sampled_from([-2.0, -1.0, -0.5, 0.0, 0.25, 0.25, 1.0]),
+    st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+)
+
+
+class TestMergeTopKTieBreaking:
+    """Merged sharded order must equal the global (-score, user_id) sort
+    for arbitrary partitions and arbitrary score collisions."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=80),   # user id (deduped)
+                _COLLIDING_SCORES,                         # score
+                st.integers(min_value=0, max_value=4),    # owning shard
+            ),
+            max_size=60,
+        ),
+        k=st.integers(min_value=0, max_value=12),
+    )
+    def test_merge_equals_global_sort(self, entries, k):
+        population: dict[int, tuple[float, int]] = {}
+        for user_id, score, shard in entries:
+            population.setdefault(user_id, (score, shard))
+        per_shard: dict[int, list[tuple[int, float]]] = {}
+        for user_id, (score, shard) in population.items():
+            per_shard.setdefault(shard, []).append((user_id, score))
+        # Each shard contributes its exact local top-k, the contract the
+        # matcher and the CPPse-index both honour.
+        shard_lists = [
+            sorted(ranked, key=lambda pair: (-pair[1], pair[0]))[:k]
+            for ranked in per_shard.values()
+        ]
+        merged = merge_top_k(shard_lists, k)
+        global_rank = sorted(
+            ((uid, score) for uid, (score, _) in population.items()),
+            key=lambda pair: (-pair[1], pair[0]),
+        )[:k]
+        assert merged == global_rank
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        user_ids=st.lists(
+            st.integers(min_value=0, max_value=200), min_size=1, max_size=40, unique=True
+        ),
+        k=st.integers(min_value=1, max_value=10),
+        n_shards=st.integers(min_value=1, max_value=5),
+    )
+    def test_all_tied_scores_rank_by_user_id(self, user_ids, k, n_shards):
+        """Total score collision: the merge must fall back to pure
+        ascending-user-id order, whatever the partition."""
+        shard_lists = [[] for _ in range(n_shards)]
+        for uid in user_ids:
+            shard_lists[uid % n_shards].append((uid, 0.125))
+        shard_lists = [
+            sorted(ranked, key=lambda pair: (-pair[1], pair[0]))[:k]
+            for ranked in shard_lists
+        ]
+        merged = merge_top_k(shard_lists, k)
+        assert merged == [(uid, 0.125) for uid in sorted(user_ids)[:k]]
+
+
 class TestSynthesizerSupport:
     @settings(max_examples=30, deadline=None)
     @given(
@@ -165,3 +233,25 @@ class TestSynthesizerSupport:
         for sample in synth.sample(30, seed=1):
             assert sample["a"] in seen_a
             assert sample["b"] in seen_b
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_int_seed_and_generator_seed_agree(self, rows, seed):
+        """An explicit Generator threads through sample() identically to
+        the int seed it was built from (the one-seed reproducibility
+        contract of the simulator and the bench harness)."""
+        records = [{"a": a, "b": b} for a, b in rows]
+        synth = SynthpopSynthesizer(["a", "b"], max_context=1).fit(records)
+        assert synth.sample(10, seed=seed) == synth.sample(
+            10, seed=np.random.default_rng(seed)
+        )

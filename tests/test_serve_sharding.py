@@ -158,9 +158,12 @@ class TestMergeTopK:
     def test_k_larger_than_union(self):
         assert merge_top_k([[(1, 1.0)], [(2, 0.5)]], 10) == [(1, 1.0), (2, 0.5)]
 
-    def test_rejects_bad_k(self):
+    def test_rejects_negative_k(self):
         with pytest.raises(ValueError, match="k"):
-            merge_top_k([], 0)
+            merge_top_k([], -1)
+
+    def test_zero_k_is_empty_window(self):
+        assert merge_top_k([[(1, 1.0)]], 0) == []
 
 
 class TestConfigShardFields:

@@ -139,6 +139,63 @@ class TestManifest:
             SsRecRecommender.load(tmp_path / "snap")
 
 
+class TestFailurePaths:
+    """Corruption must raise the one typed error, never partial state."""
+
+    @pytest.fixture()
+    def snap(self, ytube_small, ytube_stream, tmp_path):
+        rec = _fresh(ytube_small, ytube_stream, False)
+        save_snapshot(rec, tmp_path / "snap")
+        return tmp_path / "snap"
+
+    def test_truncated_payload_with_matching_checksum(self, snap):
+        """A pickle truncated *before* the manifest was written carries a
+        valid checksum of the truncated bytes — deserialization itself
+        must still fail with the typed error, not EOFError garbage."""
+        import hashlib
+
+        payload = snap / "state.pkl"
+        truncated = payload.read_bytes()[: payload.stat().st_size // 2]
+        payload.write_bytes(truncated)
+        manifest = json.loads((snap / "manifest.json").read_text())
+        manifest["payload_sha256"] = hashlib.sha256(truncated).hexdigest()
+        (snap / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="deserialize"):
+            SsRecRecommender.load(snap)
+
+    def test_missing_payload_file(self, snap):
+        (snap / "state.pkl").unlink()
+        with pytest.raises(SnapshotError, match="payload missing"):
+            SsRecRecommender.load(snap)
+
+    def test_malformed_manifest_json(self, snap):
+        (snap / "manifest.json").write_text("{not json")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            read_manifest(snap)
+
+    def test_non_object_manifest(self, snap):
+        (snap / "manifest.json").write_text("[1, 2, 3]")
+        with pytest.raises(SnapshotError, match="not an object"):
+            read_manifest(snap)
+
+    def test_manifest_missing_required_keys(self, snap):
+        manifest = json.loads((snap / "manifest.json").read_text())
+        del manifest["payload"], manifest["payload_sha256"]
+        (snap / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="payload, payload_sha256"):
+            SsRecRecommender.load(snap)
+
+    def test_sharded_load_fails_typed_too(self, snap):
+        (snap / "state.pkl").write_bytes(b"\x80\x05garbage")
+        manifest = json.loads((snap / "manifest.json").read_text())
+        import hashlib
+
+        manifest["payload_sha256"] = hashlib.sha256(b"\x80\x05garbage").hexdigest()
+        (snap / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="deserialize"):
+            ShardedRecommender.load(snap)
+
+
 class TestConfigSerialization:
     def test_round_trip(self):
         cfg = SsRecConfig(lambda_s=0.3, n_shards=4, shard_strategy="hash")

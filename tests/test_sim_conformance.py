@@ -1,0 +1,181 @@
+"""Conformance runner: zero divergences, oracle semantics, edge regressions."""
+
+import copy
+
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.schema import Interaction, SocialItem
+from repro.sim import (
+    CONFORMANCE_PATHS,
+    ConformanceRunner,
+    OracleMatcher,
+    ScenarioGenerator,
+    matches_exactly,
+    matches_within_ties,
+)
+
+
+@pytest.fixture(scope="module")
+def reports(ytube_small):
+    """Two adversarial scenarios replayed through the full path matrix:
+    cold-start users exercise zero-interaction profiles and mid-stream
+    joins; the maintenance storm exercises Algorithm-2 boundaries."""
+    generator = ScenarioGenerator(base=ytube_small, seed=5, max_events=240)
+    runner = ConformanceRunner(k=6, window_size=6, n_shards=3, snapshot_window=1)
+    return {
+        name: runner.run(generator.generate(name))
+        for name in ("cold_start_users", "maintenance_storm")
+    }
+
+
+class TestConformance:
+    def test_zero_divergences(self, reports):
+        for name, report in reports.items():
+            assert report.conformant, f"{name}:\n{report.to_text()}"
+
+    def test_all_paths_replayed(self, reports):
+        for report in reports.values():
+            assert set(report.paths) == set(CONFORMANCE_PATHS)
+            for path_report in report.paths.values():
+                assert path_report.n_windows > 0
+                assert path_report.n_queries > 0
+                assert path_report.items_per_sec > 0
+
+    def test_snapshot_reloaded_mid_stream(self, reports):
+        for report in reports.values():
+            assert report.paths["sharded-index-block"].snapshot_reloads == 1
+
+    def test_report_renders(self, reports):
+        for report in reports.values():
+            text = report.to_text()
+            assert "conformance: EXACT" in text
+            for path in CONFORMANCE_PATHS:
+                assert path in text
+
+
+class TestRunnerValidation:
+    def test_rejects_unknown_path(self):
+        with pytest.raises(ValueError, match="unknown conformance paths"):
+            ConformanceRunner(paths=("scan-item", "quantum-tunnel"))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k"):
+            ConformanceRunner(k=0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window_size"):
+            ConformanceRunner(window_size=0)
+
+
+class TestOracle:
+    def test_oracle_matches_vectorized_scan(self, fitted_ssrec, ytube_stream):
+        oracle = OracleMatcher(fitted_ssrec.scorer, fitted_ssrec.profiles)
+        for item in ytube_stream.items_in_partition(2)[:10]:
+            want = oracle.top_k(item, 8)
+            got = fitted_ssrec.recommend(item, 8)
+            assert matches_within_ties(got, want), item.item_id
+
+    def test_candidate_restriction(self, fitted_ssrec, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        oracle = OracleMatcher(fitted_ssrec.scorer, fitted_ssrec.profiles)
+        full = oracle.top_k(item, 5)
+        candidates = {uid for uid, _ in full[:2]}
+        restricted = oracle.top_k(item, 5, candidates)
+        assert restricted == [pair for pair in full if pair[0] in candidates]
+
+    def test_rank_k_zero_is_empty(self, fitted_ssrec, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        oracle = OracleMatcher(fitted_ssrec.scorer, fitted_ssrec.profiles)
+        assert oracle.top_k(item, 0) == []
+
+    def test_predicates(self):
+        a = [(1, 1.0), (2, 0.5)]
+        assert matches_exactly(a, [(1, 1.0), (2, 0.5)])
+        assert not matches_exactly(a, [(1, 1.0), (2, 0.5 + 1e-15)])
+        assert matches_within_ties(a, [(1, 1.0), (2, 0.5 + 1e-12)])
+        # Tied users may swap order...
+        assert matches_within_ties([(2, 1.0), (1, 1.0)], [(1, 1.0), (2, 1.0)])
+        # ...but the user multiset and the score sequence must hold.
+        assert not matches_within_ties(a, [(1, 1.0), (3, 0.5)])
+        assert not matches_within_ties(a, [(1, 1.0), (2, 0.4)])
+        assert not matches_within_ties(a, [(1, 1.0)])
+
+
+class TestServingEdgeCases:
+    """Regressions for the silent edge cases the simulator hits."""
+
+    def test_facade_k_zero_is_empty_window(self, fitted_ssrec, fitted_ssrec_indexed, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        assert fitted_ssrec.recommend(item, 0) == []
+        assert fitted_ssrec.recommend_batch([item, item], 0) == [[], []]
+        assert fitted_ssrec_indexed.recommend(item, 0) == []
+        assert fitted_ssrec_indexed.recommend_batch([item], 0) == [[]]
+
+    def test_facade_k_none_still_defaults(self, fitted_ssrec, ytube_stream):
+        item = ytube_stream.items_in_partition(2)[0]
+        ranked = fitted_ssrec.recommend(item)
+        assert len(ranked) == min(
+            fitted_ssrec.config.default_k, len(fitted_ssrec.profiles)
+        )
+
+    def test_zero_interaction_user_serves_everywhere(self, ytube_small, ytube_stream):
+        """A user present in the store with no events must score (not
+        raise) on the scan path and survive index maintenance."""
+        rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        ghost = max(ytube_small.consumer_ids) + 500
+        rec.profiles.get_or_create(ghost)
+        item = ytube_stream.items_in_partition(2)[0]
+        ranked = rec.recommend(item, len(rec.profiles))
+        assert ghost in {uid for uid, _ in ranked}
+        # The ghost's vectorized score must equal the reference scorer's.
+        oracle = OracleMatcher(rec.scorer, rec.profiles)
+        want = dict(oracle.top_k(item, len(rec.profiles)))
+        got = dict(ranked)
+        assert got[ghost] == pytest.approx(want[ghost], abs=1e-9)
+        # Index mode: build over the store including the ghost, then
+        # maintain it — both must be no-ops, not errors.
+        rec.attach_index()
+        rec._maintenance_pending.add(ghost)
+        rec.run_maintenance()
+        assert rec.recommend(item, 5) is not None
+
+    def test_out_of_universe_producer_counts_survive(self, ytube_small, ytube_stream):
+        """Interactions with a producer first seen mid-stream must move
+        the vectorized scores exactly like the reference scorer says —
+        the counts may not silently vanish from the dense matrix."""
+        rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        new_pid = 10**6
+        template = ytube_stream.items_in_partition(2)[0]
+        novel = SocialItem(
+            item_id=10**6,
+            category=template.category,
+            producer=new_pid,
+            entities=template.entities,
+            text=template.text,
+            timestamp=template.timestamp,
+        )
+        user = ytube_small.consumer_ids[0]
+        # Push enough events to flush the short-term window into the
+        # long-term list (where producer counts live).
+        for step in range(rec.config.window_size + 1):
+            rec.update(
+                Interaction(
+                    user_id=user,
+                    item_id=novel.item_id,
+                    category=novel.category,
+                    producer=new_pid,
+                    timestamp=template.timestamp + step,
+                ),
+                novel,
+            )
+        profile = rec.profiles.get(user)
+        assert profile.producer_counts.get(new_pid, 0) > 0
+        naive = rec.scorer.score(novel, profile)
+        got = dict(rec.recommend(novel, len(rec.profiles)))
+        assert got[user] == pytest.approx(naive, abs=1e-9)
+        # And the batched path agrees bit for bit with the per-item path.
+        assert rec.recommend_batch([novel], 10) == [rec.recommend(novel, 10)]
