@@ -13,7 +13,6 @@ ablation here:
 
 import time
 
-import pytest
 
 from conftest import MIN_TRUTH
 from repro.core.config import SsRecConfig
@@ -30,7 +29,7 @@ def _precision_at_5(dataset, config):
     return evaluator.run(rec).p_at_k[5]
 
 
-def test_ablation_dirichlet_mass(benchmark, datasets, save_result):
+def test_ablation_dirichlet_mass(bench_run, datasets, save_result):
     """P@5 across smoothing masses — the default should be competitive."""
     dataset = datasets["YTube"]
 
@@ -40,16 +39,21 @@ def test_ablation_dirichlet_mass(benchmark, datasets, save_result):
             for mu in (0.1, 1.0, 10.0, 100.0)
         }
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, seconds = bench_run(run)
     lines = ["Ablation — Dirichlet smoothing mass (YTube, P@5)"]
     for mu, p in result.items():
         lines.append(f"  mu={mu:<6} P@5={p:.4f}")
-    save_result("ablation_dirichlet", "\n".join(lines))
+    save_result(
+        "ablation_dirichlet",
+        "\n".join(lines),
+        metrics={"driver": {"seconds": seconds}},
+        extras={"p_at_5_by_mu": {str(mu): p for mu, p in result.items()}},
+    )
     default = result[10.0]
     assert default >= max(result.values()) * 0.8
 
 
-def test_ablation_tree_fanout(benchmark, efficiency_datasets, save_result):
+def test_ablation_tree_fanout(bench_run, efficiency_datasets, save_result):
     """Index query time across fanouts — all must stay correct and usable."""
     dataset = efficiency_datasets["YTube"]
 
@@ -68,15 +72,19 @@ def test_ablation_tree_fanout(benchmark, efficiency_datasets, save_result):
             timings[fanout] = (time.perf_counter() - started) / len(items) * 1000
         return timings
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, seconds = bench_run(run)
     lines = ["Ablation — signature-tree fanout (YTube, ms/item, k=30)"]
     for fanout, ms in result.items():
         lines.append(f"  fanout={fanout:<3} {ms:.3f} ms")
-    save_result("ablation_fanout", "\n".join(lines))
+    metrics = {"driver": {"seconds": seconds}}
+    for fanout, ms in result.items():
+        if ms > 0:
+            metrics[f"knn[fanout={fanout}]"] = {"items_per_sec": 1000.0 / ms}
+    save_result("ablation_fanout", "\n".join(lines), metrics=metrics)
     assert all(ms > 0 for ms in result.values())
 
 
-def test_ablation_expansion_cost(benchmark, datasets, save_result):
+def test_ablation_expansion_cost(bench_run, datasets, save_result):
     """Entity expansion buys diversity at bounded query-cost overhead."""
     dataset = datasets["YTube"]
 
@@ -95,10 +103,14 @@ def test_ablation_expansion_cost(benchmark, datasets, save_result):
             out[label] = (time.perf_counter() - started) / len(items) * 1000
         return out
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, seconds = bench_run(run)
     lines = ["Ablation — expansion query-cost overhead (YTube, ms/item)"]
     for label, ms in result.items():
         lines.append(f"  {label:<16} {ms:.3f} ms")
-    save_result("ablation_expansion_cost", "\n".join(lines))
+    metrics = {"driver": {"seconds": seconds}}
+    for label, ms in result.items():
+        if ms > 0:
+            metrics[f"knn[{label}]"] = {"items_per_sec": 1000.0 / ms}
+    save_result("ablation_expansion_cost", "\n".join(lines), metrics=metrics)
     # Expansion may not exceed a generous constant-factor overhead.
     assert result["with-expansion"] <= result["no-expansion"] * 5

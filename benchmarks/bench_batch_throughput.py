@@ -14,31 +14,37 @@ cannot remove.
 
 import os
 
-import pytest
-
 from repro.eval import experiments as ex
 
 #: CI smoke runs set this to shrink the measured slice.
 MAX_ITEMS = int(os.environ.get("REPRO_BENCH_BATCH_ITEMS", "512"))
 
+BATCH_SIZES = (1, 16, 64)
 
-def test_batch_throughput(benchmark, efficiency_datasets, save_result):
-    result = benchmark.pedantic(
+
+def test_batch_throughput(bench_run, efficiency_datasets, save_result):
+    result, seconds = bench_run(
         lambda: ex.run_batch_throughput(
             efficiency_datasets["YTube"],
-            batch_sizes=(1, 16, 64),
+            batch_sizes=BATCH_SIZES,
             k=30,
             max_items=MAX_ITEMS,
-        ),
-        rounds=1,
-        iterations=1,
+        )
     )
-    save_result("batch_throughput", result.to_text())
+    metrics = {"driver": {"seconds": seconds}}
+    for scenario, series in result.items_per_sec.items():
+        for batch_size, ips in series.items():
+            metrics[f"{scenario}[batch={batch_size}]"] = {"items_per_sec": ips}
+    checks = {
+        "scan_speedup_at_64": result.speedup("scan", 64),
+        "index_speedup_at_64": result.speedup("index", 64),
+    }
+    save_result("batch_throughput", result.to_text(), metrics=metrics, checks=checks)
     # The tentpole claim: micro-batching at 64 at least doubles scan-mode
     # serving throughput over the per-item loop.
-    assert result.speedup("scan", 64) >= 2.0
+    assert checks["scan_speedup_at_64"] >= 2.0
     # Index serving gains from shared tree location/query encodings.  The
     # index+updates row is reported but not asserted: Algorithm 2's
     # per-user work dominates either cadence, and with few windows a
     # single block-rebuild spike inside one timed flush swamps the ratio.
-    assert result.speedup("index", 64) > 0.9
+    assert checks["index_speedup_at_64"] > 0.9

@@ -3,7 +3,8 @@
 Replays the adversarial scenario catalog — bursts, cold starts, drift,
 popularity skew, duplicate/out-of-order delivery, maintenance-boundary
 storms — through the per-item scan, batched scan, CPPse-index and sharded
-serving paths (one mid-stream snapshot reload included) and judges every
+serving paths (one mid-stream snapshot reload on the sharded index path,
+one rolling worker restart on the process-backend path) and judges every
 window against the naive per-pair oracle.
 
 Two assertions, both regression backstops for serving-path work:
@@ -25,21 +26,38 @@ _names = os.environ.get("REPRO_BENCH_CONFORMANCE_SCENARIOS", "")
 SCENARIOS = tuple(name for name in _names.split(",") if name) or None
 
 
-def test_conformance(benchmark, bench_seed, save_result):
-    result = benchmark.pedantic(
+def test_conformance(bench_run, bench_seed, save_result):
+    result, seconds = bench_run(
         lambda: ex.run_conformance(
             scenarios=SCENARIOS,
             seed=bench_seed,
             max_events=MAX_EVENTS,
-        ),
-        rounds=1,
-        iterations=1,
+        )
     )
-    save_result("conformance", result.to_text())
+    # Aggregate per-path throughput across scenarios for the artifact.
+    queries: dict[str, int] = {}
+    serve_seconds: dict[str, float] = {}
+    for report in result.reports:
+        for name, path_report in report.paths.items():
+            queries[name] = queries.get(name, 0) + path_report.n_queries
+            serve_seconds[name] = (
+                serve_seconds.get(name, 0.0) + path_report.serve_seconds
+            )
+    metrics = {"driver": {"seconds": seconds}}
+    for name in queries:
+        if serve_seconds[name] > 0:
+            metrics[name] = {"items_per_sec": queries[name] / serve_seconds[name]}
+    checks = {
+        "conformant": result.conformant,
+        "total_divergences": result.total_divergences,
+        "n_scenarios": len(result.reports),
+    }
+    save_result("conformance", result.to_text(), metrics=metrics, checks=checks)
     # The tentpole claim: every serving path agrees with the oracle on
     # every window of every adversarial scenario.
     assert result.conformant, result.to_text()
-    # Each replayed scenario actually exercised the full path matrix.
+    # Each replayed scenario actually exercised the full path matrix —
+    # including the process backend with its mid-stream worker restart.
     for report in result.reports:
         assert set(report.paths) == {
             "scan-item",
@@ -48,5 +66,7 @@ def test_conformance(benchmark, bench_seed, save_result):
             "index-batch",
             "sharded-scan-hash",
             "sharded-index-block",
+            "sharded-scan-process",
         }
         assert report.paths["sharded-index-block"].snapshot_reloads >= 1
+        assert report.paths["sharded-scan-process"].worker_restarts >= 1

@@ -8,13 +8,22 @@ with the update size increase" — roughly linear growth, no blow-up.
 from repro.eval import experiments as ex
 
 
-def test_fig11_maintenance_cost(benchmark, datasets, save_result):
-    result = benchmark.pedantic(
-        lambda: ex.run_fig11(datasets, sizes=(1, 2, 3, 4)),
-        rounds=1,
-        iterations=1,
+def test_fig11_maintenance_cost(bench_run, datasets, save_result):
+    result, seconds = bench_run(lambda: ex.run_fig11(datasets, sizes=(1, 2, 3, 4)))
+    metrics = {"driver": {"seconds": seconds}}
+    for name, series in result.seconds.items():
+        metrics[f"maintenance[{name}]"] = {"seconds": series[4]}
+    save_result(
+        "fig11",
+        result.to_text(),
+        metrics=metrics,
+        extras={
+            "maintenance_seconds": {
+                name: {str(n): v for n, v in series.items()}
+                for name, series in result.seconds.items()
+            }
+        },
     )
-    save_result("fig11", result.to_text())
     for name, series in result.seconds.items():
         costs = [series[n] for n in (1, 2, 3, 4)]
         assert all(c > 0 for c in costs), name

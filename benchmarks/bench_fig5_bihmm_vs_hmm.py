@@ -7,25 +7,31 @@ reported per group.  Expected shape: BiHMM >= HMM in (almost) every group —
 the producers as well".
 """
 
-import numpy as np
 import pytest
 
 from repro.eval import experiments as ex
 
 
 @pytest.mark.parametrize("name", ["YTube", "SynYTube", "MLens", "SynMLens"])
-def test_fig5_bihmm_vs_hmm(benchmark, datasets, save_result, name):
-    result = benchmark.pedantic(
+def test_fig5_bihmm_vs_hmm(bench_run, datasets, save_result, name):
+    result, seconds = bench_run(
         lambda: ex.run_fig5(
             datasets[name], max_users=16, max_states=4, min_history=25
-        ),
-        rounds=1,
-        iterations=1,
+        )
     )
-    save_result(f"fig5_{name.lower()}", result.to_text())
     weights = result.users_by_group
     total = sum(weights.values())
     hmm_mean = sum(result.hmm_by_group[g] * weights[g] for g in weights) / total
     bihmm_mean = sum(result.bihmm_by_group[g] * weights[g] for g in weights) / total
+    save_result(
+        f"fig5_{name.lower()}",
+        result.to_text(),
+        metrics={"driver": {"seconds": seconds}},
+        checks={"hmm_mean": hmm_mean, "bihmm_mean": bihmm_mean},
+        extras={
+            "hmm_by_group": {str(g): v for g, v in result.hmm_by_group.items()},
+            "bihmm_by_group": {str(g): v for g, v in result.bihmm_by_group.items()},
+        },
+    )
     # Weighted-average shape claim, with a small noise allowance.
     assert bihmm_mean >= hmm_mean - 0.02

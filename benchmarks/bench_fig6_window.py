@@ -14,20 +14,23 @@ from repro.eval import experiments as ex
 
 
 @pytest.mark.parametrize("name", ["YTube", "SynYTube", "MLens", "SynMLens"])
-def test_fig6_window_size(benchmark, datasets, save_result, name):
+def test_fig6_window_size(bench_run, datasets, save_result, name):
     windows = tuple(range(1, 11))
-    result = benchmark.pedantic(
+    result, seconds = bench_run(
         lambda: ex.run_fig6(
             datasets[name],
             window_sizes=windows,
             ks=(5, 10, 20, 30),
             min_truth=MIN_TRUTH,
-        ),
-        rounds=1,
-        iterations=1,
+        )
     )
-    save_result(f"fig6_{name.lower()}", result.to_text())
     p5 = {w: result.precision[w][5] for w in windows}
+    save_result(
+        f"fig6_{name.lower()}",
+        result.to_text(),
+        metrics={"driver": {"seconds": seconds}},
+        extras={"p_at_5_by_window": {str(w): v for w, v in p5.items()}},
+    )
     # Every window's tuned precision is meaningfully better than nothing and
     # the curve is not degenerate (some variation with |W|).
     assert max(p5.values()) > 0

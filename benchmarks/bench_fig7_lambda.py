@@ -16,17 +16,21 @@ LAMBDAS = tuple(round(0.1 * i, 1) for i in range(11))
 
 
 @pytest.mark.parametrize("name", ["YTube", "SynYTube", "MLens", "SynMLens"])
-def test_fig7_lambda_weight(benchmark, datasets, save_result, name):
-    result = benchmark.pedantic(
+def test_fig7_lambda_weight(bench_run, datasets, save_result, name):
+    result, seconds = bench_run(
         lambda: ex.run_fig7(
             datasets[name], lambdas=LAMBDAS, ks=(5, 10, 20, 30), min_truth=MIN_TRUTH
-        ),
-        rounds=1,
-        iterations=1,
+        )
     )
-    save_result(f"fig7_{name.lower()}", result.to_text())
     p5 = {lam: result.precision[lam][5] for lam in LAMBDAS}
     optimum = result.optimal_lambda(5)
+    save_result(
+        f"fig7_{name.lower()}",
+        result.to_text(),
+        metrics={"driver": {"seconds": seconds}},
+        checks={"optimal_lambda_at_5": optimum},
+        extras={"p_at_5_by_lambda": {str(lam): v for lam, v in p5.items()}},
+    )
     # Interior optimum: some mixture beats both extremes; lambda=1 is worst
     # or near-worst (the paper's "interest drift" failure mode).
     assert p5[optimum] >= p5[0.0]

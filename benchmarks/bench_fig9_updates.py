@@ -14,13 +14,21 @@ KS = (5, 10, 20, 30)
 
 
 @pytest.mark.parametrize("name", ["YTube", "SynYTube", "MLens", "SynMLens"])
-def test_fig9_profile_updates(benchmark, datasets, save_result, name):
-    result = benchmark.pedantic(
-        lambda: ex.run_fig9(datasets[name], ks=KS, min_truth=MIN_TRUTH),
-        rounds=1,
-        iterations=1,
+def test_fig9_profile_updates(bench_run, datasets, save_result, name):
+    result, seconds = bench_run(
+        lambda: ex.run_fig9(datasets[name], ks=KS, min_truth=MIN_TRUTH)
     )
-    save_result(f"fig9_{name.lower()}", result.to_text())
     p = result.precision
+    save_result(
+        f"fig9_{name.lower()}",
+        result.to_text(),
+        metrics={"driver": {"seconds": seconds}},
+        extras={
+            "p_at_k": {
+                method: {str(k): v for k, v in series.items()}
+                for method, series in p.items()
+            }
+        },
+    )
     wins = sum(1 for k in KS if p["ssRec"][k] >= p["ssRec-nu"][k])
     assert wins >= 3

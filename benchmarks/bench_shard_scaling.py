@@ -1,22 +1,29 @@
-"""Shard-count scaling of the sharded serving runtime (repro.serve).
+"""Shard-count and backend scaling of the sharded serving runtime.
 
 Sweeps ``ShardedRecommender`` over shard counts in both scan and index
-mode and checks two things the subsystem promises:
+mode, across the sequential, thread and process fan-out backends, and
+checks three things the subsystem promises:
 
-- **Parity**: every swept shard count returns results identical to the
-  single recommender in the same mode (the block-aware plan shares the
-  global CPPse blocking across shards, so even index-mode probed-tree
-  sets match exactly).
+- **Parity**: every swept (shard count, backend) returns results
+  identical to the single recommender in the same mode — the top-k output
+  is bit-identical across sequential/thread/process fan-out (the block-
+  aware plan shares the global CPPse blocking across shards, so even
+  index-mode probed-tree sets match exactly).
 - **A measured win over the unsharded scan path**: the sharded runtime's
   micro-batched scan fan-out must beat the per-item sequential scan —
   batching amortization survives partitioning.
+- **Process-backend parallelism** (multi-core hosts): with one OS worker
+  per shard, the best process-backend path must reach >= 2.5x the
+  sequential fan-out's items/sec at 4+ shards — the GIL-free scaling the
+  thread backend cannot deliver.
 
-Expected shape: scan-mode fan-out costs grow with shard count (N small
-NumPy passes instead of one big one), so the win is largest at low shard
-counts; index-mode throughput is roughly flat because the per-shard
-best-first searches add up to the same candidate work.  The value of
-higher shard counts is the smaller per-shard population each worker
-holds — the memory/ownership axis, not single-process speed.
+Expected shape: sequential/thread fan-out costs grow with shard count (N
+small GIL-bound passes instead of one big one), so their win concentrates
+at low shard counts; the process backend pays a per-request IPC toll but
+runs shards truly concurrently, so its advantage *grows* with shard count
+and with per-shard work (index mode's Python-heavy search parallelizes
+best).  The artifact records every (path, shard count) throughput plus
+the sequential index path's latency percentiles.
 """
 
 import os
@@ -28,24 +35,66 @@ MAX_ITEMS = int(os.environ.get("REPRO_BENCH_SHARD_ITEMS", "256"))
 SHARD_COUNTS = tuple(
     int(n) for n in os.environ.get("REPRO_BENCH_SHARD_COUNTS", "1,2,4").split(",")
 )
+BACKENDS = tuple(
+    b
+    for b in os.environ.get(
+        "REPRO_BENCH_SHARD_BACKENDS", "sequential,thread,process"
+    ).split(",")
+    if b
+)
 
 
-def test_shard_scaling(benchmark, efficiency_datasets, save_result):
-    result = benchmark.pedantic(
+def test_shard_scaling(bench_run, efficiency_datasets, save_result):
+    result, seconds = bench_run(
         lambda: ex.run_sharded_throughput(
             efficiency_datasets["YTube"],
             shard_counts=SHARD_COUNTS,
             k=30,
             max_items=MAX_ITEMS,
-        ),
-        rounds=1,
-        iterations=1,
+            backends=BACKENDS,
+        )
     )
-    save_result("shard_scaling", result.to_text())
+    max_n = max(SHARD_COUNTS)
+    metrics = {"driver": {"seconds": seconds}}
+    for name, ips in result.baselines.items():
+        metrics[f"unsharded-{name}"] = {"items_per_sec": ips}
+    for path, series in result.items_per_sec.items():
+        for n, ips in series.items():
+            metrics[f"{path}[shards={n}]"] = {"items_per_sec": ips}
+    # Latency percentiles belong to the first swept backend's index-item
+    # path (that is what run_sharded_throughput records them for).
+    latency_path = "sharded-index-item" + (
+        "" if BACKENDS[0] == "sequential" else f"@{BACKENDS[0]}"
+    )
+    for n, summary in result.latency_ms.items():
+        metrics[f"{latency_path}[shards={n}]"]["latency_ms"] = summary
+    checks = {"parity_ok": result.parity_ok}
+    # The speedup-over-scan ratio is defined on the sequential fan-out;
+    # sweeps that exclude it (REPRO_BENCH_SHARD_BACKENDS) skip the ratio
+    # checks but keep the parity assertion.
+    if "sequential" in BACKENDS:
+        checks["best_speedup_over_scan"] = max(
+            result.speedup_over_scan(n) for n in SHARD_COUNTS
+        )
+    process_measured = "process" in BACKENDS and "sequential" in BACKENDS
+    if process_measured:
+        checks["process_backend_speedup"] = result.best_backend_speedup(max_n)
+    save_result("shard_scaling", result.to_text(), metrics=metrics, checks=checks)
+
     # The tentpole claim: sharded results are bit-identical to the single
-    # recommender at every swept shard count, scan and index mode alike.
+    # recommender at every swept (shard count, backend), scan and index
+    # mode alike — including the pickle trip into worker processes.
     assert result.parity_ok
     # And the runtime still wins over the unsharded per-item scan path:
     # micro-batched fan-out keeps the batching amortization.
-    best = max(result.speedup_over_scan(n) for n in SHARD_COUNTS)
-    assert best >= 1.5
+    if "sequential" in BACKENDS:
+        assert checks["best_speedup_over_scan"] >= 1.5
+    # Process-backend parallelism: real cores, real speedup.  Only
+    # meaningful where the host actually has cores to scale onto — CI
+    # runners do; single-core containers serialize the workers.
+    if process_measured and max_n >= 4 and (os.cpu_count() or 1) >= 4:
+        assert checks["process_backend_speedup"] >= 2.5, (
+            f"process backend reached only "
+            f"{checks['process_backend_speedup']:.2f}x sequential at "
+            f"{max_n} shards"
+        )

@@ -10,13 +10,20 @@ large".
 from repro.eval import experiments as ex
 
 
-def test_table2_signature_size_factors(benchmark, sparse_ytube, save_result):
-    result = benchmark.pedantic(
-        lambda: ex.run_table2(sparse_ytube, block_counts=(1, 10, 20, 30, 40, 50)),
-        rounds=1,
-        iterations=1,
+def test_table2_signature_size_factors(bench_run, sparse_ytube, save_result):
+    result, seconds = bench_run(
+        lambda: ex.run_table2(sparse_ytube, block_counts=(1, 10, 20, 30, 40, 50))
     )
-    save_result("table2", result.to_text())
+    save_result(
+        "table2",
+        result.to_text(),
+        metrics={"driver": {"seconds": seconds}},
+        extras={
+            "block_counts": list(result.block_counts),
+            "max_entities": list(result.max_entities),
+            "max_producers": list(result.max_producers),
+        },
+    )
     # Shape assertions: monotone-ish decrease from no-blocking to 50 blocks.
     assert result.max_entities[0] > result.max_entities[-1]
     assert result.max_entities[0] > 2 * result.max_entities[-1]

@@ -9,11 +9,14 @@ matches its source's universes with a slightly different interaction count
 from repro.eval import experiments as ex
 
 
-def test_table3_dataset_overview(benchmark, datasets, save_result):
-    result = benchmark.pedantic(
-        lambda: ex.run_table3(datasets), rounds=1, iterations=1
+def test_table3_dataset_overview(bench_run, datasets, save_result):
+    result, seconds = bench_run(lambda: ex.run_table3(datasets))
+    save_result(
+        "table3",
+        result.to_text(),
+        metrics={"driver": {"seconds": seconds}},
+        extras={"rows": result.rows_},
     )
-    save_result("table3", result.to_text())
     rows = {row["Dataset"]: row for row in result.rows_}
     for source, synth in (("YTube", "SynYTube"), ("MLens", "SynMLens")):
         assert rows[synth]["|Up|"] == rows[source]["|Up|"]

@@ -9,7 +9,13 @@ Walks the full serving lifecycle of the repro.serve runtime:
    state — no retraining;
 4. serve a burst of streamed items through the reloaded service, with
    interleaved profile updates and shard-local Algorithm-2 maintenance;
-5. print per-shard latency/candidate metrics and the shard balance.
+5. print per-shard latency/candidate metrics and the shard balance;
+6. replay the same burst on the **process backend** (one OS worker per
+   shard, ``serve_backend="process"``) and check the merged top-k is
+   bit-identical to the in-process service.
+
+Worker-enabled services are used in their context-manager form
+throughout, so thread/process pools are always released.
 
 Runs in a few seconds:
 
@@ -33,55 +39,80 @@ def main() -> None:
     print(f"trained: {recommender}")
 
     # 2. Shard it: whole CPPse blocks per shard, shard-local indexes.
-    service = ShardedRecommender.from_trained(
-        recommender, n_shards=3, strategy="block", use_index=True
-    )
-    print(f"service: {service}")
-    print(f"balance: {service.balance_stats()}")
-
-    with tempfile.TemporaryDirectory() as tmp:
-        # 3. Snapshot and warm-start.  The reloaded service restores the
-        #    trained state, the shard plan and the shard indexes exactly.
-        snapshot_dir = Path(tmp) / "snapshot"
-        service.save(snapshot_dir)
-        manifest_size = (snapshot_dir / "manifest.json").stat().st_size
-        payload_size = (snapshot_dir / "state.pkl").stat().st_size
-        print(
-            f"snapshot: manifest {manifest_size} B, payload {payload_size // 1024} KiB"
-        )
-        service = ShardedRecommender.load(snapshot_dir)
-        print(f"reloaded: {service}")
-
-    # 4. Serve a burst from the first test partition: items arrive in
-    #    micro-batches, interactions update the owning shard's profiles.
     items = stream.items_in_partition(2)[:24]
     updates = stream.partitions[2][:48]
     k = 5
-    for start in range(0, len(items), 8):
-        window = items[start : start + 8]
-        for interaction in updates[start : start + 8]:
-            service.update(interaction, dataset.item(interaction.item_id))
-        for item in window:
-            service.observe_item(item)
-        ranked_lists = service.recommend_batch(window, k)
-        item, top = window[0], ranked_lists[0]
-        print(
-            f"window @{start}: item {item.item_id} -> "
-            + ", ".join(f"user {u} ({score:.2f})" for u, score in top[:3])
-        )
-    refreshed = service.run_maintenance()
-    print(f"profiles refreshed by shard-local Algorithm 2: {refreshed}")
+    with tempfile.TemporaryDirectory() as tmp:
+        with ShardedRecommender.from_trained(
+            recommender, n_shards=3, strategy="block", use_index=True
+        ) as service:
+            print(f"service: {service}")
+            print(f"balance: {service.balance_stats()}")
 
-    # 5. Per-shard serving metrics: the tail percentiles are the numbers
-    #    sharding is judged by.
-    for row in service.metrics():
-        print(
-            f"shard {row['shard_id']}: users={row['users']} "
-            f"items={row['items_served']} "
-            f"p50={row['p50_latency_ms']:.2f}ms p95={row['p95_latency_ms']:.2f}ms "
-            f"p99={row['p99_latency_ms']:.2f}ms "
-            f"maintenance_runs={row['maintenance_runs']}"
-        )
+            # 3. Snapshot and warm-start.  The reloaded service restores
+            #    the trained state, the shard plan and the shard indexes
+            #    exactly.
+            snapshot_dir = Path(tmp) / "snapshot"
+            service.save(snapshot_dir)
+            manifest_size = (snapshot_dir / "manifest.json").stat().st_size
+            payload_size = (snapshot_dir / "state.pkl").stat().st_size
+            print(
+                f"snapshot: manifest {manifest_size} B, payload {payload_size // 1024} KiB"
+            )
+
+        with ShardedRecommender.load(snapshot_dir) as service:
+            print(f"reloaded: {service}")
+
+            # 4. Serve a burst from the first test partition through the
+            #    *reloaded* service: items arrive in micro-batches,
+            #    interactions update the owning shard's profiles.
+            burst_results = []
+            for start in range(0, len(items), 8):
+                window = items[start : start + 8]
+                for interaction in updates[start : start + 8]:
+                    service.update(interaction, dataset.item(interaction.item_id))
+                for item in window:
+                    service.observe_item(item)
+                ranked_lists = service.recommend_batch(window, k)
+                burst_results.extend(ranked_lists)
+                item, top = window[0], ranked_lists[0]
+                print(
+                    f"window @{start}: item {item.item_id} -> "
+                    + ", ".join(f"user {u} ({score:.2f})" for u, score in top[:3])
+                )
+            refreshed = service.run_maintenance()
+            print(f"profiles refreshed by shard-local Algorithm 2: {refreshed}")
+
+            # 5. Per-shard serving metrics: the tail percentiles are the
+            #    numbers sharding is judged by.
+            for row in service.metrics():
+                print(
+                    f"shard {row['shard_id']}: users={row['users']} "
+                    f"items={row['items_served']} "
+                    f"p50={row['p50_latency_ms']:.2f}ms p95={row['p95_latency_ms']:.2f}ms "
+                    f"p99={row['p99_latency_ms']:.2f}ms "
+                    f"maintenance_runs={row['maintenance_runs']}"
+                )
+
+    # 6. The same burst on the process backend: every shard in its own OS
+    #    worker process (real CPU parallelism), same bits out.  Retrain a
+    #    fresh model so both replays start from identical state.
+    recommender = SsRecRecommender(seed=1)
+    recommender.fit(dataset, stream.training_interactions())
+    with ShardedRecommender.from_trained(
+        recommender, n_shards=3, strategy="block", use_index=True, backend="process"
+    ) as service:
+        print(f"process service: {service}")
+        process_results = []
+        for start in range(0, len(items), 8):
+            window = items[start : start + 8]
+            for interaction in updates[start : start + 8]:
+                service.update(interaction, dataset.item(interaction.item_id))
+            for item in window:
+                service.observe_item(item)
+            process_results.extend(service.recommend_batch(window, k))
+        match = "bit-identical" if process_results == burst_results else "DIVERGED"
+        print(f"process-backend replay vs in-process burst: {match}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,36 @@
+"""repro.bench — machine-readable benchmark artifacts and the perf gate.
+
+Every driver under ``benchmarks/bench_*.py`` emits, besides its
+human-readable ``results/<name>.txt``, a schema-validated
+``results/BENCH_<name>.json`` artifact (:mod:`repro.bench.schema`), so
+the performance trajectory of the repo is a diffable, comparable record
+instead of prose.  :mod:`repro.bench.compare` turns two such artifacts
+(or two directories of them) into a pass/fail regression verdict — the
+CLI ``python -m repro.bench compare baseline.json current.json
+--tolerance 0.15`` exits non-zero on regression, which is exactly what
+the CI ``perf-gate`` job runs against the committed baselines in
+``benchmarks/baselines/``.  See docs/BENCHMARKS.md for the schema and
+the baseline-update procedure.
+"""
+
+from repro.bench.compare import ComparisonReport, MetricDelta, compare_results
+from repro.bench.schema import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    BenchSchemaError,
+    artifact_name,
+    load_result,
+    validate_result,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchResult",
+    "BenchSchemaError",
+    "artifact_name",
+    "load_result",
+    "validate_result",
+    "ComparisonReport",
+    "MetricDelta",
+    "compare_results",
+]

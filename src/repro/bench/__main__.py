@@ -1,0 +1,123 @@
+"""Benchmark-artifact CLI: validate artifacts, gate on regressions.
+
+Compare one artifact pair or two whole directories (matched by
+``BENCH_<name>.json`` filename)::
+
+    python -m repro.bench compare benchmarks/baselines/BENCH_shard_scaling.json \\
+        benchmarks/results/BENCH_shard_scaling.json --tolerance 0.15
+    python -m repro.bench compare benchmarks/baselines benchmarks/results
+
+    python -m repro.bench validate benchmarks/results/BENCH_*.json
+
+``compare`` exits 1 on any throughput regression beyond the tolerance,
+on a measurement missing from the current run, or on a baseline artifact
+with no current counterpart — CI gates on this exit status.
+``validate`` exits 1 on any malformed artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.compare import DEFAULT_TOLERANCE, compare_results
+from repro.bench.schema import BenchSchemaError, load_result
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Validate and compare BENCH_*.json benchmark artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare",
+        help="gate current artifacts against baselines (exit 1 on regression)",
+    )
+    compare.add_argument(
+        "baseline", help="baseline artifact file, or a directory of BENCH_*.json"
+    )
+    compare.add_argument(
+        "current", help="current artifact file, or a directory of BENCH_*.json"
+    )
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative throughput drop (default: %(default)s)",
+    )
+
+    validate = sub.add_parser("validate", help="schema-check artifacts (exit 1 on error)")
+    validate.add_argument("files", nargs="+", help="BENCH_*.json files to validate")
+    return parser
+
+
+def _artifact_pairs(baseline: Path, current: Path) -> list[tuple[Path, Path | None]]:
+    """Resolve the (baseline, current) artifact pairs to compare.
+
+    File + file compares directly.  Directory + directory matches by
+    filename: every baseline artifact must have a current counterpart
+    (``None`` marks the ones that do not — the caller fails on them).
+    """
+    if baseline.is_dir() != current.is_dir():
+        raise BenchSchemaError(
+            "compare needs two files or two directories, "
+            f"got {baseline} and {current}"
+        )
+    if not baseline.is_dir():
+        return [(baseline, current if current.exists() else None)]
+    pairs: list[tuple[Path, Path | None]] = []
+    for base_file in sorted(baseline.glob("BENCH_*.json")):
+        cur_file = current / base_file.name
+        pairs.append((base_file, cur_file if cur_file.exists() else None))
+    if not pairs:
+        raise BenchSchemaError(f"no BENCH_*.json artifacts under {baseline}")
+    return pairs
+
+
+def _run_compare(args) -> int:
+    pairs = _artifact_pairs(Path(args.baseline), Path(args.current))
+    failed = False
+    for base_file, cur_file in pairs:
+        if cur_file is None:
+            print(f"{base_file.name}: NO current artifact — did the bench run?")
+            failed = True
+            continue
+        report = compare_results(
+            load_result(base_file), load_result(cur_file), tolerance=args.tolerance
+        )
+        print(report.to_text())
+        print()
+        failed = failed or not report.ok
+    print("perf gate:", "FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+def _run_validate(args) -> int:
+    failed = False
+    for name in args.files:
+        try:
+            data = load_result(name)
+        except BenchSchemaError as exc:
+            print(f"INVALID: {exc}")
+            failed = True
+        else:
+            print(f"ok: {name} ({data['name']}, {len(data['metrics'])} metric paths)")
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "compare":
+            return _run_compare(args)
+        return _run_validate(args)
+    except BenchSchemaError as exc:
+        print(f"error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

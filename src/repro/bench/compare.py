@@ -1,0 +1,193 @@
+"""Regression comparison of benchmark artifacts (the CI perf gate).
+
+:func:`compare_results` lines two artifacts of the same benchmark up
+path by path and decides pass/fail:
+
+- **throughput** (``items_per_sec``): a regression when the current run
+  is more than ``tolerance`` below the baseline (default 15%) — this is
+  the gating rule;
+- **wall clock** (``seconds``) and **latency percentiles** are reported
+  with their ratios for the record but never gate on their own — whole-
+  driver wall clock is too noisy to fail a PR on, and latency already
+  moves inversely with the gated throughput;
+- a path present in the baseline but **missing** from the current run is
+  a failure (silently dropping a measurement is how regressions hide);
+  new paths are listed as informational.
+
+Speedups (faster-than-baseline) are reported but never fail the gate.
+
+Absolute throughput only compares honestly between like machines, so the
+report also diffs the artifacts' ``meta`` blocks (cpu_count, interpreter,
+NumPy, platform, ``REPRO_BENCH_*`` knobs) and prints a note for every
+mismatch — a gate run against a baseline recorded on different hardware
+says so in its output instead of silently gating apples against oranges
+(see docs/BENCHMARKS.md for the baseline-update procedure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.schema import BenchSchemaError
+
+#: Default allowed relative throughput drop before the gate fails.
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass
+class MetricDelta:
+    """One (path, metric) pair lined up across baseline and current."""
+
+    path: str
+    metric: str
+    baseline: float
+    current: float
+    gated: bool
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (for throughput, > 1 means faster)."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def to_text(self) -> str:
+        marker = "REGRESSED" if self.regressed else ("ok" if self.gated else "info")
+        return (
+            f"{self.path:<36} {self.metric:<14} "
+            f"base={self.baseline:12.3f} cur={self.current:12.3f} "
+            f"x{self.ratio:6.3f}  {marker}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Verdict of one baseline-vs-current artifact comparison."""
+
+    name: str
+    tolerance: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_paths: list[str] = field(default_factory=list)
+    new_paths: list[str] = field(default_factory=list)
+    environment_notes: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing_paths
+
+    def to_text(self) -> str:
+        lines = [
+            f"Benchmark {self.name!r} — tolerance {self.tolerance:.0%}",
+        ]
+        for note in self.environment_notes:
+            lines.append(f"  note: {note}")
+        lines.extend(f"  {delta.to_text()}" for delta in self.deltas)
+        for path in self.missing_paths:
+            lines.append(f"  {path:<36} MISSING from current run (fails the gate)")
+        for path in self.new_paths:
+            lines.append(f"  {path:<36} new in current run (no baseline)")
+        verdict = (
+            "PASS"
+            if self.ok
+            else f"FAIL ({len(self.regressions)} regressions, "
+            f"{len(self.missing_paths)} missing)"
+        )
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+#: ``meta`` keys whose mismatch weakens absolute-throughput comparison.
+_META_KEYS = ("cpu_count", "python", "numpy", "platform", "machine", "env")
+
+
+def _environment_mismatches(baseline: dict, current: dict) -> list[str]:
+    """Human-readable notes for every run-environment difference.
+
+    Informational only: the gate still runs, but its output names the
+    hardware/config skew so an operator can tell "code got slower" from
+    "different machine" (and knows when baselines need regenerating on
+    CI hardware — docs/BENCHMARKS.md).
+    """
+    base_meta = baseline.get("meta") or {}
+    cur_meta = current.get("meta") or {}
+    notes = []
+    for key in _META_KEYS:
+        base_value, cur_value = base_meta.get(key), cur_meta.get(key)
+        if base_value != cur_value:
+            notes.append(
+                f"baseline {key}={base_value!r} vs current {key}={cur_value!r} "
+                "— absolute throughput comparison weakened"
+            )
+    for key in ("seed", "scale"):
+        if baseline.get(key) != current.get(key):
+            notes.append(
+                f"baseline {key}={baseline.get(key)!r} vs current "
+                f"{key}={current.get(key)!r} — runs are not like-for-like"
+            )
+    return notes
+
+
+def compare_results(
+    baseline: dict, current: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> ComparisonReport:
+    """Compare two validated artifacts of the same benchmark.
+
+    Args:
+        baseline: the committed reference artifact.
+        current: the freshly measured artifact.
+        tolerance: allowed relative throughput drop (0.15 = 15%).
+    """
+    if not (0.0 <= float(tolerance) < 1.0):
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    if baseline.get("name") != current.get("name"):
+        raise BenchSchemaError(
+            f"artifact mismatch: baseline is {baseline.get('name')!r}, "
+            f"current is {current.get('name')!r} — compare like with like"
+        )
+    report = ComparisonReport(name=str(baseline["name"]), tolerance=float(tolerance))
+    report.environment_notes.extend(_environment_mismatches(baseline, current))
+    base_metrics: dict = baseline["metrics"]
+    cur_metrics: dict = current["metrics"]
+    for path in base_metrics:
+        base_entry = base_metrics[path]
+        cur_entry = cur_metrics.get(path)
+        if cur_entry is None:
+            report.missing_paths.append(path)
+            continue
+        if "items_per_sec" in base_entry and "items_per_sec" in cur_entry:
+            base_value = float(base_entry["items_per_sec"])
+            cur_value = float(cur_entry["items_per_sec"])
+            regressed = cur_value < base_value * (1.0 - report.tolerance)
+            report.deltas.append(
+                MetricDelta(path, "items_per_sec", base_value, cur_value, True, regressed)
+            )
+        if "seconds" in base_entry and "seconds" in cur_entry:
+            report.deltas.append(
+                MetricDelta(
+                    path,
+                    "seconds",
+                    float(base_entry["seconds"]),
+                    float(cur_entry["seconds"]),
+                    False,
+                    False,
+                )
+            )
+        base_latency = base_entry.get("latency_ms") or {}
+        cur_latency = cur_entry.get("latency_ms") or {}
+        for stat in base_latency:
+            if stat in cur_latency:
+                report.deltas.append(
+                    MetricDelta(
+                        path,
+                        f"latency:{stat}",
+                        float(base_latency[stat]),
+                        float(cur_latency[stat]),
+                        False,
+                        False,
+                    )
+                )
+    report.new_paths.extend(path for path in cur_metrics if path not in base_metrics)
+    return report

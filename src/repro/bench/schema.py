@@ -1,0 +1,216 @@
+"""The benchmark artifact schema: one validated JSON file per bench run.
+
+A :class:`BenchResult` records everything needed to compare two runs of
+the same benchmark honestly:
+
+- **run metadata** — schema version, benchmark name, creation time, and
+  the environment (interpreter, NumPy, platform, CPU count, plus the
+  ``REPRO_BENCH_*`` knobs that shaped the run);
+- **reproducibility knobs** — the master seed and dataset scale every
+  seeded stage derived from;
+- **metrics** — per-path measurements: ``items_per_sec`` for throughput
+  paths, ``seconds`` for whole-driver wall clock, and an optional
+  ``latency_ms`` percentile summary (mean/p50/p95/p99);
+- **checks** — the boolean/numeric assertions the bench made (parity
+  flags, speedup ratios), so a regression report can say *what held*;
+- **extras** — free-form result payload (figure series, tables) for
+  plotting trajectories; never compared.
+
+Artifacts are written as ``BENCH_<name>.json`` and validated both on
+write and on load, so a malformed artifact fails at the producer or at
+the gate — never silently passes through CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from numbers import Number
+from pathlib import Path
+
+#: Bump when the artifact layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Metric keys a path entry may carry; at least one of the first two is
+#: required (a path without a comparable quantity cannot be gated).
+_THROUGHPUT_KEY = "items_per_sec"
+_SECONDS_KEY = "seconds"
+_LATENCY_KEY = "latency_ms"
+
+
+class BenchSchemaError(ValueError):
+    """A benchmark artifact is malformed or incompatible."""
+
+
+def artifact_name(name: str) -> str:
+    """Filename of one benchmark's artifact (``BENCH_<name>.json``)."""
+    return f"BENCH_{name}.json"
+
+
+def run_environment(env_prefix: str = "REPRO_BENCH_") -> dict:
+    """The run-environment block every artifact carries.
+
+    Captures what legitimately moves benchmark numbers between runs —
+    interpreter, NumPy, platform, CPU budget, and every ``REPRO_BENCH_*``
+    knob — so a regression report can distinguish "code got slower" from
+    "the run was configured differently".
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "env": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith(env_prefix)
+        },
+    }
+
+
+@dataclass
+class BenchResult:
+    """One benchmark run, ready to serialize as ``BENCH_<name>.json``."""
+
+    name: str
+    seed: int
+    scale: str
+    metrics: dict[str, dict]
+    checks: dict = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=run_environment)
+    schema_version: int = BENCH_SCHEMA_VERSION
+    created_unix: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "name": self.name,
+            "created_unix": self.created_unix,
+            "seed": self.seed,
+            "scale": self.scale,
+            "meta": self.meta,
+            "metrics": self.metrics,
+            "checks": self.checks,
+            "extras": self.extras,
+        }
+
+    def write(self, directory) -> Path:
+        """Validate and write the artifact into ``directory``.
+
+        Validation runs *before* the write: a bench with a malformed
+        payload fails its own run rather than poisoning the baseline
+        directory with an artifact the gate would later reject.
+        """
+        data = self.to_dict()
+        validate_result(data)
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / artifact_name(self.name)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def _require(condition: bool, problems: list[str], message: str) -> None:
+    if not condition:
+        problems.append(message)
+
+
+def validate_result(data: object, source: str = "artifact") -> dict:
+    """Check one artifact against the schema; returns it on success.
+
+    Raises :class:`BenchSchemaError` listing *every* problem found, so a
+    broken producer is fixed in one round trip instead of one failure at
+    a time.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        raise BenchSchemaError(f"{source}: not a JSON object")
+    version = data.get("schema_version")
+    _require(
+        version == BENCH_SCHEMA_VERSION,
+        problems,
+        f"schema_version must be {BENCH_SCHEMA_VERSION}, got {version!r}",
+    )
+    name = data.get("name")
+    _require(
+        isinstance(name, str) and bool(name),
+        problems,
+        f"name must be a non-empty string, got {name!r}",
+    )
+    _require(
+        isinstance(data.get("created_unix"), Number),
+        problems,
+        "created_unix must be a number",
+    )
+    _require(isinstance(data.get("seed"), int), problems, "seed must be an integer")
+    _require(
+        isinstance(data.get("scale"), str) and bool(data.get("scale")),
+        problems,
+        "scale must be a non-empty string",
+    )
+    _require(isinstance(data.get("meta"), dict), problems, "meta must be an object")
+    _require(isinstance(data.get("checks", {}), dict), problems, "checks must be an object")
+    _require(isinstance(data.get("extras", {}), dict), problems, "extras must be an object")
+
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics must be a non-empty object")
+    else:
+        for path, entry in metrics.items():
+            where = f"metrics[{path!r}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where} must be an object")
+                continue
+            comparable = [k for k in (_THROUGHPUT_KEY, _SECONDS_KEY) if k in entry]
+            _require(
+                bool(comparable),
+                problems,
+                f"{where} needs '{_THROUGHPUT_KEY}' or '{_SECONDS_KEY}'",
+            )
+            for key in comparable:
+                value = entry[key]
+                _require(
+                    isinstance(value, Number) and float(value) >= 0.0,
+                    problems,
+                    f"{where}.{key} must be a non-negative number, got {value!r}",
+                )
+            latency = entry.get(_LATENCY_KEY)
+            if latency is not None:
+                if not isinstance(latency, dict):
+                    problems.append(f"{where}.{_LATENCY_KEY} must be an object")
+                else:
+                    for stat, value in latency.items():
+                        _require(
+                            isinstance(value, Number),
+                            problems,
+                            f"{where}.{_LATENCY_KEY}[{stat!r}] must be a number",
+                        )
+    if problems:
+        raise BenchSchemaError(
+            f"{source}: invalid benchmark artifact:\n  - " + "\n  - ".join(problems)
+        )
+    return data
+
+
+def load_result(path) -> dict:
+    """Read and validate one ``BENCH_<name>.json`` artifact."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise BenchSchemaError(f"{path}: unreadable: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{path}: malformed JSON: {exc}") from exc
+    return validate_result(data, source=str(path))

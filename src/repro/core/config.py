@@ -8,6 +8,14 @@ from dataclasses import dataclass, fields, replace
 #: (:mod:`repro.serve.sharding`).
 SHARD_STRATEGIES = ("hash", "block")
 
+#: Fan-out backends of the sharded serving runtime
+#: (:mod:`repro.serve.service`): ``"sequential"`` serves shards one after
+#: another in the calling thread, ``"thread"`` fans out on a
+#: ``ThreadPoolExecutor`` (GIL-bound — parallelism limited to NumPy
+#: sections), ``"process"`` hosts every shard in its own OS process
+#: (:mod:`repro.serve.workers`) for real CPU parallelism.
+SERVE_BACKENDS = ("sequential", "thread", "process")
+
 
 @dataclass(frozen=True)
 class SsRecConfig:
@@ -50,8 +58,13 @@ class SsRecConfig:
             and sharded index results stay bit-identical to the single
             index) or ``"hash"`` (stateless hash of the user id; exact in
             scan mode, approximate probed-set in index mode).
-        serve_workers: threads the sharded facade fans a query out with;
-            0 or 1 = sequential fan-out.
+        serve_workers: threads the sharded facade fans a query out with
+            under the thread backend; 0 or 1 = sequential fan-out.
+        serve_backend: how the sharded facade fans queries out —
+            ``"sequential"`` (in the calling thread), ``"thread"``
+            (GIL-bound thread pool) or ``"process"`` (one OS process per
+            shard; see :mod:`repro.serve.workers`).  Results are
+            bit-identical across backends; only the cost profile differs.
     """
 
     window_size: int = 5
@@ -76,6 +89,7 @@ class SsRecConfig:
     n_shards: int = 1
     shard_strategy: str = "block"
     serve_workers: int = 0
+    serve_backend: str = "sequential"
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
@@ -105,6 +119,11 @@ class SsRecConfig:
             )
         if self.serve_workers < 0:
             raise ValueError(f"serve_workers must be >= 0, got {self.serve_workers}")
+        if self.serve_backend not in SERVE_BACKENDS:
+            raise ValueError(
+                f"serve_backend must be one of {SERVE_BACKENDS}, "
+                f"got {self.serve_backend!r}"
+            )
 
     def with_options(self, **overrides) -> "SsRecConfig":
         """Copy with the given fields replaced (configs are frozen)."""

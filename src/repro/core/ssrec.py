@@ -219,12 +219,15 @@ class SsRecRecommender:
     # ------------------------------------------------------------------
     # Streaming operations
     # ------------------------------------------------------------------
-    def observe_item(self, item: SocialItem) -> None:
+    def observe_item(self, item: SocialItem) -> list:
         """Register a newly streamed item (the social-item stream).
 
         Advances the producer layer's filtered state and feeds the item's
         entity co-occurrences to the expander so future expansions reflect
-        recent content.
+        recent content.  Returns the annotated entity mentions (possibly
+        empty), so callers that must replay this mutation elsewhere — the
+        process backend forwards it to every shard worker — reuse the one
+        annotation pass instead of re-extracting.
         """
         self._require_fitted()
         assert self.interest is not None and self.expander is not None
@@ -234,6 +237,7 @@ class SsRecRecommender:
             self.expander.observe(item.category, mentions)
         else:
             self.expander.observe_entity_list(item.category, item.entities)
+        return mentions
 
     def update(self, interaction: Interaction, item: SocialItem | None = None) -> None:
         """Record one user-item interaction (the interaction stream).

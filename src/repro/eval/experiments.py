@@ -19,7 +19,8 @@ benchmarks control scale) and returns a structured result whose
 Beyond the paper, ``run_batch_throughput`` measures the repo's batched
 serving path (``recommend_batch``) against the per-item loop,
 ``run_sharded_throughput`` sweeps the sharded serving runtime
-(:mod:`repro.serve`) over shard counts, asserting exact parity with the
+(:mod:`repro.serve`) over shard counts and fan-out backends
+(sequential/thread/process), asserting exact parity with the
 single index while reporting throughput and tail-latency percentiles, and
 ``run_conformance`` replays the :mod:`repro.sim` adversarial scenario
 catalog through every serving path against the naive oracle.
@@ -644,6 +645,17 @@ class BatchThroughputResult:
 # ----------------------------------------------------------------------
 # Sharded serving throughput (the repro.serve runtime)
 # ----------------------------------------------------------------------
+def _shard_path_key(mode: str, serve: str, backend: str) -> str:
+    """Series key of one sharded measurement.
+
+    The sequential backend keeps the historical ``sharded-<mode>-<serve>``
+    names; other backends append ``@<backend>`` so one sweep renders
+    backends side by side.
+    """
+    key = f"sharded-{mode}-{serve}"
+    return key if backend == "sequential" else f"{key}@{backend}"
+
+
 @dataclass
 class ShardScalingResult:
     """Throughput and tail latency of the sharded runtime vs shard count.
@@ -652,22 +664,27 @@ class ShardScalingResult:
         dataset: benchmark dataset name.
         n_items: items served per measurement.
         strategy: shard strategy swept (``"block"`` for exact parity).
+        backends: fan-out backends swept (``sequential``/``thread``/
+            ``process``).
         items_per_sec: path -> {n_shards: items/sec}; paths are
             ``sharded-<mode>-<serve>`` for mode in scan/index and serve in
-            item (per-item fan-out) / batch (micro-batched fan-out).
+            item (per-item fan-out) / batch (micro-batched fan-out), with
+            ``@<backend>`` appended for non-sequential backends.
         baselines: unsharded reference throughputs — ``scan-item``,
             ``scan-batch``, ``index-item``, ``index-batch``.
-        latency_ms: n_shards -> mean/p50/p95/p99 of the sharded-index
-            per-item path in milliseconds (tail latency is what the
-            percentile satellite surfaces).
-        parity_ok: every swept shard count returned results identical to
-            the single recommender in the same mode, per item and per
-            batch (index mode is the acceptance-critical comparison).
+        latency_ms: n_shards -> mean/p50/p95/p99 of the first backend's
+            sharded-index per-item path in milliseconds (tail latency is
+            what the percentile satellite surfaces).
+        parity_ok: every swept (shard count, backend) returned results
+            identical to the single recommender in the same mode, per item
+            and per batch — the bit-identical guarantee across sequential,
+            thread and process fan-out.
     """
 
     dataset: str
     n_items: int
     strategy: str
+    backends: tuple[str, ...]
     items_per_sec: dict[str, dict[int, float]]
     baselines: dict[str, float]
     latency_ms: dict[int, dict[str, float]]
@@ -680,10 +697,36 @@ class ShardScalingResult:
         base = self.baselines["scan-item"]
         return self.items_per_sec[path][int(n_shards)] / base if base else 0.0
 
+    def backend_speedup(
+        self,
+        n_shards: int,
+        mode: str = "scan",
+        serve: str = "batch",
+        backend: str = "process",
+        over: str = "sequential",
+    ) -> float:
+        """Throughput of one backend relative to another on the same
+        sharded path (the process-vs-sequential acceptance ratio)."""
+        base = self.items_per_sec[_shard_path_key(mode, serve, over)][int(n_shards)]
+        fast = self.items_per_sec[_shard_path_key(mode, serve, backend)][int(n_shards)]
+        return fast / base if base else 0.0
+
+    def best_backend_speedup(
+        self, n_shards: int, backend: str = "process", over: str = "sequential"
+    ) -> float:
+        """Best ``backend_speedup`` over all (mode, serve) paths at one
+        shard count — the headline parallelism win."""
+        return max(
+            self.backend_speedup(n_shards, mode, serve, backend, over)
+            for mode in ("scan", "index")
+            for serve in ("item", "batch")
+        )
+
     def to_text(self) -> str:
         lines = [
             format_series(
-                f"Sharded serving ({self.dataset}) — items/sec vs shard count",
+                f"Sharded serving ({self.dataset}) — items/sec vs shard count "
+                f"(backends: {', '.join(self.backends)})",
                 self.items_per_sec,
                 x_label="shards",
             ),
@@ -712,20 +755,25 @@ def run_sharded_throughput(
     max_items: int = 512,
     strategy: str = "block",
     workers: int = 0,
+    backends: Sequence[str] = ("sequential",),
     config: SsRecConfig | None = None,
     seed: int = 1,
 ) -> ShardScalingResult:
-    """Sweep shard counts over a fixed serving slice, with parity checks.
+    """Sweep shard counts (and fan-out backends) over a fixed serving
+    slice, with parity checks.
 
     One scan-mode recommender is trained and reused: the unsharded scan
     and index baselines, the parity reference, and every sharded service
     all share its trained state (serving is read-only), so differences in
     results can only come from the serving structures — which is exactly
-    what the parity check isolates.  All paths are warmed untimed first.
+    what the parity check isolates.  All paths are warmed untimed first
+    (for the process backend the warm-up also pays the worker spawn, so
+    the timed loops measure steady-state serving).
     """
     from repro.serve.service import ShardedRecommender  # local: keeps eval import-light
 
     base = config or SsRecConfig()
+    backends = tuple(backends)
     stream = partition_interactions(dataset)
     items = [
         item
@@ -770,38 +818,45 @@ def run_sharded_throughput(
         references[mode] = [trained.recommend(item, k) for item in items]
 
     items_per_sec: dict[str, dict[int, float]] = {
-        f"sharded-{mode}-{serve}": {}
+        _shard_path_key(mode, serve, backend): {}
         for mode in ("scan", "index")
         for serve in ("item", "batch")
+        for backend in backends
     }
     latency_ms: dict[int, dict[str, float]] = {}
     parity_ok = True
     for n_shards in sorted({int(n) for n in shard_counts}):
         for mode, reference in references.items():
-            with ShardedRecommender.from_trained(
-                trained,
-                n_shards=n_shards,
-                strategy=strategy,
-                use_index=(mode == "index"),
-                workers=workers,
-            ) as service:
-                # Parity first (also warms the shard structures).
-                per_item = [service.recommend(item, k) for item in items]
-                per_batch = service.recommend_batch(items, k)
-                parity_ok = (
-                    parity_ok and per_item == reference and per_batch == reference
-                )
-                seconds, samples = timed_item_loop(service)
-                items_per_sec[f"sharded-{mode}-item"][n_shards] = len(items) / seconds
-                items_per_sec[f"sharded-{mode}-batch"][n_shards] = len(
-                    items
-                ) / timed_batch_loop(service)
-                if mode == "index":
-                    latency_ms[n_shards] = TimingStats(samples=samples).summary_ms()
+            for backend in backends:
+                with ShardedRecommender.from_trained(
+                    trained,
+                    n_shards=n_shards,
+                    strategy=strategy,
+                    use_index=(mode == "index"),
+                    workers=workers,
+                    backend=backend,
+                ) as service:
+                    # Parity first (also warms the shard structures and,
+                    # for the process backend, spawns the workers).
+                    per_item = [service.recommend(item, k) for item in items]
+                    per_batch = service.recommend_batch(items, k)
+                    parity_ok = (
+                        parity_ok and per_item == reference and per_batch == reference
+                    )
+                    seconds, samples = timed_item_loop(service)
+                    items_per_sec[_shard_path_key(mode, "item", backend)][
+                        n_shards
+                    ] = len(items) / seconds
+                    items_per_sec[_shard_path_key(mode, "batch", backend)][
+                        n_shards
+                    ] = len(items) / timed_batch_loop(service)
+                    if mode == "index" and backend == backends[0]:
+                        latency_ms[n_shards] = TimingStats(samples=samples).summary_ms()
     return ShardScalingResult(
         dataset=dataset.name,
         n_items=len(items),
         strategy=strategy,
+        backends=backends,
         items_per_sec=items_per_sec,
         baselines=baselines,
         latency_ms=latency_ms,
@@ -863,10 +918,11 @@ def run_conformance(
 
     Each scenario is generated deterministically from ``seed``, replayed
     through the per-item scan, batched scan, CPPse-index (per-item and
-    batched), and sharded (hash-scan and block-index, with one mid-stream
-    snapshot reload) paths, and judged window by window against the naive
-    per-pair oracle.  Zero total divergences is the acceptance bar every
-    serving-path change must hold.
+    batched), and sharded paths — hash-scan, block-index with one
+    mid-stream snapshot reload, and the process backend with one
+    mid-stream rolling worker restart — and judged window by window
+    against the naive per-pair oracle.  Zero total divergences is the
+    acceptance bar every serving-path change must hold.
 
     Args:
         scenarios: catalog names to replay (default: the full catalog).
@@ -882,6 +938,7 @@ def run_conformance(
         n_shards=n_shards,
         config=config,
         snapshot_window=1,
+        restart_window=1,
     )
     reports = [runner.run(scenario) for scenario in generator.generate_all(scenarios)]
     return ConformanceSuiteResult(seed=int(seed), k=int(k), reports=reports)

@@ -10,8 +10,11 @@ stack:
   matcher/CPPse-index over a user slice with shard-local Algorithm-2
   maintenance;
 - :mod:`repro.serve.service` — :class:`ShardedRecommender`, the
-  fan-out/merge facade (sequential or thread-pool) with per-shard
-  latency/candidate metrics;
+  fan-out/merge facade (sequential, thread-pool or process backend) with
+  per-shard latency/candidate metrics;
+- :mod:`repro.serve.workers` — :class:`ShardWorkerPool`, one spawn-safe
+  OS process per shard (queue transport, collect/restart lifecycle) for
+  the process backend;
 - :mod:`repro.serve.snapshot` — versioned save/load of the full trained
   state so a server warm-starts without retraining.
 """
@@ -19,6 +22,7 @@ stack:
 from repro.serve.service import ShardedRecommender
 from repro.serve.shard import RecommenderShard, ShardMetrics
 from repro.serve.sharding import ShardPlan, UserSharder, hash_shard, merge_top_k
+from repro.serve.workers import ShardWorkerError, ShardWorkerPool
 from repro.serve.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
@@ -36,6 +40,8 @@ __all__ = [
     "UserSharder",
     "hash_shard",
     "merge_top_k",
+    "ShardWorkerError",
+    "ShardWorkerPool",
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
     "save_snapshot",

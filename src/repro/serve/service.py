@@ -33,6 +33,19 @@ stays shared and single-copy: ``observe_item`` advances it once, exactly
 as the unsharded facade does.  Interaction updates route to the owning
 shard, which runs its own Algorithm-2 maintenance cadence.
 
+**Backends.** ``SsRecConfig.serve_backend`` (or the ``backend`` argument)
+selects how the fan-out runs: ``"sequential"`` in the calling thread,
+``"thread"`` on a ``ThreadPoolExecutor`` (GIL-bound), or ``"process"``
+with every shard hosted in its own OS process by a
+:class:`~repro.serve.workers.ShardWorkerPool` — shards shipped through
+the snapshot pickle path, requests/replies over queues.  Results are
+bit-identical across all three backends (asserted by the conformance
+suite and ``bench_shard_scaling``); only the cost profile differs.  Under
+the process backend the worker copies are authoritative: every mutation
+is forwarded to them in order, and the parent pulls the live shard state
+back before snapshots and on :meth:`close` (so a closed or pickled
+service is always current).
+
 Typical usage::
 
     service = ShardedRecommender.from_trained(recommender, n_shards=4)
@@ -40,6 +53,12 @@ Typical usage::
     top = service.recommend(item, k=30)
     service.save("snapshots/today")        # warm-startable snapshot
     service = ShardedRecommender.load("snapshots/today")
+
+Worker-backed services hold OS resources (threads or processes), so
+long-lived tooling should use the context-manager form::
+
+    with ShardedRecommender.from_trained(rec, backend="process") as service:
+        ranked_lists = service.recommend_batch(window, k=30)
 """
 
 from __future__ import annotations
@@ -47,7 +66,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.core.config import SsRecConfig
+from repro.core.config import SERVE_BACKENDS, SsRecConfig
 from repro.core.profiles import ProfileStore
 from repro.core.ssrec import SsRecRecommender
 from repro.datasets.schema import Dataset, Interaction, SocialItem
@@ -66,8 +85,13 @@ class ShardedRecommender:
         plan: the user partition; one shard is built per plan shard.
         use_index: build a shard-local CPPse-index per shard (defaults to
             the trained recommender's mode).
-        workers: fan-out threads; 0/1 = sequential.  Defaults to the
-            config's ``serve_workers``.
+        workers: fan-out threads of the thread backend; 0/1 = sequential.
+            Defaults to the config's ``serve_workers``.  The process
+            backend always runs one worker process per shard.
+        backend: fan-out backend (``"sequential"``, ``"thread"`` or
+            ``"process"``); defaults to the config's ``serve_backend``.
+            For backward compatibility, ``workers > 1`` upgrades the
+            default ``"sequential"`` to ``"thread"``.
     """
 
     def __init__(
@@ -76,6 +100,7 @@ class ShardedRecommender:
         plan: ShardPlan,
         use_index: bool | None = None,
         workers: int | None = None,
+        backend: str | None = None,
     ) -> None:
         if trained.bihmm is None or trained.scorer is None:
             raise ValueError("trained recommender must be fitted")
@@ -86,6 +111,18 @@ class ShardedRecommender:
         self.workers = (
             self.config.serve_workers if workers is None else max(0, int(workers))
         )
+        explicit_backend = backend is not None
+        backend = self.config.serve_backend if backend is None else str(backend)
+        if backend not in SERVE_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SERVE_BACKENDS}, got {backend!r}"
+            )
+        if backend == "sequential" and not explicit_backend and self.workers > 1:
+            # Legacy spelling: before serve_backend existed, workers > 1
+            # *meant* the thread backend.  An explicitly requested
+            # "sequential" is honored regardless of workers.
+            backend = "thread"
+        self.backend = backend
         self.scorer = trained.scorer
         self.profiles = trained.profiles  # the global (all-shard) view
         n_categories = trained.bihmm.n_categories
@@ -123,6 +160,7 @@ class ShardedRecommender:
                 )
             )
         self._executor: ThreadPoolExecutor | None = None
+        self._pool = None  # ShardWorkerPool, started lazily (process backend)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -135,11 +173,12 @@ class ShardedRecommender:
         strategy: str | None = None,
         use_index: bool | None = None,
         workers: int | None = None,
+        backend: str | None = None,
     ) -> "ShardedRecommender":
         """Shard an already-fitted recommender (no retraining).
 
-        ``n_shards``/``strategy`` default to the recommender's config
-        (``n_shards``, ``shard_strategy``).
+        ``n_shards``/``strategy``/``backend`` default to the recommender's
+        config (``n_shards``, ``shard_strategy``, ``serve_backend``).
         """
         if trained.bihmm is None:
             raise ValueError("trained recommender must be fitted")
@@ -150,7 +189,7 @@ class ShardedRecommender:
             config=config,
         )
         plan = sharder.plan(trained.profiles, n_categories=trained.bihmm.n_categories)
-        return cls(trained, plan, use_index=use_index, workers=workers)
+        return cls(trained, plan, use_index=use_index, workers=workers, backend=backend)
 
     @classmethod
     def fit(
@@ -162,6 +201,7 @@ class ShardedRecommender:
         strategy: str | None = None,
         use_index: bool = True,
         workers: int | None = None,
+        backend: str | None = None,
         seed: int = 0,
     ) -> "ShardedRecommender":
         """Train once, then shard: the one-call serving bootstrap.
@@ -172,41 +212,98 @@ class ShardedRecommender:
         rec = SsRecRecommender(config=config, use_index=False, seed=seed)
         rec.fit(dataset, train_interactions)
         return cls.from_trained(
-            rec, n_shards=n_shards, strategy=strategy, use_index=use_index, workers=workers
+            rec,
+            n_shards=n_shards,
+            strategy=strategy,
+            use_index=use_index,
+            workers=workers,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
     # Fan-out plumbing
     # ------------------------------------------------------------------
+    def _pool_active(self) -> bool:
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        """Start the shard worker processes on first use (process backend).
+
+        Lazy start keeps construction cheap and lets a freshly unpickled
+        service (snapshots drop live pools) respawn transparently on its
+        next operation.  From the first start on, every mutation routes to
+        the workers, so the worker copies stay the single authority.
+        """
+        if self._pool is None:
+            from repro.serve.workers import ShardWorkerPool  # local: spawn-safe import
+
+            self._pool = ShardWorkerPool(self.shards)
+        return self._pool
+
     def _fan_out(self, call: Callable[[RecommenderShard], object]) -> list:
-        """Run ``call`` on every shard; threaded when workers > 1.
+        """Run ``call`` on every shard; threaded under the thread backend.
 
         Results come back in shard order either way, so merging is
         deterministic regardless of completion order.
         """
-        if self.workers > 1 and len(self.shards) > 1:
+        if self.backend == "thread" and len(self.shards) > 1:
             if self._executor is None:
+                max_workers = self.workers if self.workers > 1 else len(self.shards)
                 self._executor = ThreadPoolExecutor(
-                    max_workers=min(self.workers, len(self.shards)),
+                    max_workers=min(max_workers, len(self.shards)),
                     thread_name_prefix="repro-serve",
                 )
             return list(self._executor.map(call, self.shards))
         return [call(shard) for shard in self.shards]
 
-    # Thread pools cannot be pickled/deepcopied; drop and rebuild lazily.
+    # Thread/process pools cannot be pickled/deepcopied; drop and rebuild
+    # lazily.  ``save()`` collects worker state first, so pickled state is
+    # never stale.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_executor"] = None
+        state["_pool"] = None
         return state
 
-    def close(self) -> None:
-        """Release the fan-out thread pool (no-op when sequential).
+    def _sync_from_workers(self) -> None:
+        """Pull the authoritative shard objects back from the workers.
 
-        The service stays usable afterwards — the pool is rebuilt lazily
-        on the next threaded call.  Use this (or the context-manager form)
-        when constructing many worker-enabled services, e.g. a resharding
-        sweep, so discarded instances do not pin threads until GC.
+        Replaces the parent's stale shard mirrors and re-aliases the
+        global profile store to the collected profile objects, restoring
+        the shared-object invariant the in-process backends maintain
+        (an update through either view is seen by both).
         """
+        if self._pool is None:
+            return
+        self.shards = self._pool.collect_all()
+        for shard in self.shards:
+            for profile in shard.profiles:
+                self.profiles.add(profile)
+
+    def restart_workers(self) -> None:
+        """Rolling mid-stream restart of every shard worker process.
+
+        Each worker's live state is collected and a fresh process resumes
+        from it, bit-compatibly — the conformance harness replays this to
+        prove restarts are invisible in results.  No-op on the in-process
+        backends (they have no workers to restart).
+        """
+        if self.backend == "process":
+            self._ensure_pool().restart_all()
+
+    def close(self) -> None:
+        """Release fan-out resources (thread pool or worker processes).
+
+        The service stays usable afterwards — the process backend first
+        collects the live shard state back into the parent, and either
+        pool is rebuilt lazily on the next call.  Use this (or the
+        context-manager form) whenever a worker-enabled service is
+        discarded, so threads and processes are always released.
+        """
+        if self._pool is not None:
+            self._sync_from_workers()
+            self._pool.close()
+            self._pool = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -225,6 +322,9 @@ class ShardedRecommender:
         index's :meth:`SsRecRecommender.recommend` on the same state.
         ``k=None`` means ``default_k``; ``k=0`` yields an empty list."""
         k = self.config.default_k if k is None else int(k)
+        if self.backend == "process":
+            per_shard = self._ensure_pool().map("recommend", item, k)
+            return merge_top_k(per_shard, k)
         # Warm the shared expanded-query cache once so concurrent shard
         # lookups read instead of redundantly recomputing it.
         self.scorer.expanded_query(item)
@@ -239,6 +339,12 @@ class ShardedRecommender:
         items = list(items)
         if not items:
             return []
+        if self.backend == "process":
+            per_shard = self._ensure_pool().map("recommend_batch", items, k)
+            return [
+                merge_top_k([ranked_lists[i] for ranked_lists in per_shard], k)
+                for i in range(len(items))
+            ]
         for item in items:
             self.scorer.expanded_query(item)
         per_shard = self._fan_out(lambda shard: shard.recommend_batch(items, k))
@@ -251,8 +357,29 @@ class ShardedRecommender:
     # Stream updates
     # ------------------------------------------------------------------
     def observe_item(self, item: SocialItem) -> None:
-        """Register a newly streamed item once, in the shared model state."""
-        self.trained.observe_item(item)
+        """Register a newly streamed item once, in the shared model state.
+
+        Under the process backend the same mutation is also forwarded to
+        every worker's copy of the shared state (with the parent's
+        entity annotation shipped along, so workers need no extractor);
+        request ordering per worker matches the in-process call order, so
+        the worker state evolves bit-identically.
+        """
+        if self.backend == "process":
+            # Spawn before the parent-side mutation: workers must start
+            # from the pre-observe state, or the first observed item would
+            # be double-counted in their shipped scorer copies.
+            pool = self._ensure_pool()
+        mentions = self.trained.observe_item(item)
+        if self.backend == "process":
+            pool.map(
+                "observe",
+                int(item.producer),
+                int(item.item_id),
+                int(item.category),
+                mentions,
+                tuple(item.entities),
+            )
 
     #: ``observe`` is the serving-layer name for the same operation.
     observe = observe_item
@@ -260,7 +387,13 @@ class ShardedRecommender:
     def update(self, interaction: Interaction, item: SocialItem | None = None) -> None:
         """Route one interaction to the owning shard (new users included)."""
         user_id = int(interaction.user_id)
-        shard = self.shards[self.plan.shard_of(user_id)]
+        shard_id = self.plan.shard_of(user_id)
+        if self.backend == "process":
+            # The worker's shard store records (and creates) the profile;
+            # the parent's mirror is re-aliased on the next state sync.
+            self._ensure_pool().call(shard_id, "update", interaction, item)
+            return
+        shard = self.shards[shard_id]
         # Keep the global store and the shard store aliased to one object,
         # also for users joining mid-stream.
         profile = self.profiles.get_or_create(user_id)
@@ -271,6 +404,8 @@ class ShardedRecommender:
     def run_maintenance(self) -> int:
         """Flush every shard's pending Algorithm-2 work; returns profiles
         refreshed across shards."""
+        if self.backend == "process" and self._pool_active():
+            return sum(self._pool.map("maintenance"))
         return sum(shard.run_maintenance() for shard in self.shards)
 
     # ------------------------------------------------------------------
@@ -282,11 +417,17 @@ class ShardedRecommender:
 
     @property
     def n_users(self) -> int:
+        if self._pool_active():
+            return sum(self._pool.map("n_users"))
         return sum(shard.n_users for shard in self.shards)
 
     def metrics(self) -> list[dict]:
         """One summary row per shard (latency percentiles, candidate and
-        maintenance counts), plus the user count."""
+        maintenance counts), plus the user count.  With live worker
+        processes the rows come from the workers — serving happens there,
+        so that is where the counters accumulate."""
+        if self._pool_active():
+            return self._pool.map("metrics")
         rows = []
         for shard in self.shards:
             row = {"shard_id": shard.shard_id, "users": shard.n_users}
@@ -302,21 +443,28 @@ class ShardedRecommender:
     # ------------------------------------------------------------------
     def save(self, path) -> None:
         """Write a warm-startable snapshot directory (see
-        :mod:`repro.serve.snapshot`)."""
+        :mod:`repro.serve.snapshot`).
+
+        With live worker processes the authoritative shard state is
+        collected back first, so the snapshot is never stale."""
         from repro.serve.snapshot import save_snapshot
 
+        self._sync_from_workers()
         save_snapshot(self, path)
 
     @classmethod
-    def load(cls, path, workers: int | None = None) -> "ShardedRecommender":
+    def load(
+        cls, path, workers: int | None = None, backend: str | None = None
+    ) -> "ShardedRecommender":
         """Rebuild a service from a snapshot without retraining."""
         from repro.serve.snapshot import load_sharded
 
-        return load_sharded(path, workers=workers)
+        return load_sharded(path, workers=workers, backend=backend)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "index" if self.use_index else "scan"
         return (
             f"ShardedRecommender(shards={self.n_shards}, users={self.n_users}, "
-            f"mode={mode}, strategy={self.plan.strategy!r}, workers={self.workers})"
+            f"mode={mode}, strategy={self.plan.strategy!r}, "
+            f"backend={self.backend!r}, workers={self.workers})"
         )

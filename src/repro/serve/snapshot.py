@@ -162,21 +162,32 @@ def load_recommender(path) -> SsRecRecommender:
     return _trained_of(restored)
 
 
-def load_sharded(path, workers: int | None = None):
+def load_sharded(path, workers: int | None = None, backend: str | None = None):
     """Warm-start a :class:`~repro.serve.service.ShardedRecommender`.
 
     ``"sharded"`` snapshots restore their shards — indexes, pending
-    maintenance and plan — exactly as saved.  ``"ssrec"`` snapshots are
-    sharded on load using the config's ``n_shards``/``shard_strategy``.
+    maintenance and plan — exactly as saved (worker pools are never part
+    of a snapshot; the process backend respawns lazily on first use).
+    ``"ssrec"`` snapshots are sharded on load using the config's
+    ``n_shards``/``shard_strategy``.  ``backend`` overrides the restored
+    service's fan-out backend without touching its state.
     """
+    from repro.core.config import SERVE_BACKENDS
     from repro.serve.service import ShardedRecommender  # local: avoids cycle
 
+    if backend is not None and backend not in SERVE_BACKENDS:
+        raise ValueError(f"backend must be one of {SERVE_BACKENDS}, got {backend!r}")
     manifest = read_manifest(path)
     restored = _load_payload(path, manifest)
     if isinstance(restored, ShardedRecommender):
         if workers is not None:
             restored.workers = max(0, int(workers))
+        if backend is not None:
+            restored.backend = backend
         return restored
     return ShardedRecommender.from_trained(
-        restored, use_index=bool(manifest["use_index"]), workers=workers
+        restored,
+        use_index=bool(manifest["use_index"]),
+        workers=workers,
+        backend=backend,
     )

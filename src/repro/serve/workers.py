@@ -1,0 +1,307 @@
+"""Process-hosted shard workers: one OS process per :class:`RecommenderShard`.
+
+The thread backend of :class:`~repro.serve.service.ShardedRecommender`
+fans queries out on a ``ThreadPoolExecutor``, but the scoring work inside a
+shard is largely GIL-bound Python (best-first tree search, per-pair
+arithmetic), so threads barely parallelize it.  A :class:`ShardWorkerPool`
+hosts every shard in its *own process* instead — the Storm-worker layout
+the paper deploys on — so N shards score on N cores.
+
+Mechanics:
+
+- **Shipping.** Each worker receives its shard through the same pickle
+  serialization the snapshot layer uses (:mod:`repro.serve.snapshot`
+  pickles the live object graph); the warm-start tests prove this
+  round-trip preserves serving results bit for bit, which is what makes
+  the process backend exact.
+- **Transport.** One request queue and one reply queue per worker
+  (``multiprocessing`` queues under the ``spawn`` start method — the only
+  one that is safe on every platform and under NumPy/BLAS threading).
+  Every request produces exactly one reply and each worker serves its
+  queue FIFO, so the parent can pipeline a fan-out (send to all workers,
+  then collect in shard order) while mutation ordering stays identical to
+  the in-process backends.
+- **Authority.** Once the pool is running the *worker* copies are the
+  authoritative shard state; the parent's ``service.shards`` go stale
+  until :meth:`collect`/:meth:`collect_all` pull the live objects back
+  (the service does this before snapshots and on ``close()``).
+- **Restart.** :meth:`restart` collects a worker's state, stops the
+  process, and spawns a fresh one from the collected pickle — a rolling
+  mid-stream restart that the conformance harness replays to prove the
+  respawned worker continues bit-compatibly.
+
+Failures surface as :class:`ShardWorkerError` carrying the remote
+traceback; a dead worker is detected by liveness polling instead of
+hanging the parent forever.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_lib
+import time
+import traceback
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: Operations a worker understands (requests are ``(op, args)`` tuples).
+WORKER_OPS = (
+    "recommend",
+    "recommend_batch",
+    "update",
+    "observe",
+    "maintenance",
+    "metrics",
+    "n_users",
+    "probed_users",
+    "collect",
+    "stop",
+)
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process failed, died, or timed out."""
+
+
+def _apply_op(shard, op: str, args: tuple):
+    """Execute one request against the worker-local shard.
+
+    Mutating ops mirror exactly what the in-process backends do to the
+    same objects — ``observe`` replays the shared-state mutation of
+    ``SsRecRecommender.observe_item`` against the worker's copies of the
+    interest predictor and expander (the parent ships pre-annotated
+    mentions so the worker needs no extractor), ``update`` records through
+    the shard store (which creates profiles for users joining mid-stream,
+    matching the parent's ``get_or_create``-then-adopt path).
+    """
+    if op == "recommend":
+        item, k = args
+        return shard.recommend(item, k)
+    if op == "recommend_batch":
+        items, k = args
+        return shard.recommend_batch(items, k)
+    if op == "update":
+        interaction, item = args
+        shard.update(interaction, item)
+        return None
+    if op == "observe":
+        producer, item_id, category, mentions, entities = args
+        shard.scorer.interest.observe_new_item(producer, item_id, category)
+        expander = shard.scorer.expander
+        if expander is not None:
+            if mentions:
+                expander.observe(category, list(mentions))
+            else:
+                expander.observe_entity_list(category, list(entities))
+        return None
+    if op == "maintenance":
+        return shard.run_maintenance()
+    if op == "metrics":
+        row = {"shard_id": shard.shard_id, "users": shard.n_users}
+        row.update(shard.metrics.as_dict())
+        return row
+    if op == "n_users":
+        return shard.n_users
+    if op == "probed_users":
+        (item,) = args
+        if shard.index is None:
+            return set()
+        return shard.index.users_in_probed_trees(item)
+    if op == "collect":
+        return pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL)
+    raise ShardWorkerError(f"unknown worker op {op!r}")
+
+
+def _shard_worker_main(shard_blob: bytes, requests, replies) -> None:
+    """Worker process entry point: unpickle the shard, serve the queue.
+
+    Module-level so the ``spawn`` start method can import it by reference;
+    every exception is shipped back as an ``("err", traceback)`` reply
+    rather than killing the process, so one bad request does not lose the
+    shard state.
+    """
+    shard = pickle.loads(shard_blob)
+    while True:
+        op, args = requests.get()
+        if op == "stop":
+            replies.put(("ok", None))
+            break
+        try:
+            replies.put(("ok", _apply_op(shard, op, args)))
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent
+            replies.put(("err", f"{exc!r}\n{traceback.format_exc()}"))
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one shard worker."""
+
+    process: multiprocessing.process.BaseProcess
+    requests: object  # multiprocessing.Queue
+    replies: object  # multiprocessing.Queue
+
+
+class ShardWorkerPool:
+    """One spawn-safe OS process per shard, request/reply over queues.
+
+    Args:
+        shards: the :class:`~repro.serve.shard.RecommenderShard` objects to
+            host; worker ``i`` owns ``shards[i]`` (shard order is the reply
+            order of :meth:`map`, so merging stays deterministic).
+        reply_timeout: seconds to wait for one reply before declaring the
+            worker hung (liveness is polled, so a *dead* worker fails fast
+            regardless of this value).
+
+    The constructor spawns every worker immediately; construction returns
+    once the processes are launched (workers finish unpickling their shard
+    lazily — the first reply waits for it).
+    """
+
+    def __init__(self, shards: Sequence, reply_timeout: float = 300.0) -> None:
+        if not shards:
+            raise ValueError("ShardWorkerPool needs at least one shard")
+        self.reply_timeout = float(reply_timeout)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: list[_Worker] = []
+        self._closed = False
+        for shard in shards:
+            self._workers.append(self._spawn(shard))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, shard) -> _Worker:
+        blob = pickle.dumps(shard, protocol=pickle.HIGHEST_PROTOCOL)
+        requests = self._ctx.Queue()
+        replies = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(blob, requests, replies),
+            name=f"repro-shard-{shard.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        return _Worker(process=process, requests=requests, replies=replies)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def alive(self) -> bool:
+        """Every worker process is still running."""
+        return not self._closed and all(w.process.is_alive() for w in self._workers)
+
+    def restart(self, index: int) -> None:
+        """Collect worker ``index``'s live shard, stop it, respawn fresh.
+
+        The respawned worker starts from the exact pickled state of the old
+        one, so serving continues bit-compatibly mid-stream.
+        """
+        shard = self.collect(index)
+        self._stop_worker(self._workers[index])
+        self._workers[index] = self._spawn(shard)
+
+    def restart_all(self) -> None:
+        """Rolling restart of every worker (collect → stop → respawn)."""
+        for index in range(len(self._workers)):
+            self.restart(index)
+
+    def _stop_worker(self, worker: _Worker) -> None:
+        if worker.process.is_alive():
+            worker.requests.put(("stop", ()))
+            try:
+                self._reply_from(worker, len(self._workers))
+            except ShardWorkerError:
+                pass  # dying while stopping is not worth surfacing
+            worker.process.join(timeout=10.0)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+        for q in (worker.requests, worker.replies):
+            q.close()
+            q.cancel_join_thread()
+
+    def close(self) -> None:
+        """Stop every worker process and release the queues.
+
+        The pool is unusable afterwards; callers wanting the final shard
+        state must :meth:`collect_all` *before* closing (the service does).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            self._stop_worker(worker)
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Request/reply plumbing
+    # ------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ShardWorkerError("worker pool is closed")
+
+    def _reply_from(self, worker: _Worker, index: int):
+        deadline = time.monotonic() + self.reply_timeout
+        while True:
+            try:
+                status, value = worker.replies.get(timeout=0.2)
+            except queue_lib.Empty:
+                if not worker.process.is_alive():
+                    raise ShardWorkerError(
+                        f"shard worker {index} died "
+                        f"(exit code {worker.process.exitcode})"
+                    ) from None
+                if time.monotonic() > deadline:
+                    raise ShardWorkerError(
+                        f"shard worker {index} timed out after "
+                        f"{self.reply_timeout:.0f}s"
+                    ) from None
+                continue
+            if status == "ok":
+                return value
+            raise ShardWorkerError(f"shard worker {index} failed:\n{value}")
+
+    def call(self, index: int, op: str, *args):
+        """One request to one worker; blocks for the reply."""
+        self._require_open()
+        worker = self._workers[index]
+        worker.requests.put((op, args))
+        return self._reply_from(worker, index)
+
+    def map(self, op: str, *args) -> list:
+        """Send the same request to every worker, collect in shard order.
+
+        This is the fan-out primitive: all workers compute concurrently;
+        only the collection is sequential.
+        """
+        self._require_open()
+        for worker in self._workers:
+            worker.requests.put((op, args))
+        return [
+            self._reply_from(worker, index)
+            for index, worker in enumerate(self._workers)
+        ]
+
+    # ------------------------------------------------------------------
+    # State extraction
+    # ------------------------------------------------------------------
+    def collect(self, index: int):
+        """The live shard object of worker ``index`` (pickle round-trip)."""
+        return pickle.loads(self.call(index, "collect"))
+
+    def collect_all(self) -> list:
+        """Every worker's live shard, in shard order (workers pickle
+        concurrently; the parent unpickles as replies arrive)."""
+        return [pickle.loads(blob) for blob in self.map("collect")]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("alive" if self.alive else "degraded")
+        return f"ShardWorkerPool(workers={self.n_workers}, {state})"

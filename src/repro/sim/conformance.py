@@ -15,6 +15,10 @@ event sequences from byte-identical trained state (one ``fit``, one
 ``sharded-index-block``   ``ShardedRecommender``, block-aware plan, CPPse
                           shards — served per item and per batch, with one
                           snapshot save/reload mid-stream
+``sharded-scan-process``  ``ShardedRecommender``, hash plan, scan shards,
+                          **process backend** (one OS worker per shard) —
+                          served per item and per batch, with one rolling
+                          worker restart mid-stream
 ========================  =====================================================
 
 Checks per window (see :mod:`repro.sim.oracle` for why two predicates):
@@ -23,9 +27,10 @@ Checks per window (see :mod:`repro.sim.oracle` for why two predicates):
   the tie discipline (the oracle's scalar ``math.log`` and the matcher's
   SIMD ``np.log`` may disagree by one ULP, so anchoring to the
   independent oracle tolerates last-bit noise — never ranking changes);
-- ``scan-batch`` and ``sharded-scan-hash`` must equal ``scan-item``
-  **bit for bit** — same arithmetic, so batching and fan-out/merge must
-  not move a single bit;
+- ``scan-batch``, ``sharded-scan-hash`` and ``sharded-scan-process`` must
+  equal ``scan-item`` **bit for bit** — same arithmetic, so batching,
+  fan-out/merge, the pickle trip into worker processes and the mid-stream
+  worker restart must not move a single bit;
 - ``index-item`` must equal the oracle restricted to its probed candidate
   set (no false dismissals, Lemmas 1-2) within the tie discipline;
 - ``index-batch`` must equal ``index-item`` bit for bit;
@@ -64,6 +69,7 @@ CONFORMANCE_PATHS: tuple[str, ...] = (
     "index-batch",
     "sharded-scan-hash",
     "sharded-index-block",
+    "sharded-scan-process",
 )
 
 
@@ -94,6 +100,7 @@ class PathReport:
     divergences: int = 0
     serve_seconds: float = 0.0
     snapshot_reloads: int = 0
+    worker_restarts: int = 0
     first_divergence: Divergence | None = None
 
     @property
@@ -139,6 +146,8 @@ class ConformanceReport:
             reload_note = (
                 f" reloads={report.snapshot_reloads}" if report.snapshot_reloads else ""
             )
+            if report.worker_restarts:
+                reload_note += f" restarts={report.worker_restarts}"
             lines.append(
                 f"  {name:<22} windows={report.n_windows:<3} "
                 f"queries={report.n_queries:<4} divergences={report.divergences:<3} "
@@ -200,6 +209,10 @@ class ConformanceRunner:
         snapshot_window: before serving this window index, the sharded
             index path is saved to disk and reloaded — the warm-started
             service must continue bit-compatibly mid-stream.
+        restart_window: before serving this window index, the process
+            path's shard workers go through a rolling restart (collect →
+            stop → respawn) — the respawned workers must continue
+            bit-compatibly mid-stream.
     """
 
     def __init__(
@@ -212,6 +225,7 @@ class ConformanceRunner:
         config: SsRecConfig | None = None,
         paths: tuple[str, ...] = CONFORMANCE_PATHS,
         snapshot_window: int = 2,
+        restart_window: int = 2,
     ) -> None:
         unknown = sorted(set(paths) - set(CONFORMANCE_PATHS))
         if unknown:
@@ -228,6 +242,7 @@ class ConformanceRunner:
         self.config = config
         self.paths = tuple(name for name in CONFORMANCE_PATHS if name in paths)
         self.snapshot_window = int(snapshot_window)
+        self.restart_window = int(restart_window)
 
     # ------------------------------------------------------------------
     # Replica construction
@@ -246,6 +261,14 @@ class ConformanceRunner:
                     strategy="hash",
                     use_index=False,
                     workers=self.workers,
+                )
+            elif name == "sharded-scan-process":
+                recommender = ShardedRecommender.from_trained(
+                    replica,
+                    n_shards=self.n_shards,
+                    strategy="hash",
+                    use_index=False,
+                    backend="process",
                 )
             elif name == "sharded-index-block":
                 recommender = ShardedRecommender.from_trained(
@@ -340,6 +363,15 @@ class ConformanceRunner:
                 and window_index == self.snapshot_window
             ):
                 self._snapshot_reload(state, snapshot_dir)
+            if (
+                name == "sharded-scan-process"
+                and window_index == self.restart_window
+            ):
+                # Rolling worker restart: every shard worker is collected,
+                # stopped, and respawned from its own pickled state — the
+                # stream continues through the fresh processes.
+                state.recommender.restart_workers()
+                state.report.worker_restarts += 1
             results = self._serve(state, window)
             state.report.n_windows += 1
             state.report.n_queries += len(window) * (2 if state.is_sharded else 1)
@@ -368,7 +400,7 @@ class ConformanceRunner:
 
     #: Which family anchor (if replayed) each path must match bit for bit.
     _ANCHOR_OF = {"scan-batch": "scan-item", "sharded-scan-hash": "scan-item",
-                  "index-batch": "index-item"}
+                  "sharded-scan-process": "scan-item", "index-batch": "index-item"}
 
     def _judge(
         self,

@@ -1,0 +1,206 @@
+"""repro.bench: artifact schema validation and the regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchResult,
+    BenchSchemaError,
+    artifact_name,
+    compare_results,
+    load_result,
+    validate_result,
+)
+from repro.bench.__main__ import main as bench_main
+
+
+def make_result(**overrides) -> BenchResult:
+    fields = dict(
+        name="demo",
+        seed=7,
+        scale="small",
+        metrics={
+            "scan": {"items_per_sec": 100.0},
+            "index": {"items_per_sec": 40.0, "latency_ms": {"p95_ms": 3.0}},
+            "driver": {"seconds": 12.5},
+        },
+        checks={"parity_ok": True},
+    )
+    fields.update(overrides)
+    return BenchResult(**fields)
+
+
+class TestSchema:
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = make_result().write(tmp_path)
+        assert path.name == artifact_name("demo") == "BENCH_demo.json"
+        data = load_result(path)
+        assert data["metrics"]["scan"]["items_per_sec"] == 100.0
+        assert data["seed"] == 7
+        assert data["meta"]["cpu_count"] >= 1
+
+    def test_meta_captures_bench_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        result = make_result()
+        assert result.meta["env"]["REPRO_BENCH_SCALE"] == "small"
+
+    def test_rejects_empty_metrics(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="non-empty"):
+            make_result(metrics={}).write(tmp_path)
+
+    def test_rejects_path_without_comparable_metric(self, tmp_path):
+        bad = make_result(metrics={"scan": {"latency_ms": {"p95_ms": 1.0}}})
+        with pytest.raises(BenchSchemaError, match="items_per_sec"):
+            bad.write(tmp_path)
+
+    def test_rejects_negative_throughput(self):
+        with pytest.raises(BenchSchemaError, match="non-negative"):
+            validate_result(
+                make_result(metrics={"scan": {"items_per_sec": -1.0}}).to_dict()
+            )
+
+    def test_rejects_wrong_schema_version(self):
+        data = make_result().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(BenchSchemaError, match="schema_version"):
+            validate_result(data)
+
+    def test_error_lists_every_problem(self):
+        data = make_result(metrics={"scan": {}}).to_dict()
+        data["seed"] = "seven"
+        with pytest.raises(BenchSchemaError) as excinfo:
+            validate_result(data)
+        message = str(excinfo.value)
+        assert "seed must be an integer" in message
+        assert "metrics['scan']" in message
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="malformed JSON"):
+            load_result(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="unreadable"):
+            load_result(tmp_path / "BENCH_nope.json")
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        base = make_result().to_dict()
+        cur = make_result(metrics={
+            "scan": {"items_per_sec": 90.0},
+            "index": {"items_per_sec": 39.0, "latency_ms": {"p95_ms": 4.0}},
+            "driver": {"seconds": 20.0},
+        }).to_dict()
+        report = compare_results(base, cur, tolerance=0.15)
+        assert report.ok
+        # seconds and latency are informational, never gated.
+        gated = {(d.path, d.metric) for d in report.deltas if d.gated}
+        assert gated == {("scan", "items_per_sec"), ("index", "items_per_sec")}
+
+    def test_throughput_drop_fails(self):
+        base = make_result().to_dict()
+        cur = make_result(metrics={
+            "scan": {"items_per_sec": 50.0},
+            "index": {"items_per_sec": 40.0},
+            "driver": {"seconds": 12.0},
+        }).to_dict()
+        report = compare_results(base, cur, tolerance=0.15)
+        assert not report.ok
+        assert [d.path for d in report.regressions] == ["scan"]
+        assert "REGRESSED" in report.to_text()
+
+    def test_missing_path_fails(self):
+        base = make_result().to_dict()
+        cur = make_result(metrics={"scan": {"items_per_sec": 100.0}}).to_dict()
+        report = compare_results(base, cur)
+        assert not report.ok
+        assert "index" in report.missing_paths
+        assert "driver" in report.missing_paths
+
+    def test_new_paths_are_informational(self):
+        base = make_result(metrics={"scan": {"items_per_sec": 10.0}}).to_dict()
+        cur = make_result().to_dict()
+        report = compare_results(base, cur)
+        assert report.ok
+        assert set(report.new_paths) == {"index", "driver"}
+
+    def test_environment_mismatch_noted_but_not_gating(self):
+        base = make_result().to_dict()
+        cur = make_result().to_dict()
+        cur["meta"] = dict(cur["meta"], cpu_count=int(base["meta"]["cpu_count"]) + 3)
+        report = compare_results(base, cur)
+        # A different machine never fails the gate by itself, but the
+        # report must say the comparison is weakened.
+        assert report.ok
+        assert any("cpu_count" in note for note in report.environment_notes)
+        assert "note:" in report.to_text()
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(BenchSchemaError, match="compare like with like"):
+            compare_results(
+                make_result().to_dict(), make_result(name="other").to_dict()
+            )
+
+    def test_tolerance_validated(self):
+        base = make_result().to_dict()
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_results(base, base, tolerance=1.5)
+
+
+class TestCli:
+    def _write(self, directory, result):
+        directory.mkdir(parents=True, exist_ok=True)
+        return result.write(directory)
+
+    def test_compare_files_pass(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base", make_result())
+        cur = self._write(tmp_path / "cur", make_result())
+        assert bench_main(["compare", str(base), str(cur)]) == 0
+        assert "perf gate: PASS" in capsys.readouterr().out
+
+    def test_compare_directories_fail_on_regression(self, tmp_path, capsys):
+        self._write(tmp_path / "base", make_result())
+        self._write(
+            tmp_path / "cur",
+            make_result(metrics={
+                "scan": {"items_per_sec": 10.0},
+                "index": {"items_per_sec": 40.0},
+                "driver": {"seconds": 12.0},
+            }),
+        )
+        code = bench_main(
+            ["compare", str(tmp_path / "base"), str(tmp_path / "cur")]
+        )
+        assert code == 1
+        assert "perf gate: FAIL" in capsys.readouterr().out
+
+    def test_compare_directory_missing_current_artifact(self, tmp_path, capsys):
+        self._write(tmp_path / "base", make_result())
+        (tmp_path / "cur").mkdir()
+        assert bench_main(["compare", str(tmp_path / "base"), str(tmp_path / "cur")]) == 1
+        assert "NO current artifact" in capsys.readouterr().out
+
+    def test_compare_empty_baseline_dir_errors(self, tmp_path, capsys):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        assert bench_main(["compare", str(tmp_path / "base"), str(tmp_path / "cur")]) == 1
+        assert "no BENCH_*.json artifacts" in capsys.readouterr().out
+
+    def test_compare_mixed_file_and_dir_errors(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base", make_result())
+        assert bench_main(["compare", str(base), str(tmp_path / "base")]) == 1
+        assert "two files or two directories" in capsys.readouterr().out
+
+    def test_validate_good_and_bad(self, tmp_path, capsys):
+        good = self._write(tmp_path, make_result())
+        assert bench_main(["validate", str(good)]) == 0
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"name": "bad"}))
+        assert bench_main(["validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out

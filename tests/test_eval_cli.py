@@ -1,8 +1,39 @@
 """Tests for the command-line experiment runner."""
 
+from dataclasses import dataclass, field
+
 import pytest
 
-from repro.eval.__main__ import build_parser, main
+from repro.eval import experiments as ex
+from repro.eval.__main__ import ALL_EXPERIMENTS, build_parser, main
+
+
+@dataclass
+class _StubResult:
+    """Minimal stand-in for any driver result object."""
+
+    text: str = "stub output"
+    total_divergences: int = 0
+
+    def to_text(self) -> str:
+        return self.text
+
+
+@dataclass
+class _Recorder:
+    """Replaces one ``ex.run_*`` driver; records how it was called."""
+
+    result: _StubResult = field(default_factory=_StubResult)
+    calls: list = field(default_factory=list)
+
+    def __call__(self, *args, **kwargs):
+        self.calls.append((args, kwargs))
+        return self.result
+
+    @property
+    def kwargs(self) -> dict:
+        assert len(self.calls) == 1, "driver expected exactly one call"
+        return self.calls[0][1]
 
 
 class TestParser:
@@ -44,3 +75,122 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Sharded serving" in out
         assert "parity with single index: exact" in out
+
+
+class TestDispatch:
+    """Every subcommand reaches its driver with the CLI knobs threaded
+    through (drivers stubbed out — dispatch is what is under test)."""
+
+    @pytest.fixture
+    def fake_datasets(self, monkeypatch):
+        datasets = {name: object() for name in ("YTube", "SynYTube", "MLens", "SynMLens")}
+        recorder = _Recorder()
+
+        def make_datasets(scale, seed):
+            recorder.calls.append(((scale,), {"seed": seed}))
+            return datasets
+
+        monkeypatch.setattr(ex, "make_datasets", make_datasets)
+        return datasets, recorder
+
+    @pytest.mark.parametrize(
+        "experiment,driver",
+        [
+            ("fig5", "run_fig5"),
+            ("fig6", "run_fig6"),
+            ("fig7", "run_fig7"),
+            ("fig8", "run_fig8"),
+            ("fig9", "run_fig9"),
+            ("fig10", "run_fig10"),
+            ("batch", "run_batch_throughput"),
+            ("sharded", "run_sharded_throughput"),
+        ],
+    )
+    def test_single_dataset_dispatch(
+        self, monkeypatch, capsys, fake_datasets, experiment, driver
+    ):
+        datasets, dataset_recorder = fake_datasets
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, driver, recorder)
+        assert main([experiment, "--dataset", "MLens", "--seed", "11"]) == 0
+        assert "stub output" in capsys.readouterr().out
+        args, kwargs = recorder.calls[0]
+        assert args[0] is datasets["MLens"]
+        assert kwargs["seed"] == 11
+        # The same --seed drove the dataset generators.
+        assert dataset_recorder.calls[0][1]["seed"] == 11
+
+    def test_fig11_dispatch_gets_all_datasets(
+        self, monkeypatch, capsys, fake_datasets
+    ):
+        datasets, _ = fake_datasets
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_fig11", recorder)
+        assert main(["fig11", "--seed", "3"]) == 0
+        args, kwargs = recorder.calls[0]
+        assert args[0] is datasets
+        assert kwargs["seed"] == 3
+
+    def test_table2_threads_seed_into_generator(self, monkeypatch, capsys):
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_table2", recorder)
+        seen = {}
+
+        def fake_generate(config):
+            seen["seed"] = config.seed
+            return object()
+
+        import repro.eval.__main__ as cli
+
+        monkeypatch.setattr(cli, "generate_ytube", fake_generate)
+        assert main(["table2", "--seed", "23"]) == 0
+        assert seen["seed"] == 23
+
+    def test_min_truth_threaded(self, monkeypatch, capsys, fake_datasets):
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_fig8", recorder)
+        assert main(["fig8", "--min-truth", "5"]) == 0
+        assert recorder.kwargs["min_truth"] == 5
+
+    def test_all_experiments_covered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "batch", "sharded", "conformance",
+        }
+
+
+class TestConformanceCommand:
+    def test_threads_seed_k_scenarios_events(self, monkeypatch, capsys):
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_conformance", recorder)
+        assert (
+            main(
+                [
+                    "conformance",
+                    "--seed", "13",
+                    "--k", "4",
+                    "--scenarios", "bursty_uploads,abrupt_drift",
+                    "--events", "123",
+                ]
+            )
+            == 0
+        )
+        kwargs = recorder.kwargs
+        assert kwargs["seed"] == 13
+        assert kwargs["k"] == 4
+        assert kwargs["scenarios"] == ["bursty_uploads", "abrupt_drift"]
+        assert kwargs["max_events"] == 123
+        assert "stub output" in capsys.readouterr().out
+
+    def test_default_scenarios_is_full_catalog(self, monkeypatch, capsys):
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_conformance", recorder)
+        assert main(["conformance"]) == 0
+        assert recorder.kwargs["scenarios"] is None
+
+    def test_nonzero_exit_on_divergence(self, monkeypatch, capsys):
+        recorder = _Recorder(result=_StubResult(total_divergences=2))
+        monkeypatch.setattr(ex, "run_conformance", recorder)
+        # CI gates on this: any divergence must fail the process.
+        assert main(["conformance"]) == 1
+        assert "stub output" in capsys.readouterr().out

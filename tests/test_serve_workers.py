@@ -1,0 +1,231 @@
+"""Process backend: ShardWorkerPool mechanics and backend parity.
+
+Spawning a worker process is expensive (a fresh interpreter imports
+NumPy), so the parity-focused tests share one module-scoped process
+service and its sequential twin; lifecycle tests that must start/stop
+their own pools keep the shard count at 2.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.serve import ShardedRecommender, ShardWorkerError, ShardWorkerPool
+from repro.serve.workers import _apply_op
+
+
+@pytest.fixture(scope="module")
+def stream_slice(ytube_small, ytube_stream):
+    """A small serving burst: items plus their interaction payloads."""
+    items = ytube_stream.items_in_partition(2)[:10]
+    interactions = ytube_stream.partitions[2][:20]
+    item_by_id = {item.item_id: item for item in ytube_small.items}
+    return items, interactions, item_by_id
+
+
+@pytest.fixture(scope="module")
+def process_service(fitted_ssrec):
+    """One process-backed service over a deepcopy of the shared model."""
+    trained = copy.deepcopy(fitted_ssrec)
+    service = ShardedRecommender.from_trained(
+        trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+    )
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def sequential_twin(fitted_ssrec):
+    """The sequential-backend twin the process service must match."""
+    trained = copy.deepcopy(fitted_ssrec)
+    return ShardedRecommender.from_trained(
+        trained, n_shards=2, strategy="hash", use_index=False, backend="sequential"
+    )
+
+
+class TestBackendSelection:
+    def test_rejects_unknown_backend(self, fitted_ssrec):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            ShardedRecommender.from_trained(
+                fitted_ssrec, n_shards=2, backend="quantum"
+            )
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="serve_backend must be one of"):
+            SsRecConfig(serve_backend="quantum")
+
+    def test_legacy_workers_imply_thread_backend(self, fitted_ssrec):
+        service = ShardedRecommender.from_trained(
+            fitted_ssrec, n_shards=2, workers=2
+        )
+        assert service.backend == "thread"
+        service.close()
+
+    def test_default_backend_is_sequential(self, fitted_ssrec):
+        service = ShardedRecommender.from_trained(fitted_ssrec, n_shards=2)
+        assert service.backend == "sequential"
+
+    def test_backend_from_config(self, ytube_small, ytube_stream):
+        from repro.core.ssrec import SsRecRecommender
+
+        config = SsRecConfig(n_shards=2, serve_backend="process")
+        rec = SsRecRecommender(config=config, use_index=False, seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        service = ShardedRecommender.from_trained(rec)
+        assert service.backend == "process"
+        # No worker processes until the first operation needs them.
+        assert service._pool is None
+        service.close()
+
+
+class TestProcessParity:
+    """The process fan-out must not move a single bit vs sequential."""
+
+    def test_streamed_serving_bit_identical(
+        self, process_service, sequential_twin, stream_slice
+    ):
+        items, interactions, item_by_id = stream_slice
+        for i, item in enumerate(items):
+            process_service.observe_item(item)
+            sequential_twin.observe_item(item)
+            for inter in interactions[2 * i : 2 * i + 2]:
+                payload = item_by_id.get(inter.item_id)
+                process_service.update(inter, payload)
+                sequential_twin.update(inter, payload)
+            assert process_service.recommend(item, 6) == sequential_twin.recommend(
+                item, 6
+            )
+        assert process_service.recommend_batch(items, 6) == (
+            sequential_twin.recommend_batch(items, 6)
+        )
+
+    def test_worker_restart_continues_bit_identically(
+        self, process_service, sequential_twin, stream_slice
+    ):
+        items, _, _ = stream_slice
+        before = process_service.recommend_batch(items, 5)
+        process_service.restart_workers()
+        assert process_service.recommend_batch(items, 5) == before
+        assert before == sequential_twin.recommend_batch(items, 5)
+
+    def test_metrics_come_from_workers(self, process_service):
+        rows = process_service.metrics()
+        assert [row["shard_id"] for row in rows] == [0, 1]
+        # The module's serving traffic ran inside the workers.
+        assert sum(row["items_served"] for row in rows) > 0
+
+    def test_n_users_counts_worker_side_joins(
+        self, process_service, sequential_twin
+    ):
+        assert process_service.n_users == sequential_twin.n_users
+
+
+class TestPoolLifecycle:
+    def test_close_collects_worker_state(self, fitted_ssrec, ytube_stream):
+        trained = copy.deepcopy(fitted_ssrec)
+        items = ytube_stream.items_in_partition(2)[:4]
+        service = ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        )
+        expected = [service.recommend(item, 5) for item in items]
+        service.close()
+        assert service._pool is None
+        # The collected parent-side state serves identically (a fresh pool
+        # respawns lazily from it on the next call).
+        assert [service.recommend(item, 5) for item in items] == expected
+        service.close()
+
+    def test_snapshot_of_live_service_is_current(
+        self, fitted_ssrec, ytube_stream, ytube_small, tmp_path
+    ):
+        trained = copy.deepcopy(fitted_ssrec)
+        items = ytube_stream.items_in_partition(2)[:4]
+        interactions = ytube_stream.partitions[2][:10]
+        item_by_id = {item.item_id: item for item in ytube_small.items}
+        with ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        ) as service:
+            for inter in interactions:
+                service.update(inter, item_by_id.get(inter.item_id))
+            expected = service.recommend_batch(items, 5)
+            service.save(tmp_path / "snap")
+        restored = ShardedRecommender.load(tmp_path / "snap")
+        try:
+            assert restored.backend == "process"
+            assert restored.recommend_batch(items, 5) == expected
+        finally:
+            restored.close()
+
+    def test_load_backend_override(self, fitted_ssrec, tmp_path):
+        trained = copy.deepcopy(fitted_ssrec)
+        service = ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        )
+        service.save(tmp_path / "snap")
+        service.close()
+        restored = ShardedRecommender.load(tmp_path / "snap", backend="sequential")
+        assert restored.backend == "sequential"
+        with pytest.raises(ValueError, match="backend must be one of"):
+            ShardedRecommender.load(tmp_path / "snap", backend="quantum")
+
+    def test_dead_worker_raises(self, fitted_ssrec):
+        trained = copy.deepcopy(fitted_ssrec)
+        service = ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        )
+        pool = service._ensure_pool()
+        assert pool.alive
+        # Kill one worker behind the pool's back: the next call must fail
+        # loudly instead of hanging.
+        pool._workers[0].process.terminate()
+        pool._workers[0].process.join(timeout=10)
+        with pytest.raises(ShardWorkerError, match="died"):
+            pool.call(0, "n_users")
+        assert not pool.alive
+        pool.close()
+        service._pool = None  # closed manually; nothing left to collect
+
+    def test_closed_pool_rejects_requests(self, fitted_ssrec):
+        trained = copy.deepcopy(fitted_ssrec)
+        service = ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        )
+        pool = service._ensure_pool()
+        service.close()
+        with pytest.raises(ShardWorkerError, match="closed"):
+            pool.call(0, "n_users")
+
+    def test_pool_requires_shards(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardWorkerPool([])
+
+
+class TestWorkerOps:
+    """The worker-side dispatcher, exercised in-process."""
+
+    def test_unknown_op_rejected(self, fitted_ssrec):
+        service = ShardedRecommender.from_trained(fitted_ssrec, n_shards=2)
+        with pytest.raises(ShardWorkerError, match="unknown worker op"):
+            _apply_op(service.shards[0], "teleport", ())
+
+    def test_remote_error_carries_traceback(self, fitted_ssrec):
+        trained = copy.deepcopy(fitted_ssrec)
+        service = ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        )
+        pool = service._ensure_pool()
+        with pytest.raises(ShardWorkerError, match="unknown worker op"):
+            pool.call(0, "teleport")
+        # The worker survives a failed request.
+        assert pool.call(0, "n_users") == service.shards[0].n_users
+        service.close()
+
+    def test_probed_users_empty_without_index(self, fitted_ssrec, ytube_stream):
+        service = ShardedRecommender.from_trained(
+            fitted_ssrec, n_shards=2, use_index=False
+        )
+        item = ytube_stream.items_in_partition(2)[0]
+        assert _apply_op(service.shards[0], "probed_users", (item,)) == set()

@@ -21,9 +21,13 @@ from repro.sim import (
 def reports(ytube_small):
     """Two adversarial scenarios replayed through the full path matrix:
     cold-start users exercise zero-interaction profiles and mid-stream
-    joins; the maintenance storm exercises Algorithm-2 boundaries."""
+    joins; the maintenance storm exercises Algorithm-2 boundaries.  The
+    matrix includes the process backend with its rolling mid-stream
+    worker restart (restart_window=1)."""
     generator = ScenarioGenerator(base=ytube_small, seed=5, max_events=240)
-    runner = ConformanceRunner(k=6, window_size=6, n_shards=3, snapshot_window=1)
+    runner = ConformanceRunner(
+        k=6, window_size=6, n_shards=3, snapshot_window=1, restart_window=1
+    )
     return {
         name: runner.run(generator.generate(name))
         for name in ("cold_start_users", "maintenance_storm")
@@ -46,6 +50,10 @@ class TestConformance:
     def test_snapshot_reloaded_mid_stream(self, reports):
         for report in reports.values():
             assert report.paths["sharded-index-block"].snapshot_reloads == 1
+
+    def test_workers_restarted_mid_stream(self, reports):
+        for report in reports.values():
+            assert report.paths["sharded-scan-process"].worker_restarts == 1
 
     def test_report_renders(self, reports):
         for report in reports.values():
