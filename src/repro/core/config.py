@@ -65,6 +65,13 @@ class SsRecConfig:
             (GIL-bound thread pool) or ``"process"`` (one OS process per
             shard; see :mod:`repro.serve.workers`).  Results are
             bit-identical across backends; only the cost profile differs.
+        result_cache: serve through the ``*-cached`` execution-plan
+            variants (:mod:`repro.exec.cache`) — an exact LRU memo of
+            final ranked lists keyed on item signature and the mutation
+            epoch, so cached results are bit-identical to uncached
+            serving (conformance-enforced); only repeated deliveries get
+            cheaper.
+        result_cache_size: LRU capacity of the plan-level result cache.
     """
 
     window_size: int = 5
@@ -90,6 +97,8 @@ class SsRecConfig:
     shard_strategy: str = "block"
     serve_workers: int = 0
     serve_backend: str = "sequential"
+    result_cache: bool = False
+    result_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
@@ -123,6 +132,10 @@ class SsRecConfig:
             raise ValueError(
                 f"serve_backend must be one of {SERVE_BACKENDS}, "
                 f"got {self.serve_backend!r}"
+            )
+        if self.result_cache_size < 1:
+            raise ValueError(
+                f"result_cache_size must be >= 1, got {self.result_cache_size}"
             )
 
     def with_options(self, **overrides) -> "SsRecConfig":

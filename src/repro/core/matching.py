@@ -177,6 +177,10 @@ class VectorizedMatcher:
         self._user_id_array: np.ndarray | None = None
         self._row_of: dict[int, int] = {}
         self._versions: dict[int, int] = {}
+        # Store-version the rows were last synced at; lets sync() answer
+        # "nothing changed" in O(1) instead of sweeping every profile's
+        # version counter per query (None = never synced).
+        self._synced_store_version: int | None = None
         # Column caches for the batched path, valid for one data epoch (any
         # refreshed/added row invalidates them — the underlying count
         # matrices changed).
@@ -257,9 +261,22 @@ class VectorizedMatcher:
         self._data_epoch += 1
 
     def sync(self) -> None:
-        """Bring every registered profile's row up to date."""
+        """Bring every registered profile's row up to date.
+
+        Fast path: when the store's mutation counter is unchanged since
+        the last sync, nothing can be stale and the per-profile sweep is
+        skipped entirely — per-item serving otherwise pays an O(U)
+        version scan on every query.  The contract this rests on: all
+        profile mutations route through the :class:`ProfileStore`
+        (``record``/``add``/``get_or_create``); out-of-band mutation of a
+        profile object must be followed by ``store.touch()``.
+        """
+        store_version = getattr(self.profiles, "version", None)
+        if store_version is not None and store_version == self._synced_store_version:
+            return
         for profile in self.profiles:
             self._refresh_row(profile)
+        self._synced_store_version = store_version
 
     @property
     def user_ids(self) -> list[int]:
@@ -457,6 +474,12 @@ class VectorizedMatcher:
         else:
             order = np.lexsort((user_ids, -scores))
         return [(int(user_ids[i]), float(scores[i])) for i in order[:k]]
+
+    def select_top_k(self, scores: np.ndarray, k: int) -> list[tuple[int, float]]:
+        """Public selection entry point for the execution-plan layer
+        (:class:`repro.exec.ops.TopKSelectOp`); same contract as
+        :meth:`_select_top_k`."""
+        return self._select_top_k(scores, k)
 
     def top_k(self, item: SocialItem, k: int, lambda_s: float | None = None) -> list[tuple[int, float]]:
         """Top-``k`` ``(user_id, score)`` pairs, ties broken by user id."""

@@ -196,6 +196,17 @@ class ProfileStore:
     def __init__(self, window_size: int = 5) -> None:
         self.window_size = int(window_size)
         self._profiles: dict[int, UserProfile] = {}
+        #: Store-level mutation counter: bumped whenever a profile is
+        #: created, adopted or recorded through the store.  Mirrors (the
+        #: vectorized matcher) use it as an O(1) are-we-current check
+        #: before falling back to the per-profile version sweep.  Code
+        #: that mutates a profile object *directly* must call
+        #: :meth:`touch` so mirrors notice.
+        self.version = 0
+
+    def touch(self) -> None:
+        """Mark the population dirty (a profile changed out of band)."""
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._profiles)
@@ -216,6 +227,7 @@ class ProfileStore:
         if profile is None:
             profile = UserProfile(user_id, window_size=self.window_size)
             self._profiles[int(user_id)] = profile
+            self.version += 1
         return profile
 
     def add(self, profile: UserProfile) -> None:
@@ -227,6 +239,7 @@ class ProfileStore:
         either view is seen by both.
         """
         self._profiles[int(profile.user_id)] = profile
+        self.version += 1
 
     def user_ids(self) -> list[int]:
         return sorted(self._profiles)
@@ -235,4 +248,5 @@ class ProfileStore:
         """Record an event for ``user_id``; returns (profile, flushed)."""
         profile = self.get_or_create(user_id)
         flushed = profile.record(event)
+        self.version += 1
         return profile, flushed

@@ -68,6 +68,12 @@ class SsRecRecommender:
         self.maintenance_interval = self.config.maintenance_interval
         self._updates_since_maintenance = 0
         self._fitted = False
+        # Execution-plan state (repro.exec): the compiled pipeline serving
+        # runs through, the mutation epoch that invalidates cached results,
+        # and the plan-level result cache for the *-cached plan variants.
+        self.exec_epoch = 0
+        self._result_cache_enabled = self.config.result_cache
+        self._compiled = None  # CompiledPlan, built lazily per current state
 
     # ------------------------------------------------------------------
     # Training
@@ -187,6 +193,7 @@ class SsRecRecommender:
                 config=self.config,
             )
         self._fitted = True
+        self._compiled = None  # state shape changed: recompile on next serve
         return self
 
     def _require_fitted(self) -> None:
@@ -214,6 +221,7 @@ class SsRecRecommender:
         self.use_index = True
         self._maintenance_pending.clear()
         self._updates_since_maintenance = 0
+        self._compiled = None  # candidate source changed: recompile
         return self
 
     # ------------------------------------------------------------------
@@ -249,6 +257,7 @@ class SsRecRecommender:
         self._require_fitted()
         event = ProfileEvent.from_interaction(interaction, item)
         profile, _ = self.profiles.record(interaction.user_id, event)
+        self.exec_epoch += 1  # scores may move: orphan cached results
         if self.index is not None:
             self._maintenance_pending.add(profile.user_id)
             self._updates_since_maintenance += 1
@@ -261,6 +270,7 @@ class SsRecRecommender:
         Returns the number of user profiles refreshed.
         """
         self._require_fitted()
+        self.exec_epoch += 1  # Algorithm-2 flush: orphan cached results
         if self.index is None or not self._maintenance_pending:
             self._maintenance_pending.clear()
             self._updates_since_maintenance = 0
@@ -270,23 +280,66 @@ class SsRecRecommender:
         self._updates_since_maintenance = 0
         return updated
 
+    # ------------------------------------------------------------------
+    # Serving (thin facade over the compiled execution plan)
+    # ------------------------------------------------------------------
+    def executor(self):
+        """The compiled execution plan serving runs through.
+
+        The plan is derived from the current state and config by
+        :meth:`repro.exec.PlanRegistry.for_config` (candidate source from
+        the attached index, caching from ``result_cache``) and compiled
+        once; structural changes (``fit``, :meth:`attach_index`,
+        :meth:`enable_result_cache`) drop it for lazy recompilation.
+        """
+        if self._compiled is None:
+            from repro.exec import (  # local: avoids cycle
+                PLAN_REGISTRY,
+                Placement,
+                compile_plan,
+            )
+
+            # Placement is pinned to local: this facade serves in-process
+            # even when its config carries a sharded deployment shape (a
+            # snapshot loaded for single-node serving, say) — sharding is
+            # the ShardedRecommender's job.
+            plan = PLAN_REGISTRY.for_axes(
+                use_index=self.index is not None,
+                placement=Placement.local(),
+                cached=self._result_cache_enabled,
+            )
+            self._compiled = compile_plan(plan, self)
+        return self._compiled
+
+    def enable_result_cache(self, enabled: bool = True) -> "SsRecRecommender":
+        """Switch serving to (or from) the ``*-cached`` plan variant.
+
+        The cache is exact — results stay bit-identical to uncached
+        serving (see :mod:`repro.exec.cache`); only repeated deliveries
+        between mutations get cheaper.
+        """
+        self._result_cache_enabled = bool(enabled)
+        self._compiled = None
+        return self
+
+    def result_cache_stats(self) -> dict | None:
+        """Hit/miss/eviction counters of the live result cache (None when
+        serving uncached)."""
+        compiled = self._compiled
+        if compiled is None or compiled.result_cache is None:
+            return None
+        return compiled.result_cache.stats.as_dict()
+
     def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
         """Top-``k`` ``(user_id, score)`` for an incoming item (Eq. 3 order).
 
         ``k=None`` means the configured ``default_k``; an explicit ``k=0``
         is an empty recommendation window and yields an empty list.
+        Execution — candidate admission, the Algorithm-2 serve-time flush,
+        scoring, selection, caching — is entirely the compiled plan's.
         """
         self._require_fitted()
-        assert self.matcher is not None
-        k = self.config.default_k if k is None else int(k)
-        if self.index is not None:
-            # Serve fresh results: apply any pending profile maintenance
-            # before querying (queries between maintenance cycles would
-            # otherwise see slightly stale signatures).
-            if self._maintenance_pending:
-                self.run_maintenance()
-            return self.index.knn(item, k)
-        return self.matcher.top_k(item, k)
+        return self.executor().run_item(item, k)
 
     def recommend_batch(
         self, items: Sequence[SocialItem], k: int | None = None
@@ -294,26 +347,25 @@ class SsRecRecommender:
         """Top-``k`` lists for a micro-batch of items, one per input item.
 
         Result-identical to calling :meth:`recommend` per item on the same
-        profile state, but the serving cost is amortized across the window:
-        one profile sync / maintenance flush for the whole batch, shared
-        smoothed columns in scan mode, shared query encodings and sigtree
-        descents in index mode.
+        profile state, but the compiled plan's batch entry amortizes the
+        serving cost across the window: one profile sync / maintenance
+        flush, shared smoothed columns in scan mode, shared query
+        encodings and sigtree descents in index mode.
         """
         self._require_fitted()
-        assert self.matcher is not None
-        k = self.config.default_k if k is None else int(k)
-        items = list(items)
-        if not items:
-            return []
-        if self.index is not None:
-            if self._maintenance_pending:
-                self.run_maintenance()
-            return self.index.knn_batch(items, k)
-        return self.matcher.top_k_batch(items, k)
+        return self.executor().run_batch(items, k)
 
     # ------------------------------------------------------------------
     # Persistence (delegates to the serving layer's snapshot format)
     # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Snapshots and replicas drop the compiled plan (it holds live
+        object references and an in-memory result cache); it recompiles
+        lazily — empty cache, same plan — on the next serve."""
+        state = dict(self.__dict__)
+        state["_compiled"] = None
+        return state
+
     def save(self, path) -> None:
         """Write a warm-startable snapshot (see :mod:`repro.serve.snapshot`)."""
         from repro.serve.snapshot import save_snapshot  # local: avoids cycle

@@ -66,6 +66,13 @@ class EntityExpander:
         self._credit: dict[int, dict[int, dict[int, float]]] = defaultdict(
             lambda: defaultdict(lambda: defaultdict(float))
         )
+        # Memo of expand() results, valid for one observation version:
+        # ranking an anchor's full co-occurrence list is O(R log R) and
+        # popular anchors recur across the items of a serving window, so
+        # between observes the sort is paid once per (category, anchor).
+        self._version = 0
+        self._expand_cache: dict[tuple[int, int], list[Expansion]] = {}
+        self._expand_cache_version = -1
 
     # The lambda-backed defaultdict chain cannot be pickled; snapshots
     # (repro.serve.snapshot) serialize the credit graph as plain dicts and
@@ -76,6 +83,7 @@ class EntityExpander:
             cat: {anchor: dict(related) for anchor, related in by_cat.items()}
             for cat, by_cat in self._credit.items()
         }
+        state["_expand_cache"] = {}  # rebuilt lazily after load
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -102,6 +110,7 @@ class EntityExpander:
                 credit = proximity_credit(distance, self.alpha)
                 by_cat[a.entity_id][b.entity_id] += credit
                 by_cat[b.entity_id][a.entity_id] += credit
+        self._version += 1  # rankings may shift: invalidate the expand memo
 
     def observe_entity_list(self, category: int, entity_ids: Sequence[int]) -> None:
         """Convenience: observe entities as adjacent mentions (distance by rank).
@@ -120,10 +129,25 @@ class EntityExpander:
         the best-related entity has weight 1 scaled down by ``damping``
         toward the paper's (0,1) expansion-weight range; entities below
         ``min_weight`` or beyond ``max_expansions`` are dropped.
+
+        Results are memoized per (category, anchor) until the next
+        :meth:`observe`; treat the returned list as immutable.
         """
         if self.max_expansions == 0:
             return []
-        related = self._credit.get(int(category), {}).get(int(entity_id))
+        if self._expand_cache_version != self._version:
+            self._expand_cache.clear()
+            self._expand_cache_version = self._version
+        key = (int(category), int(entity_id))
+        cached = self._expand_cache.get(key)
+        if cached is not None:
+            return cached
+        expansions = self._expand_uncached(key[0], key[1])
+        self._expand_cache[key] = expansions
+        return expansions
+
+    def _expand_uncached(self, category: int, entity_id: int) -> list[Expansion]:
+        related = self._credit.get(category, {}).get(entity_id)
         if not related:
             return []
         max_credit = max(related.values())

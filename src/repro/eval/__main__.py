@@ -10,17 +10,25 @@ Regenerate any of the paper's tables/figures from the shell::
     python -m repro.eval fig11
 
 Beyond the paper, ``batch`` measures the batched serving path, ``sharded``
-sweeps the sharded serving runtime, and ``conformance`` replays the
-adversarial scenario catalog through every serving path against the naive
-oracle (exit status 1 on any divergence — CI gates on it)::
+sweeps the sharded serving runtime, ``cache`` measures the plan-level
+result cache on duplicate-heavy delivery, and ``conformance`` replays the
+adversarial scenario catalog through every registered execution plan
+against the naive oracle (exit status 1 on any divergence — CI gates on
+it)::
 
     python -m repro.eval batch --dataset YTube --scale default
     python -m repro.eval sharded --dataset YTube --scale default
+    python -m repro.eval cache --scale default
     python -m repro.eval conformance
     python -m repro.eval conformance --scenarios bursty_uploads,abrupt_drift --events 300
+    python -m repro.eval conformance --paths scan-item,scan-item-cached,index-batch
+    python -m repro.eval conformance --list-paths
 
-``--scale`` controls the dataset size (small | default | paper_shape);
-``--dataset`` picks one of the four Table III datasets where applicable.
+``--paths`` accepts plan names from the registry (``--list-paths`` prints
+it, one line per plan — the conformance catalog is registry-derived, so
+newly registered plans appear automatically).  ``--scale`` controls the
+dataset size (small | default | paper_shape); ``--dataset`` picks one of
+the four Table III datasets where applicable.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from repro.datasets.ytube import YTubeConfig, generate_ytube
 from repro.eval import experiments as ex
 
 SINGLE_DATASET_EXPERIMENTS = {
-    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch", "sharded",
+    "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch", "sharded", "cache",
 }
 ALL_EXPERIMENTS = sorted(
     SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11", "conformance"}
@@ -83,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="conformance only: recommendation depth per query (default: 10)",
     )
+    parser.add_argument(
+        "--paths",
+        default=None,
+        help="conformance only: comma-separated execution-plan names from "
+        "the registry (default: every conformance-marked plan)",
+    )
+    parser.add_argument(
+        "--list-paths",
+        action="store_true",
+        help="conformance only: print the plan registry (one line per "
+        "plan) and exit",
+    )
     return parser
 
 
@@ -96,12 +116,19 @@ def main(argv: list[str] | None = None) -> int:
         print(ex.run_table3(scale=args.scale, seed=args.seed).to_text())
         return 0
     if args.experiment == "conformance":
+        if args.list_paths:
+            from repro.exec import PLAN_REGISTRY
+
+            print(PLAN_REGISTRY.describe())
+            return 0
         names = args.scenarios.split(",") if args.scenarios else None
+        paths = args.paths.split(",") if args.paths else None
         result = ex.run_conformance(
             scenarios=names,
             seed=args.seed,
             k=args.k,
             max_events=args.events,
+            paths=paths,
         )
         print(result.to_text())
         # Non-zero exit on any divergence: CI gates on this.
@@ -132,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
         result = ex.run_batch_throughput(dataset, seed=args.seed)
     elif args.experiment == "sharded":
         result = ex.run_sharded_throughput(dataset, seed=args.seed)
+    elif args.experiment == "cache":
+        result = ex.run_result_cache(base=dataset, seed=args.seed)
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.experiment)
     print(result.to_text())

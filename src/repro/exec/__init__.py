@@ -1,0 +1,80 @@
+"""The unified execution-plan core: one planner/operator pipeline behind
+every recommend path.
+
+- :mod:`repro.exec.plan` — :class:`ExecPlan`, :class:`Placement` and the
+  :class:`PlanRegistry` (``PLAN_REGISTRY`` is the process-wide default);
+- :mod:`repro.exec.ops` — the composable operators plans compile into;
+- :mod:`repro.exec.compile` — ``compile_plan`` / ``as_executor`` and the
+  shared ``coerce_k`` request prologue;
+- :mod:`repro.exec.cache` — the plan-level exact result cache backing the
+  ``*-cached`` plan variants.
+
+See docs/ARCHITECTURE.md §10 for the operator diagram and the
+how-to-add-a-plan recipe.
+"""
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.compile import CompiledPlan, as_executor, coerce_k, compile_plan
+from repro.exec.ops import (
+    CandidateOp,
+    CppseKnnOp,
+    CppseProbeCandidateOp,
+    ExecContext,
+    FanoutOp,
+    FullScanCandidateOp,
+    MergeOp,
+    OracleScoreOp,
+    OracleSelectOp,
+    PreRankedSelectOp,
+    ResultCacheOp,
+    ScoreOp,
+    SelectOp,
+    ServeOp,
+    TopKSelectOp,
+    VectorizedScoreOp,
+    flush_pending_maintenance,
+)
+from repro.exec.plan import (
+    BATCHINGS,
+    CANDIDATE_SOURCES,
+    PLACEMENT_KINDS,
+    PLAN_REGISTRY,
+    SCORINGS,
+    ExecPlan,
+    Placement,
+    PlanRegistry,
+)
+
+__all__ = [
+    "BATCHINGS",
+    "CANDIDATE_SOURCES",
+    "CacheStats",
+    "CandidateOp",
+    "CompiledPlan",
+    "CppseKnnOp",
+    "CppseProbeCandidateOp",
+    "ExecContext",
+    "ExecPlan",
+    "FanoutOp",
+    "FullScanCandidateOp",
+    "MergeOp",
+    "OracleScoreOp",
+    "OracleSelectOp",
+    "PLACEMENT_KINDS",
+    "PLAN_REGISTRY",
+    "Placement",
+    "PlanRegistry",
+    "PreRankedSelectOp",
+    "ResultCache",
+    "ResultCacheOp",
+    "SCORINGS",
+    "ScoreOp",
+    "SelectOp",
+    "ServeOp",
+    "TopKSelectOp",
+    "VectorizedScoreOp",
+    "as_executor",
+    "coerce_k",
+    "compile_plan",
+    "flush_pending_maintenance",
+]

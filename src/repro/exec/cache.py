@@ -1,0 +1,122 @@
+"""Plan-level result caching: exact top-k memoization with epoch invalidation.
+
+:class:`ResultCache` memoizes final ranked lists keyed on the *item
+signature* (id, category, producer, declared entities), the requested
+``k``, and the owning facade's **mutation epoch** — a counter the facades
+bump on every profile update and on every Algorithm-2 maintenance flush.
+Because the epoch is part of the key, any mutation that could move a
+score instantly orphans every earlier entry: a hit can only be served
+for state that is bit-identical to the state the entry was computed
+under, so cached plans are exact, not approximate (the conformance
+harness replays the ``*-cached`` plans bit-for-bit against their
+uncached anchors).
+
+What deliberately does **not** bump the epoch: ``observe_item``.  A new
+upload advances the producer layer and the entity expander, but neither
+changes the score of an *already-queried* item against the *current*
+profile state — expanded queries are frozen per item id in the scorer's
+query cache, and the interest predictor's per-user distributions are
+keyed on the profile version counters, which only move on interaction
+updates.  Re-serving a redelivered item therefore legally hits even when
+fresh uploads arrived in between (the duplicate/out-of-order scenario's
+bread and butter).
+
+Orphaned entries are not swept eagerly; the LRU discipline retires them
+as fresh results land (``max_entries`` bounds the footprint either way).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.datasets.schema import SocialItem
+
+#: Cache key: (item id, category, producer, declared entities, k, epoch).
+CacheKey = tuple[int, int, int, tuple[int, ...], int, int]
+
+RankedList = list[tuple[int, float]]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """LRU memo of exact ranked lists, invalidated by the mutation epoch.
+
+    Args:
+        max_entries: LRU capacity; the oldest entry is evicted when a new
+            result lands in a full cache.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, RankedList]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(item: SocialItem, k: int, epoch: int) -> CacheKey:
+        """The full cache key of one query against one state epoch."""
+        return (
+            int(item.item_id),
+            int(item.category),
+            int(item.producer),
+            tuple(int(e) for e in item.entities),
+            int(k),
+            int(epoch),
+        )
+
+    def lookup(self, key: CacheKey) -> RankedList | None:
+        """The memoized ranked list, or None on a miss.
+
+        Hits return a *copy* so callers can mutate their result list
+        without corrupting the memo (the uncached paths also return a
+        fresh list per call).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return list(entry)
+
+    def store(self, key: CacheKey, ranked: RankedList) -> None:
+        """Memoize one computed ranked list (evicting LRU on overflow)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = list(ranked)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe the run)."""
+        self._entries.clear()

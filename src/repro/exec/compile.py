@@ -1,0 +1,179 @@
+"""Plan compilation: bind an :class:`~repro.exec.plan.ExecPlan` to live state.
+
+``compile_plan(plan, owner)`` turns a declarative plan into a
+:class:`CompiledPlan` — the operator pipeline the facades actually serve
+through.  The ``owner`` is the state holder the operators wrap:
+
+- local plans bind to a fitted :class:`~repro.core.ssrec.SsRecRecommender`
+  (its ``matcher``, ``index``, pending-maintenance set and mutation
+  epoch);
+- sharded plans bind to a :class:`~repro.serve.service.ShardedRecommender`
+  (its shards, fan-out backend and mutation epoch).
+
+The shared request prologue — ``k`` coercion (None means the config's
+``default_k``; an explicit ``k=0`` stays an empty window) and the
+empty-batch short-circuit — lives here, once, instead of once per facade
+method.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.config import SsRecConfig
+from repro.datasets.schema import SocialItem
+from repro.exec.cache import ResultCache
+from repro.exec.ops import (
+    CppseKnnOp,
+    CppseProbeCandidateOp,
+    ExecContext,
+    FanoutOp,
+    FullScanCandidateOp,
+    MergeOp,
+    OracleScoreOp,
+    OracleSelectOp,
+    PreRankedSelectOp,
+    ResultCacheOp,
+    ServeOp,
+    TopKSelectOp,
+    VectorizedScoreOp,
+)
+from repro.exec.plan import ExecPlan
+
+RankedList = list[tuple[int, float]]
+
+
+def coerce_k(k: int | None, config: SsRecConfig) -> int:
+    """The one ``k`` rule every recommend entry point shares:
+    ``None`` means the configured ``default_k``; an explicit ``k=0`` is
+    an empty recommendation window (and stays 0)."""
+    return config.default_k if k is None else int(k)
+
+
+class CompiledPlan:
+    """An operator pipeline bound to live state, ready to serve.
+
+    Exposes both entry points regardless of the plan's primary
+    ``batching`` axis — per-item and micro-batched serving are
+    bit-identical on the same state, only the cost profile differs.
+
+    Attributes:
+        plan: the declarative plan this pipeline implements.
+        owner: the bound facade (state holder).
+        ops: the stage list, applied in order.
+        result_cache: the plan-level cache (None for uncached plans).
+    """
+
+    def __init__(
+        self,
+        plan: ExecPlan,
+        owner,
+        ops: Sequence[ServeOp],
+        result_cache: ResultCache | None = None,
+    ) -> None:
+        self.plan = plan
+        self.owner = owner
+        self.ops = list(ops)
+        self.result_cache = result_cache
+
+    def run_item(self, item: SocialItem, k: int | None = None) -> RankedList:
+        """Top-``k`` ``(user_id, score)`` for one item."""
+        ctx = ExecContext([item], coerce_k(k, self.owner.config))
+        for op in self.ops:
+            op.run_item(ctx)
+        assert ctx.ranked is not None
+        return ctx.ranked[0]
+
+    def run_batch(
+        self, items: Sequence[SocialItem], k: int | None = None
+    ) -> list[RankedList]:
+        """Per-item top-``k`` lists for a micro-batch (empty in, empty out)."""
+        items = list(items)
+        if not items:
+            return []
+        ctx = ExecContext(items, coerce_k(k, self.owner.config))
+        for op in self.ops:
+            op.run_batch(ctx)
+        assert ctx.ranked is not None
+        return ctx.ranked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stages = " -> ".join(type(op).__name__ for op in self.ops)
+        return f"CompiledPlan({self.plan.name!r}: {stages})"
+
+
+def compile_plan(
+    plan: ExecPlan, owner, result_cache: ResultCache | None = None
+) -> CompiledPlan:
+    """Build the operator pipeline for ``plan`` over ``owner``'s state.
+
+    Args:
+        plan: the declarative plan to compile.
+        owner: a fitted local recommender (local plans) or a sharded
+            service (sharded plans); validated by duck-typing the
+            attributes the operators need.
+        result_cache: reuse an existing cache for cached plans; a fresh
+            one sized by ``config.result_cache_size`` is created when
+            omitted.
+    """
+    if plan.is_sharded:
+        if not hasattr(owner, "shards"):
+            raise TypeError(
+                f"plan {plan.name!r} is sharded but owner {type(owner).__name__} "
+                f"has no shards"
+            )
+        serve: list[ServeOp] = [FanoutOp(owner), MergeOp()]
+        prologue: list[ServeOp] = []
+    elif plan.scoring == "oracle-reference":
+        prologue = [FullScanCandidateOp(owner)]
+        serve = [OracleScoreOp(owner), OracleSelectOp()]
+    elif plan.uses_index:
+        if getattr(owner, "index", None) is None:
+            raise TypeError(
+                f"plan {plan.name!r} probes the CPPse-index but owner has none "
+                f"(fit with use_index=True or call attach_index())"
+            )
+        prologue = [CppseProbeCandidateOp(owner)]
+        serve = [CppseKnnOp(owner), PreRankedSelectOp()]
+    else:
+        if getattr(owner, "matcher", None) is None:
+            raise TypeError(f"owner of plan {plan.name!r} has no matcher (not fitted?)")
+        prologue = [FullScanCandidateOp(owner)]
+        serve = [VectorizedScoreOp(owner), TopKSelectOp(owner)]
+
+    cache: ResultCache | None = None
+    if plan.cached:
+        cache = result_cache or ResultCache(owner.config.result_cache_size)
+        serve = [ResultCacheOp(cache, owner, serve)]
+    return CompiledPlan(plan, owner, [*prologue, *serve], result_cache=cache)
+
+
+class _RecommenderExecutor:
+    """Adapter giving arbitrary recommenders (baselines, shards, test
+    doubles) the compiled-plan serving interface."""
+
+    def __init__(self, recommender) -> None:
+        self.recommender = recommender
+
+    def run_item(self, item: SocialItem, k: int) -> RankedList:
+        return self.recommender.recommend(item, k)
+
+    def run_batch(self, items: Sequence[SocialItem], k: int) -> list[RankedList]:
+        batch = getattr(self.recommender, "recommend_batch", None)
+        if callable(batch):
+            return batch(items, k)
+        return [self.recommender.recommend(item, k) for item in items]
+
+
+def as_executor(recommender):
+    """The plan executor for any recommender-shaped object.
+
+    Plan-aware facades (``SsRecRecommender``, ``ShardedRecommender``)
+    hand back their compiled plan; anything else merely exposing
+    ``recommend``/``recommend_batch`` is adapted, so the stream bolts can
+    execute plans without caring what serves them.
+    """
+    executor = getattr(recommender, "executor", None)
+    if callable(executor):
+        return executor()
+    return _RecommenderExecutor(recommender)

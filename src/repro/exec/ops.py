@@ -1,0 +1,383 @@
+"""Composable serving operators: the stages every compiled plan runs.
+
+A compiled plan is a short list of operators applied to an
+:class:`ExecContext` in order.  Each operator wraps existing, tested
+machinery — the :class:`~repro.core.matching.VectorizedMatcher`, the
+:class:`~repro.index.cppse.CPPseIndex`, the sharded fan-out — rather than
+reimplementing it, so a plan instantiation produces bit-identical results
+to the hand-wired path it replaced (the conformance harness holds every
+plan to that).
+
+The stage vocabulary:
+
+=====================  ==================================================
+:class:`CandidateOp`   admit the candidate population and run the
+                       freshness prologue (the lazy Algorithm-2 flush for
+                       index plans; the full scan needs none — the
+                       matcher syncs rows lazily while scoring)
+:class:`ScoreOp`       score the admitted candidates
+:class:`SelectOp`      rank and cut to the top-``k`` by ``(-score, user_id)``
+:class:`FanoutOp`      broadcast the query to every shard (backend-aware)
+:class:`MergeOp`       merge per-shard partial lists into the global top-k
+:class:`ResultCacheOp` memoize final ranked lists around an inner stage
+                       list (the ``*-cached`` plans)
+=====================  ==================================================
+
+One deliberate fusion: :class:`CppseKnnOp` is a ScoreOp *and* performs the
+selection, because Algorithm 1 interleaves candidate pruning, scoring and
+top-k maintenance during the signature-tree descent — splitting them
+would mean reimplementing the algorithm instead of wrapping it.  Index
+pipelines therefore pair it with the pass-through
+:class:`PreRankedSelectOp`.
+
+Every operator implements both entry points (``run_item`` /
+``run_batch``), mirroring the per-item and micro-batched code paths of
+the machinery it wraps — the two are bit-identical on the same state but
+have very different cost profiles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.datasets.schema import SocialItem
+from repro.exec.cache import CacheKey, ResultCache
+
+RankedList = list[tuple[int, float]]
+
+
+class ExecContext:
+    """Mutable per-request state flowing through one operator pipeline.
+
+    Attributes:
+        items: the queried items (length 1 under ``run_item``).
+        k: the already-coerced recommendation depth.
+        scores: ScoreOp output awaiting selection (shape depends on the
+            scoring implementation; None for fused or fan-out pipelines).
+        per_shard: FanoutOp output awaiting the merge.
+        ranked: final per-item ranked lists (the pipeline's result).
+    """
+
+    __slots__ = ("items", "k", "scores", "per_shard", "ranked")
+
+    def __init__(self, items: Sequence[SocialItem], k: int) -> None:
+        self.items = list(items)
+        self.k = int(k)
+        self.scores = None
+        self.per_shard = None
+        self.ranked: list[RankedList] | None = None
+
+
+class ServeOp:
+    """Base operator: one pipeline stage with both serving entry points."""
+
+    def run_item(self, ctx: ExecContext) -> None:
+        raise NotImplementedError
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        raise NotImplementedError
+
+
+def flush_pending_maintenance(owner) -> int:
+    """The serve-time Algorithm-2 prologue, stated exactly once.
+
+    Queries between maintenance cycles must not see stale signatures, so
+    any pending profile updates are flushed into the owner's index before
+    candidates are admitted.  Returns the number of profiles refreshed
+    (0 when nothing was pending).
+    """
+    if owner._maintenance_pending:
+        return owner.run_maintenance()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Candidate admission
+# ----------------------------------------------------------------------
+class CandidateOp(ServeOp):
+    """Stage 1: admit candidates and establish serving freshness."""
+
+
+class FullScanCandidateOp(CandidateOp):
+    """Admit every stored user (the exact sequential-scan population).
+
+    No prologue work: the vectorized matcher syncs profile rows lazily
+    at scoring time, which is the scan path's freshness discipline.
+    """
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+
+    def run_item(self, ctx: ExecContext) -> None:
+        pass
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        pass
+
+
+class CppseProbeCandidateOp(CandidateOp):
+    """Admit the CPPse-index's probed trees, after the lazy flush.
+
+    The probe itself happens inside Algorithm 1's descent
+    (:class:`CppseKnnOp`); this stage owns the freshness prologue so a
+    cached pipeline still flushes on every request — keeping the cached
+    plan's maintenance cadence bit-identical to its uncached anchor.
+    """
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+
+    def run_item(self, ctx: ExecContext) -> None:
+        flush_pending_maintenance(self.owner)
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        flush_pending_maintenance(self.owner)
+
+
+# ----------------------------------------------------------------------
+# Scoring
+# ----------------------------------------------------------------------
+class ScoreOp(ServeOp):
+    """Stage 2: score the admitted candidates."""
+
+
+class VectorizedScoreOp(ScoreOp):
+    """Eq. 3 over all users via the NumPy matcher (scan plans).
+
+    ``run_item`` scores one vector (``score_all``); ``run_batch`` scores
+    one ``[n_items, n_users]`` matrix with shared smoothed columns
+    (``score_all_batch``) — row ``i`` is bit-identical to the per-item
+    call on the same state.
+    """
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+
+    def run_item(self, ctx: ExecContext) -> None:
+        ctx.scores = self.owner.matcher.score_all(ctx.items[0])
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        ctx.scores = self.owner.matcher.score_all_batch(ctx.items)
+
+
+class OracleScoreOp(ScoreOp):
+    """Naive per-(item, user) reference scoring (diagnostic plans).
+
+    Wraps :class:`repro.sim.oracle.OracleMatcher` — the slowest,
+    most obviously-correct scorer the repo can state.  Useful as an
+    executable specification; never the serving default.
+    """
+
+    def __init__(self, owner) -> None:
+        from repro.sim.oracle import OracleMatcher  # local: avoids core<->sim cycle
+
+        self.owner = owner
+        self.oracle = OracleMatcher(owner.scorer, owner.profiles)
+
+    def run_item(self, ctx: ExecContext) -> None:
+        ctx.scores = [self.oracle.score_all(ctx.items[0])]
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        ctx.scores = [self.oracle.score_all(item) for item in ctx.items]
+
+
+class CppseKnnOp(ScoreOp):
+    """Algorithm 1: probe, score and select inside the sigtree descent.
+
+    Candidate pruning, leaf scoring and top-k maintenance are interleaved
+    by the algorithm itself, so this operator produces *ranked* results
+    directly (see the module docstring on fusion); it pairs with
+    :class:`PreRankedSelectOp`.
+    """
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+
+    def run_item(self, ctx: ExecContext) -> None:
+        ctx.ranked = [self.owner.index.knn(ctx.items[0], ctx.k)]
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        ctx.ranked = self.owner.index.knn_batch(ctx.items, ctx.k)
+
+
+# ----------------------------------------------------------------------
+# Selection
+# ----------------------------------------------------------------------
+class SelectOp(ServeOp):
+    """Stage 3: rank and cut to ``k`` by the ``(-score, user_id)`` order."""
+
+
+class TopKSelectOp(SelectOp):
+    """Exact top-k over the matcher's score vector/matrix (scan plans)."""
+
+    def __init__(self, owner) -> None:
+        self.owner = owner
+
+    def run_item(self, ctx: ExecContext) -> None:
+        ctx.ranked = [self.owner.matcher.select_top_k(ctx.scores, ctx.k)]
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        matcher = self.owner.matcher
+        ctx.ranked = [
+            matcher.select_top_k(ctx.scores[i], ctx.k) for i in range(len(ctx.items))
+        ]
+
+
+class OracleSelectOp(SelectOp):
+    """Global ``(-score, user_id)`` sort of the oracle's score dicts."""
+
+    def run_item(self, ctx: ExecContext) -> None:
+        from repro.sim.oracle import OracleMatcher  # local: avoids core<->sim cycle
+
+        ctx.ranked = [OracleMatcher.rank(ctx.scores[0], ctx.k)]
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        from repro.sim.oracle import OracleMatcher  # local: avoids core<->sim cycle
+
+        ctx.ranked = [OracleMatcher.rank(scores, ctx.k) for scores in ctx.scores]
+
+
+class PreRankedSelectOp(SelectOp):
+    """Pass-through selection for fused pipelines (index plans): asserts
+    the upstream stage already produced final ranked lists."""
+
+    def run_item(self, ctx: ExecContext) -> None:
+        self._check(ctx)
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        self._check(ctx)
+
+    @staticmethod
+    def _check(ctx: ExecContext) -> None:
+        if ctx.ranked is None or len(ctx.ranked) != len(ctx.items):
+            raise RuntimeError("fused score stage did not produce ranked results")
+
+
+# ----------------------------------------------------------------------
+# Sharded placement
+# ----------------------------------------------------------------------
+class FanoutOp(ServeOp):
+    """Broadcast one query (or window) to every shard of a service.
+
+    The backend dispatch lives here — ``"process"`` routes through the
+    worker pool (shards live in their own OS processes), the in-process
+    backends warm the shared expanded-query cache once and fan out via
+    the service's sequential-or-threaded runner.  Per-shard results come
+    back in shard order under every backend, so the merge downstream is
+    deterministic.
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def run_item(self, ctx: ExecContext) -> None:
+        service = self.service
+        item, k = ctx.items[0], ctx.k
+        if service.backend == "process":
+            ctx.per_shard = service._ensure_pool().map("recommend", item, k)
+            return
+        service.scorer.expanded_query(item)
+        ctx.per_shard = service._fan_out(lambda shard: shard.recommend(item, k))
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        service = self.service
+        items, k = ctx.items, ctx.k
+        if service.backend == "process":
+            ctx.per_shard = service._ensure_pool().map("recommend_batch", items, k)
+            return
+        for item in items:
+            service.scorer.expanded_query(item)
+        ctx.per_shard = service._fan_out(lambda shard: shard.recommend_batch(items, k))
+
+
+class MergeOp(ServeOp):
+    """Merge per-shard partial top-k lists into the global top-k.
+
+    Wraps :func:`repro.serve.sharding.merge_top_k` (the global
+    ``(-score, user_id)`` order); also used directly by the stream
+    layer's merge bolt via :meth:`merge`.
+    """
+
+    @staticmethod
+    def merge(partials: Sequence[RankedList], k: int) -> RankedList:
+        from repro.serve.sharding import merge_top_k  # local: keeps exec import-light
+
+        return merge_top_k(partials, k)
+
+    def run_item(self, ctx: ExecContext) -> None:
+        ctx.ranked = [self.merge(ctx.per_shard, ctx.k)]
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        per_shard = ctx.per_shard
+        ctx.ranked = [
+            self.merge([ranked_lists[i] for ranked_lists in per_shard], ctx.k)
+            for i in range(len(ctx.items))
+        ]
+
+
+# ----------------------------------------------------------------------
+# Plan-level result caching
+# ----------------------------------------------------------------------
+class ResultCacheOp(ServeOp):
+    """Memoize an inner stage list's final ranked lists (``*-cached``).
+
+    Keys combine the item signature, ``k`` and the owner's mutation
+    epoch (see :mod:`repro.exec.cache` for the invalidation contract).
+    Sits *after* the candidate/prologue stage, so index plans flush
+    pending Algorithm-2 maintenance on every request — hit or miss —
+    exactly like their uncached anchors.
+
+    ``run_batch`` additionally deduplicates within the window: each
+    distinct missing signature is computed once through the inner stages
+    (as a sub-batch, preserving first-occurrence order) and repeated
+    occurrences are served from the freshly stored entries — the win the
+    duplicate-heavy delivery scenario measures.
+    """
+
+    def __init__(self, cache: ResultCache, owner, inner: Sequence[ServeOp]) -> None:
+        self.cache = cache
+        self.owner = owner
+        self.inner = list(inner)
+
+    def run_item(self, ctx: ExecContext) -> None:
+        key = self.cache.key(ctx.items[0], ctx.k, self.owner.exec_epoch)
+        hit = self.cache.lookup(key)
+        if hit is not None:
+            ctx.ranked = [hit]
+            return
+        for op in self.inner:
+            op.run_item(ctx)
+        self.cache.store(key, ctx.ranked[0])
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        epoch = self.owner.exec_epoch
+        keys = [self.cache.key(item, ctx.k, epoch) for item in ctx.items]
+        results: list[RankedList | None] = [None] * len(ctx.items)
+        miss_positions: list[int] = []
+        missing_keys: set[CacheKey] = set()
+        for position, key in enumerate(keys):
+            if key in missing_keys:
+                continue  # in-batch duplicate: resolved after the compute pass
+            hit = self.cache.lookup(key)
+            if hit is not None:
+                results[position] = hit
+            else:
+                miss_positions.append(position)
+                missing_keys.add(key)
+        computed: dict[CacheKey, RankedList] = {}
+        if miss_positions:
+            sub = ExecContext([ctx.items[i] for i in miss_positions], ctx.k)
+            for op in self.inner:
+                op.run_batch(sub)
+            assert sub.ranked is not None
+            for position, ranked in zip(miss_positions, sub.ranked):
+                self.cache.store(keys[position], ranked)
+                computed[keys[position]] = ranked
+                results[position] = ranked
+        for position, key in enumerate(keys):
+            if results[position] is None:
+                entry = self.cache.lookup(key)
+                if entry is None:  # evicted within the window (tiny cache)
+                    entry = list(computed[key])
+                results[position] = entry
+        ctx.ranked = results

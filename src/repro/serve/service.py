@@ -71,7 +71,7 @@ from repro.core.profiles import ProfileStore
 from repro.core.ssrec import SsRecRecommender
 from repro.datasets.schema import Dataset, Interaction, SocialItem
 from repro.serve.shard import RecommenderShard
-from repro.serve.sharding import ShardPlan, UserSharder, build_shard_blocks, merge_top_k
+from repro.serve.sharding import ShardPlan, UserSharder, build_shard_blocks
 
 
 class ShardedRecommender:
@@ -161,6 +161,12 @@ class ShardedRecommender:
             )
         self._executor: ThreadPoolExecutor | None = None
         self._pool = None  # ShardWorkerPool, started lazily (process backend)
+        # Execution-plan state (repro.exec): the compiled fan-out/merge
+        # pipeline, the mutation epoch that invalidates cached results,
+        # and the result-cache switch for the *-cached plan variants.
+        self.exec_epoch = 0
+        self._result_cache_enabled = self.config.result_cache
+        self._compiled = None  # CompiledPlan, built lazily per current state
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -263,6 +269,7 @@ class ShardedRecommender:
         state = dict(self.__dict__)
         state["_executor"] = None
         state["_pool"] = None
+        state["_compiled"] = None  # recompiles lazily (fresh result cache)
         return state
 
     def _sync_from_workers(self) -> None:
@@ -315,43 +322,55 @@ class ShardedRecommender:
         self.close()
 
     # ------------------------------------------------------------------
-    # Serving
+    # Serving (thin facade over the compiled execution plan)
     # ------------------------------------------------------------------
+    def executor(self):
+        """The compiled fan-out/merge execution plan serving runs through.
+
+        Derived from the config by :meth:`repro.exec.PlanRegistry.for_config`
+        (placement from the shard strategy and fan-out backend, caching
+        from ``result_cache``) and compiled once; the fan-out backend
+        dispatch lives in the plan's :class:`~repro.exec.ops.FanoutOp`.
+        """
+        if self._compiled is None:
+            from repro.exec import PLAN_REGISTRY, Placement, compile_plan
+
+            # The live service's shape wins over the config (a service is
+            # often built with explicit n_shards/strategy/backend args).
+            exec_plan = PLAN_REGISTRY.for_axes(
+                use_index=self.use_index,
+                placement=Placement.sharded(self.plan.strategy, self.backend),
+                cached=self._result_cache_enabled,
+            )
+            self._compiled = compile_plan(exec_plan, self)
+        return self._compiled
+
+    def enable_result_cache(self, enabled: bool = True) -> "ShardedRecommender":
+        """Switch serving to (or from) the ``*-cached`` plan variant (an
+        exact memo above the fan-out; see :mod:`repro.exec.cache`)."""
+        self._result_cache_enabled = bool(enabled)
+        self._compiled = None
+        return self
+
+    def result_cache_stats(self) -> dict | None:
+        """Hit/miss/eviction counters of the live result cache (None when
+        serving uncached)."""
+        compiled = self._compiled
+        if compiled is None or compiled.result_cache is None:
+            return None
+        return compiled.result_cache.stats.as_dict()
+
     def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
         """Global top-``k`` ``(user_id, score)`` — identical to the single
         index's :meth:`SsRecRecommender.recommend` on the same state.
         ``k=None`` means ``default_k``; ``k=0`` yields an empty list."""
-        k = self.config.default_k if k is None else int(k)
-        if self.backend == "process":
-            per_shard = self._ensure_pool().map("recommend", item, k)
-            return merge_top_k(per_shard, k)
-        # Warm the shared expanded-query cache once so concurrent shard
-        # lookups read instead of redundantly recomputing it.
-        self.scorer.expanded_query(item)
-        per_shard = self._fan_out(lambda shard: shard.recommend(item, k))
-        return merge_top_k(per_shard, k)
+        return self.executor().run_item(item, k)
 
     def recommend_batch(
         self, items: Sequence[SocialItem], k: int | None = None
     ) -> list[list[tuple[int, float]]]:
         """Per-item global top-``k`` lists for a micro-batch."""
-        k = self.config.default_k if k is None else int(k)
-        items = list(items)
-        if not items:
-            return []
-        if self.backend == "process":
-            per_shard = self._ensure_pool().map("recommend_batch", items, k)
-            return [
-                merge_top_k([ranked_lists[i] for ranked_lists in per_shard], k)
-                for i in range(len(items))
-            ]
-        for item in items:
-            self.scorer.expanded_query(item)
-        per_shard = self._fan_out(lambda shard: shard.recommend_batch(items, k))
-        return [
-            merge_top_k([ranked_lists[i] for ranked_lists in per_shard], k)
-            for i in range(len(items))
-        ]
+        return self.executor().run_batch(items, k)
 
     # ------------------------------------------------------------------
     # Stream updates
@@ -388,6 +407,7 @@ class ShardedRecommender:
         """Route one interaction to the owning shard (new users included)."""
         user_id = int(interaction.user_id)
         shard_id = self.plan.shard_of(user_id)
+        self.exec_epoch += 1  # scores may move: orphan cached results
         if self.backend == "process":
             # The worker's shard store records (and creates) the profile;
             # the parent's mirror is re-aliased on the next state sync.
@@ -400,10 +420,14 @@ class ShardedRecommender:
         if shard.profiles.get(user_id) is None:
             shard.adopt(profile)
         shard.update(interaction, item)
+        # The shard store recorded the event on the shared profile object;
+        # mark the global view dirty too so any mirror of it stays fresh.
+        self.profiles.touch()
 
     def run_maintenance(self) -> int:
         """Flush every shard's pending Algorithm-2 work; returns profiles
         refreshed across shards."""
+        self.exec_epoch += 1  # Algorithm-2 flush: orphan cached results
         if self.backend == "process" and self._pool_active():
             return sum(self._pool.map("maintenance"))
         return sum(shard.run_maintenance() for shard in self.shards)

@@ -38,7 +38,12 @@ from repro.core.config import SsRecConfig
 from repro.core.ssrec import SsRecRecommender
 
 #: Bump when the payload layout changes incompatibly.
-SNAPSHOT_FORMAT_VERSION = 1
+#: Version 2: the execution-plan core (repro.exec) added pickled state —
+#: ProfileStore.version, VectorizedMatcher._synced_store_version, the
+#: facades' exec epoch/result-cache flags, EntityExpander's expand memo.
+#: Version-1 snapshots lack those attributes and would load cleanly only
+#: to crash on first serve, so they are rejected by the version check.
+SNAPSHOT_FORMAT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 STATE_NAME = "state.pkl"
 

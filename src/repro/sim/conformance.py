@@ -1,43 +1,37 @@
-"""Differential conformance: every serving path vs the naive oracle.
+"""Differential conformance: every registered plan vs the naive oracle.
 
 :class:`ConformanceRunner` replays one :class:`~repro.sim.scenarios.Scenario`
-through every serving path the repo offers, all driven by byte-identical
-event sequences from byte-identical trained state (one ``fit``, one
-``deepcopy`` per path):
+through every execution plan the :data:`~repro.exec.plan.PLAN_REGISTRY`
+marks ``conformance=True``, all driven by byte-identical event sequences
+from byte-identical trained state (one ``fit``, one ``deepcopy`` per
+path).  **The catalog is the registry** — registering a plan is what puts
+it under differential test; there is no second list to keep in sync
+(``python -m repro.eval conformance --list-paths`` prints it).
 
-========================  =====================================================
-``scan-item``             per-item ``SsRecRecommender.recommend`` (scan mode)
-``scan-batch``            micro-batched ``recommend_batch`` (scan mode)
-``index-item``            per-item CPPse-index serving (Algorithms 1 + 2)
-``index-batch``           micro-batched CPPse-index serving (``knn_batch``)
-``sharded-scan-hash``     ``ShardedRecommender``, hash plan, scan shards —
-                          served per item *and* per batch each window
-``sharded-index-block``   ``ShardedRecommender``, block-aware plan, CPPse
-                          shards — served per item and per batch, with one
-                          snapshot save/reload mid-stream
-``sharded-scan-process``  ``ShardedRecommender``, hash plan, scan shards,
-                          **process backend** (one OS worker per shard) —
-                          served per item and per batch, with one rolling
-                          worker restart mid-stream
-========================  =====================================================
+Each plan's construction, serving mode and judge derive from its axes:
 
-Checks per window (see :mod:`repro.sim.oracle` for why two predicates):
+- *placement* ``local`` builds a plain ``SsRecRecommender`` replica
+  (``cppse-probe`` plans attach an index); ``sharded`` builds a
+  ``ShardedRecommender`` with the plan's strategy and backend, and is
+  served per item *and* per batch each window;
+- *batching* picks the served entry point for local plans (per-item
+  ``recommend`` vs micro-batched ``recommend_batch``);
+- *cached* plans serve through their plan-level result cache
+  (:mod:`repro.exec.cache`) and must reproduce their uncached anchor
+  **bit for bit** — a cache hit that moves a single bit is a divergence;
+- the *judge* is the plan's ``anchor``: anchored plans must match the
+  anchor's per-item results bitwise; anchor plans (``anchor=None``) are
+  judged against the independent naive oracle within the 1e-9 tie
+  discipline (the oracle's scalar ``math.log`` and the matcher's SIMD
+  ``np.log`` may disagree by one ULP — last-bit noise, never ranking
+  changes), restricted to the probed candidate set for ``cppse-probe``
+  plans (no false dismissals, Lemmas 1-2; for sharded index plans the
+  union of the shards' probed sets, valid even for the documented
+  new-user placement boundary).
 
-- ``scan-item`` must equal the oracle's full-population ranking within
-  the tie discipline (the oracle's scalar ``math.log`` and the matcher's
-  SIMD ``np.log`` may disagree by one ULP, so anchoring to the
-  independent oracle tolerates last-bit noise — never ranking changes);
-- ``scan-batch``, ``sharded-scan-hash`` and ``sharded-scan-process`` must
-  equal ``scan-item`` **bit for bit** — same arithmetic, so batching,
-  fan-out/merge, the pickle trip into worker processes and the mid-stream
-  worker restart must not move a single bit;
-- ``index-item`` must equal the oracle restricted to its probed candidate
-  set (no false dismissals, Lemmas 1-2) within the tie discipline;
-- ``index-batch`` must equal ``index-item`` bit for bit;
-- ``sharded-index-block`` must equal the oracle restricted to the union
-  of its shards' probed sets — valid even for the documented new-user
-  placement boundary, where the shard-local blocking may probe a
-  different candidate set than the single global index would.
+Two replay events stay name-keyed because they test specific machinery:
+the ``sharded-index-block`` path takes one mid-stream snapshot
+save/reload, and ``sharded-scan-process`` one rolling worker restart.
 
 The runner is the regression backstop for serving-path optimizations:
 any future fast path must keep every one of these comparisons at zero
@@ -55,22 +49,17 @@ from pathlib import Path
 from repro.core.config import SsRecConfig
 from repro.core.ssrec import SsRecRecommender
 from repro.datasets.schema import SocialItem
+from repro.exec import PLAN_REGISTRY, ExecPlan
 from repro.serve.service import ShardedRecommender
 from repro.sim.oracle import OracleMatcher, matches_exactly, matches_within_ties
 from repro.sim.scenarios import Scenario
 
-#: Every serving path the runner knows, in serve order per window.
-#: ``scan-item`` and ``index-item`` come first in their families — they
-#: are the bitwise references the other family members are judged against.
-CONFORMANCE_PATHS: tuple[str, ...] = (
-    "scan-item",
-    "scan-batch",
-    "index-item",
-    "index-batch",
-    "sharded-scan-hash",
-    "sharded-index-block",
-    "sharded-scan-process",
-)
+#: Import-time snapshot of the registry's conformance catalog, in
+#: registration order (anchors before the plans judged against them) —
+#: kept as a public constant for display and tests.  The runner itself
+#: enumerates and validates against the *live* registry at call time, so
+#: plans registered after this module was imported are still replayed.
+CONFORMANCE_PATHS: tuple[str, ...] = PLAN_REGISTRY.conformance_paths()
 
 
 @dataclass
@@ -149,7 +138,7 @@ class ConformanceReport:
             if report.worker_restarts:
                 reload_note += f" restarts={report.worker_restarts}"
             lines.append(
-                f"  {name:<22} windows={report.n_windows:<3} "
+                f"  {name:<24} windows={report.n_windows:<3} "
                 f"queries={report.n_queries:<4} divergences={report.divergences:<3} "
                 f"items/sec={report.items_per_sec:8.1f}{reload_note}"
             )
@@ -161,16 +150,17 @@ class ConformanceReport:
 
 
 class _PathState:
-    """One path's live replica plus its accumulating report."""
+    """One plan's live replica plus its accumulating report."""
 
-    def __init__(self, name: str, recommender) -> None:
+    def __init__(self, name: str, plan: ExecPlan, recommender) -> None:
         self.name = name
+        self.plan = plan
         self.recommender = recommender  # SsRecRecommender | ShardedRecommender
         self.report = PathReport(path=name)
 
     @property
     def is_sharded(self) -> bool:
-        return isinstance(self.recommender, ShardedRecommender)
+        return self.plan.is_sharded
 
     def observe(self, item: SocialItem) -> None:
         self.recommender.observe_item(item)
@@ -223,11 +213,17 @@ class ConformanceRunner:
         workers: int = 0,
         fit_seed: int = 1,
         config: SsRecConfig | None = None,
-        paths: tuple[str, ...] = CONFORMANCE_PATHS,
+        paths: tuple[str, ...] | None = None,
         snapshot_window: int = 2,
         restart_window: int = 2,
     ) -> None:
-        unknown = sorted(set(paths) - set(CONFORMANCE_PATHS))
+        # Enumerate and validate against the *live* registry, not the
+        # import-time snapshot: a plan registered after repro.sim was
+        # imported is replayed (default) and addressable (explicit paths).
+        catalog = PLAN_REGISTRY.conformance_paths()
+        if paths is None:
+            paths = catalog
+        unknown = sorted(set(paths) - set(catalog))
         if unknown:
             raise ValueError(f"unknown conformance paths: {', '.join(unknown)}")
         if k < 1:
@@ -240,47 +236,44 @@ class ConformanceRunner:
         self.workers = int(workers)
         self.fit_seed = int(fit_seed)
         self.config = config
-        self.paths = tuple(name for name in CONFORMANCE_PATHS if name in paths)
+        self.paths = tuple(name for name in catalog if name in paths)
         self.snapshot_window = int(snapshot_window)
         self.restart_window = int(restart_window)
 
     # ------------------------------------------------------------------
-    # Replica construction
+    # Replica construction (entirely plan-driven)
     # ------------------------------------------------------------------
     def _build_paths(self, template: SsRecRecommender) -> dict[str, _PathState]:
+        """One live replica per replayed plan, built from the plan's axes.
+
+        A newly registered plan needs no code here: placement decides
+        local vs sharded construction, the candidate source whether an
+        index is attached (or shard-local indexes built), ``cached``
+        whether the replica serves through its result cache.
+        """
         states: dict[str, _PathState] = {}
         for name in self.paths:
+            plan = PLAN_REGISTRY.get(name)
             replica = copy.deepcopy(template)
-            if name in ("index-item", "index-batch"):
-                replica.attach_index()
-                recommender = replica
-            elif name == "sharded-scan-hash":
+            if plan.is_sharded:
+                # A "sequential" placement is passed as the default (None)
+                # so the legacy workers>1 thread upgrade keeps applying.
+                backend = plan.placement.backend
                 recommender = ShardedRecommender.from_trained(
                     replica,
                     n_shards=self.n_shards,
-                    strategy="hash",
-                    use_index=False,
+                    strategy=plan.placement.strategy,
+                    use_index=plan.uses_index,
                     workers=self.workers,
+                    backend=None if backend == "sequential" else backend,
                 )
-            elif name == "sharded-scan-process":
-                recommender = ShardedRecommender.from_trained(
-                    replica,
-                    n_shards=self.n_shards,
-                    strategy="hash",
-                    use_index=False,
-                    backend="process",
-                )
-            elif name == "sharded-index-block":
-                recommender = ShardedRecommender.from_trained(
-                    replica,
-                    n_shards=self.n_shards,
-                    strategy="block",
-                    use_index=True,
-                    workers=self.workers,
-                )
-            else:  # scan-item / scan-batch
+            else:
+                if plan.uses_index:
+                    replica.attach_index()
                 recommender = replica
-            states[name] = _PathState(name, recommender)
+            if plan.cached:
+                recommender.enable_result_cache()
+            states[name] = _PathState(name, plan, recommender)
         return states
 
     # ------------------------------------------------------------------
@@ -375,7 +368,9 @@ class ConformanceRunner:
             results = self._serve(state, window)
             state.report.n_windows += 1
             state.report.n_queries += len(window) * (2 if state.is_sharded else 1)
-            if name in ("scan-item", "index-item"):
+            if state.plan.anchor is None and "item" in results:
+                # Anchor plans' per-item results are the bitwise reference
+                # the plans anchored to them are judged against.
                 anchors[name] = results["item"]
             self._judge(
                 name, state, window, window_index, results, oracle,
@@ -383,7 +378,8 @@ class ConformanceRunner:
             )
 
     def _serve(self, state: _PathState, window) -> dict[str, list]:
-        """Serve one window; sharded paths serve per item *and* batched."""
+        """Serve one window by the plan's axes; sharded plans serve per
+        item *and* batched (fan-out and merge must agree either way)."""
         rec = state.recommender
         started = time.perf_counter()
         if state.is_sharded:
@@ -391,16 +387,12 @@ class ConformanceRunner:
                 "item": [rec.recommend(item, self.k) for item in window],
                 "batch": rec.recommend_batch(window, self.k),
             }
-        elif state.name.endswith("-batch"):
+        elif state.plan.batching == "micro-batch":
             results = {"batch": rec.recommend_batch(window, self.k)}
         else:
             results = {"item": [rec.recommend(item, self.k) for item in window]}
         state.report.serve_seconds += time.perf_counter() - started
         return results
-
-    #: Which family anchor (if replayed) each path must match bit for bit.
-    _ANCHOR_OF = {"scan-batch": "scan-item", "sharded-scan-hash": "scan-item",
-                  "sharded-scan-process": "scan-item", "index-batch": "index-item"}
 
     def _judge(
         self,
@@ -413,8 +405,8 @@ class ConformanceRunner:
         oracle_scores,
         anchors,
     ) -> None:
-        uses_index = name.startswith("index") or name == "sharded-index-block"
-        anchor = anchors.get(self._ANCHOR_OF.get(name, ""))
+        uses_index = state.plan.uses_index
+        anchor = anchors.get(state.plan.anchor or "")
         for position, item in enumerate(window):
             if anchor is not None:
                 # Family members must not move a single bit vs the

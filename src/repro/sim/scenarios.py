@@ -22,8 +22,9 @@ of the catalog's adversarial shapes:
                             probability over the stream
 ``skewed_producers``        most interactions re-pointed at the single
                             hottest producer's items (popularity hot spot)
-``duplicate_out_of_order``  interactions duplicated and delivery locally
-                            shuffled out of timestamp order
+``duplicate_out_of_order``  interactions duplicated, uploads redelivered
+                            (at-least-once), delivery locally shuffled
+                            out of timestamp order
 ``maintenance_storm``       interactions re-grouped into bursts sized to
                             straddle the Algorithm-2 maintenance cadence
 ==========================  ====================================================
@@ -457,8 +458,17 @@ class ScenarioGenerator:
         return out, {}, f"70% of interactions re-pointed at producer {hot}", 25
 
     def _perturb_duplicate_out_of_order(self, rng, events, syn):
-        """Duplicate a quarter of the interactions, then locally shuffle
-        delivery so events arrive out of timestamp order."""
+        """Duplicate a quarter of the interactions, redeliver uploads
+        geometrically (at-least-once delivery under retry pressure: each
+        attempt independently retries with probability 0.5), then locally
+        shuffle so events arrive out of timestamp order.
+
+        Redelivered uploads are full stream events: every serving path
+        observes *and serves* them again, exactly as an at-least-once
+        transport would hand them over — the duplicate-heavy serving
+        surface the ``*-cached`` plans are benchmarked on
+        (``benchmarks/bench_result_cache.py``).
+        """
         duplicated: list[StreamEvent] = []
         for event in events:
             duplicated.append(event)
@@ -466,6 +476,11 @@ class ScenarioGenerator:
                 duplicated.append(
                     StreamEvent(event.timestamp, "interact", event.payload)
                 )
+            elif event.kind == "upload":
+                while rng.random() < 0.50:  # geometric retry chain
+                    duplicated.append(
+                        StreamEvent(event.timestamp, "upload", event.payload)
+                    )
         block = 8
         out: list[StreamEvent] = []
         for start in range(0, len(duplicated), block):
@@ -475,7 +490,8 @@ class ScenarioGenerator:
         return (
             out,
             {},
-            "25% duplicated interactions, delivery shuffled in blocks of 8",
+            "25% duplicated interactions + geometric upload redelivery "
+            "(p=0.5), delivery shuffled in blocks of 8",
             25,
         )
 

@@ -85,10 +85,13 @@ class MicroBatchBolt(Bolt):
 
 
 class BatchMatchBolt(Bolt):
-    """Serves one window per tuple through ``recommend_batch``.
+    """Serves one window per tuple through the plan's batch entry point.
 
     Emits one result tuple per item of the window so the per-item sink
-    bolt collects results exactly as in the per-item topology.
+    bolt collects results exactly as in the per-item topology.  As in
+    :class:`~repro.stream.recommend_topology.MatchBolt`, plan-aware
+    facades supply their compiled execution plan via
+    :func:`repro.exec.as_executor`; plain batch recommenders are adapted.
     """
 
     def __init__(self, recommender: BatchRecommender, k: int) -> None:
@@ -96,8 +99,12 @@ class BatchMatchBolt(Bolt):
         self._k = int(k)
 
     def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        from repro.exec import as_executor  # local: keeps stream import-light
+
         items: list[SocialItem] = tup["items"]
-        ranked_lists = self._recommender.recommend_batch(items, self._k)
+        # Resolved per window (cheap — facades cache their compiled
+        # plan), so mid-topology facade reconfiguration is honored.
+        ranked_lists = as_executor(self._recommender).run_batch(items, self._k)
         for item, ranked in zip(items, ranked_lists):
             emitter.emit(
                 tup.with_values("", item_id=item.item_id, recommendations=ranked)

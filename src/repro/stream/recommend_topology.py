@@ -85,9 +85,13 @@ class EntityExtractBolt(Bolt):
 
 
 class MatchBolt(Bolt):
-    """Asks the recommender for the top-k users of each incoming item.
+    """Executes the recommender's compiled plan per incoming item.
 
     One task per category (fields grouping), per the paper's bolt count.
+    Plan-aware facades hand the bolt their compiled execution plan
+    (:func:`repro.exec.as_executor`); plain recommenders — baselines,
+    test doubles — are adapted to the same interface, so the topology
+    shape never depends on what serves it.
     """
 
     def __init__(self, recommender: Recommender, k: int) -> None:
@@ -95,8 +99,15 @@ class MatchBolt(Bolt):
         self._k = int(k)
 
     def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        from repro.exec import as_executor  # local: keeps stream import-light
+
         item: SocialItem = tup["item"]
-        ranked = self._recommender.recommend(item, self._k)
+        # Resolved per tuple (plan-aware facades cache their compiled
+        # plan, so this is an attribute lookup): a facade reconfigured
+        # mid-topology — attach_index(), enable_result_cache() — serves
+        # the next tuple through its new plan, matching the old per-call
+        # recommend() delegation.
+        ranked = as_executor(self._recommender).run_item(item, self._k)
         emitter.emit(tup.with_values("", item_id=item.item_id, recommendations=ranked))
 
 

@@ -27,15 +27,21 @@ from collections.abc import Sequence
 
 from repro.datasets.schema import SocialItem
 from repro.entities.extractor import EntityExtractor
+from repro.exec import MergeOp
 from repro.serve.service import ShardedRecommender
-from repro.serve.sharding import merge_top_k
 from repro.stream.recommend_topology import EntityExtractBolt, ItemSpout, TopKSinkBolt
 from repro.stream.topology import Bolt, Emitter, Topology, TopologyBuilder
 from repro.stream.tuples import StreamTuple
 
 
 class ShardMatchBolt(Bolt):
-    """Serves one shard's slice; task index selects the shard."""
+    """Serves one shard's slice; task index selects the shard.
+
+    The bolt is the dataflow rendering of one branch of the execution
+    plan's :class:`~repro.exec.ops.FanoutOp`: each task executes its
+    shard through the shared plan-executor interface
+    (:func:`repro.exec.as_executor`).
+    """
 
     def __init__(self, service: ShardedRecommender, k: int) -> None:
         self._service = service
@@ -51,8 +57,10 @@ class ShardMatchBolt(Bolt):
         self._shard = self._service.shards[task_index]
 
     def process(self, tup: StreamTuple, emitter: Emitter) -> None:
+        from repro.exec import as_executor  # local: keeps stream import-light
+
         item: SocialItem = tup["item"]
-        ranked = self._shard.recommend(item, self._k)
+        ranked = as_executor(self._shard).run_item(item, self._k)
         emitter.emit(
             tup.with_values(
                 "",
@@ -75,6 +83,7 @@ class ShardMergeBolt(Bolt):
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self._n_shards = int(n_shards)
         self._k = int(k)
+        self._merge = MergeOp()  # the execution plan's merge operator
         self._partials: dict[int, list[list[tuple[int, float]]]] = {}
 
     def process(self, tup: StreamTuple, emitter: Emitter) -> None:
@@ -87,7 +96,7 @@ class ShardMergeBolt(Bolt):
                 tup.with_values(
                     "",
                     item_id=item_id,
-                    recommendations=merge_top_k(partials, self._k),
+                    recommendations=self._merge.merge(partials, self._k),
                 )
             )
 

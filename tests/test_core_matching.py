@@ -216,13 +216,17 @@ class TestVectorizedMatcher:
         matcher = fresh_ssrec.matcher
         item = ytube_small.items[70]
         before = matcher.score_all(item).copy()
-        # Update one user's profile with this very item repeatedly.
+        # Update one user's profile with this very item repeatedly —
+        # through the store, which is the mutation contract the matcher's
+        # O(1) freshness check relies on (out-of-band profile mutation
+        # requires ``store.touch()``).
         from repro.core.profiles import ProfileEvent
 
         target = matcher.user_ids[0]
         profile = fresh_ssrec.profiles.get(target)
         for _ in range(profile.window_size * 2):
-            profile.record(
+            fresh_ssrec.profiles.record(
+                target,
                 ProfileEvent(
                     category=item.category,
                     producer=item.producer,

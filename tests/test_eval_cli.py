@@ -155,7 +155,7 @@ class TestDispatch:
     def test_all_experiments_covered(self):
         assert set(ALL_EXPERIMENTS) == {
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "batch", "sharded", "conformance",
+            "fig10", "fig11", "batch", "sharded", "cache", "conformance",
         }
 
 
@@ -194,3 +194,31 @@ class TestConformanceCommand:
         # CI gates on this: any divergence must fail the process.
         assert main(["conformance"]) == 1
         assert "stub output" in capsys.readouterr().out
+
+    def test_threads_registry_paths(self, monkeypatch, capsys):
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_conformance", recorder)
+        assert (
+            main(["conformance", "--paths", "scan-item,index-batch-cached"]) == 0
+        )
+        assert recorder.kwargs["paths"] == ["scan-item", "index-batch-cached"]
+
+    def test_default_paths_is_full_registry(self, monkeypatch, capsys):
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_conformance", recorder)
+        assert main(["conformance"]) == 0
+        assert recorder.kwargs["paths"] is None
+
+    def test_unknown_path_fails(self, capsys):
+        # Threads through to the runner's validation: unknown plan names
+        # must fail loudly, not silently serve a subset.
+        with pytest.raises(ValueError, match="unknown conformance"):
+            main(["conformance", "--paths", "quantum-tunnel", "--events", "10"])
+
+    def test_list_paths_prints_registry(self, capsys):
+        from repro.exec import PLAN_REGISTRY
+
+        assert main(["conformance", "--list-paths"]) == 0
+        out = capsys.readouterr().out
+        for name in PLAN_REGISTRY.names():
+            assert name in out

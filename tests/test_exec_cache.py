@@ -1,0 +1,199 @@
+"""Plan-level result cache: exactness, epoch invalidation, LRU mechanics."""
+
+import copy
+
+import pytest
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.schema import SocialItem
+from repro.exec.cache import ResultCache
+from repro.serve.service import ShardedRecommender
+
+
+def _item(item_id: int, category: int = 0, producer: int = 0, entities=(1, 2)) -> SocialItem:
+    return SocialItem(
+        item_id=item_id,
+        category=category,
+        producer=producer,
+        entities=tuple(entities),
+        text="",
+        timestamp=float(item_id),
+    )
+
+
+class TestResultCacheUnit:
+    def test_store_lookup_roundtrip(self):
+        cache = ResultCache(max_entries=4)
+        key = cache.key(_item(1), 5, epoch=0)
+        assert cache.lookup(key) is None
+        cache.store(key, [(3, 0.5), (1, 0.25)])
+        assert cache.lookup(key) == [(3, 0.5), (1, 0.25)]
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_hits_return_copies(self):
+        cache = ResultCache(max_entries=4)
+        key = cache.key(_item(1), 5, epoch=0)
+        cache.store(key, [(3, 0.5)])
+        first = cache.lookup(key)
+        first.append((999, -1.0))
+        assert cache.lookup(key) == [(3, 0.5)]
+
+    def test_epoch_partitions_keys(self):
+        cache = ResultCache(max_entries=4)
+        cache.store(cache.key(_item(1), 5, epoch=0), [(3, 0.5)])
+        assert cache.lookup(cache.key(_item(1), 5, epoch=1)) is None
+
+    def test_k_and_signature_partition_keys(self):
+        cache = ResultCache(max_entries=8)
+        cache.store(cache.key(_item(1), 5, epoch=0), [(3, 0.5)])
+        assert cache.lookup(cache.key(_item(1), 6, epoch=0)) is None
+        assert cache.lookup(cache.key(_item(1, entities=(9,)), 5, epoch=0)) is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        keys = [cache.key(_item(i), 5, epoch=0) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.store(key, [(i, 0.0)])
+        assert cache.stats.evictions == 1
+        assert cache.lookup(keys[0]) is None  # oldest entry retired
+        assert cache.lookup(keys[2]) == [(2, 0.0)]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(max_entries=0)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(max_entries=4)
+        key = cache.key(_item(1), 5, epoch=0)
+        cache.store(key, [(3, 0.5)])
+        cache.lookup(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+@pytest.fixture()
+def cached_pair(ytube_small, ytube_stream):
+    """(uncached, cached) twins fitted identically in scan mode."""
+    rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+    rec.fit(ytube_small, ytube_stream.training_interactions())
+    return rec, copy.deepcopy(rec).enable_result_cache()
+
+
+class TestCachedServing:
+    def test_cached_plan_selected(self, cached_pair):
+        uncached, cached = cached_pair
+        assert uncached.executor().plan.name == "scan-item"
+        assert cached.executor().plan.name == "scan-item-cached"
+        assert cached.result_cache_stats() is not None
+        assert uncached.result_cache_stats() is None
+
+    def test_hits_are_bit_identical(self, cached_pair, ytube_small):
+        uncached, cached = cached_pair
+        item = ytube_small.items[0]
+        first = cached.recommend(item, 7)
+        again = cached.recommend(item, 7)
+        assert again == first == uncached.recommend(item, 7)
+        stats = cached.result_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_update_invalidates(self, cached_pair, ytube_small, ytube_stream):
+        uncached, cached = cached_pair
+        item = ytube_small.items[0]
+        cached.recommend(item, 7)
+        inter = ytube_stream.partitions[2][0]
+        for rec in (uncached, cached):
+            rec.update(inter, ytube_small.item(inter.item_id))
+        assert cached.recommend(item, 7) == uncached.recommend(item, 7)
+        stats = cached.result_cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2  # post-update miss
+
+    def test_maintenance_flush_invalidates(self, ytube_small, ytube_stream):
+        rec = SsRecRecommender(config=SsRecConfig(), use_index=True, seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        rec.enable_result_cache()
+        item = ytube_small.items[0]
+        rec.recommend(item, 7)
+        rec.run_maintenance()
+        rec.recommend(item, 7)
+        stats = rec.result_cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_observe_does_not_invalidate(self, cached_pair, ytube_small):
+        """Uploads advance producer/expander state but cannot move the
+        score of an already-queried item against unchanged profiles —
+        redelivered items legally hit across interleaved uploads."""
+        uncached, cached = cached_pair
+        item, other = ytube_small.items[0], ytube_small.items[1]
+        first = cached.recommend(item, 7)
+        for rec in (uncached, cached):
+            rec.observe_item(other)
+        assert cached.recommend(item, 7) == first == uncached.recommend(item, 7)
+        assert cached.result_cache_stats()["hits"] == 1
+
+    def test_batch_dedupes_within_window(self, cached_pair, ytube_small):
+        uncached, cached = cached_pair
+        a, b = ytube_small.items[0], ytube_small.items[1]
+        window = [a, b, a, a, b]
+        assert cached.recommend_batch(window, 6) == uncached.recommend_batch(window, 6)
+        stats = cached.result_cache_stats()
+        assert stats["misses"] == 2  # one compute per distinct signature
+
+    def test_interleaved_stream_parity(self, cached_pair, ytube_small, ytube_stream):
+        uncached, cached = cached_pair
+        items = ytube_stream.items_in_partition(2)[:8]
+        updates = ytube_stream.partitions[2][:16]
+        for i, item in enumerate(items):
+            for inter in updates[2 * i : 2 * i + 2]:
+                payload = ytube_small.item(inter.item_id)
+                uncached.update(inter, payload)
+                cached.update(inter, payload)
+            window = [item, items[0], item]  # redeliveries mixed in
+            assert [cached.recommend(it, 5) for it in window] == [
+                uncached.recommend(it, 5) for it in window
+            ]
+            assert cached.recommend_batch(window, 5) == uncached.recommend_batch(
+                window, 5
+            )
+
+    def test_disable_restores_uncached_plan(self, cached_pair):
+        _, cached = cached_pair
+        cached.enable_result_cache(False)
+        assert cached.executor().plan.name == "scan-item"
+
+    def test_config_field_enables_cache(self, ytube_small, ytube_stream):
+        rec = SsRecRecommender(
+            config=SsRecConfig(result_cache=True, result_cache_size=32),
+            use_index=False,
+            seed=1,
+        )
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        assert rec.executor().plan.name == "scan-item-cached"
+        assert rec.executor().result_cache.max_entries == 32
+
+
+class TestCachedSharded:
+    def test_sharded_cached_parity_and_stats(self, fitted_ssrec, ytube_small):
+        with ShardedRecommender.from_trained(
+            fitted_ssrec, n_shards=2, strategy="hash"
+        ) as service:
+            service.enable_result_cache()
+            assert service.executor().plan.name == "sharded-scan-hash-cached"
+            item = ytube_small.items[0]
+            first = service.recommend(item, 6)
+            assert service.recommend(item, 6) == first == fitted_ssrec.recommend(item, 6)
+            assert service.result_cache_stats()["hits"] == 1
+
+    def test_snapshot_drops_cache_but_keeps_flag(
+        self, cached_pair, ytube_small, tmp_path
+    ):
+        uncached, cached = cached_pair
+        item = ytube_small.items[0]
+        cached.recommend(item, 7)
+        cached.save(tmp_path / "snap")
+        restored = SsRecRecommender.load(tmp_path / "snap")
+        assert restored.executor().plan.name == "scan-item-cached"
+        stats = restored.result_cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0  # cache starts cold
+        assert restored.recommend(item, 7) == uncached.recommend(item, 7)

@@ -13,6 +13,9 @@ from hypothesis import given, settings, strategies as st
 from repro.datasets.schema import Dataset, Interaction, SocialItem
 from repro.datasets.partitions import partition_interactions
 from repro.datasets.synthpop import SynthpopSynthesizer
+from repro.core.config import SsRecConfig
+from repro.exec import PLAN_REGISTRY
+from repro.exec.cache import ResultCache
 from repro.index.hashing import ChainedHashTable
 from repro.index.signature import BlockUniverse, QuerySignature
 from repro.serve.sharding import merge_top_k
@@ -255,3 +258,81 @@ class TestSynthesizerSupport:
         assert synth.sample(10, seed=seed) == synth.sample(
             10, seed=np.random.default_rng(seed)
         )
+
+
+class TestPlanRegistryRoundTrip:
+    """Every registered, config-derivable plan survives the config
+    serialization round trip: applying the plan's config overrides,
+    serializing through ``to_dict``/``from_dict`` and re-deriving from the
+    registry must land on the very same plan name (the contract snapshots
+    and experiment manifests rely on)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(PLAN_REGISTRY.names()))
+    def test_config_round_trip_rederives_plan(self, name):
+        plan = PLAN_REGISTRY.get(name)
+        if not plan.config_derivable:  # oracle plans have no config spelling
+            return
+        config = SsRecConfig().with_options(**plan.config_overrides())
+        restored = SsRecConfig.from_dict(config.to_dict())
+        assert restored == config
+        derived = PLAN_REGISTRY.for_config(
+            restored, use_index=plan.uses_index, batching=plan.batching
+        )
+        assert derived.name == plan.name
+        assert derived.axes() == plan.axes()
+
+
+class TestResultCacheEpochInvalidation:
+    """Cache hits never survive an epoch bump: whatever sequence of
+    stores and epoch advances happens, a key minted at the current epoch
+    can only hit entries stored at that same epoch — the invariant that
+    makes Algorithm-2 maintenance flushes (and profile updates, which
+    both bump the facade epoch) wipe the cached plans' memo."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),   # item id served
+                st.booleans(),                           # flush after serving?
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=8),           # cache capacity
+    )
+    def test_hits_never_survive_a_flush(self, events, capacity):
+        cache = ResultCache(max_entries=capacity)
+        epoch = 0
+        stored_epoch: dict[int, int] = {}  # item id -> epoch last stored at
+        for item_id, flush in events:
+            item = SocialItem(
+                item_id=item_id, category=0, producer=0,
+                entities=(1,), text="", timestamp=0.0,
+            )
+            key = cache.key(item, 5, epoch)
+            hit = cache.lookup(key)
+            if hit is not None:
+                # A hit is only legal when the entry was stored in the
+                # *current* epoch, i.e. no flush intervened.
+                assert stored_epoch.get(item_id) == epoch
+                assert hit == [(item_id, 0.0)]
+            else:
+                cache.store(key, [(item_id, 0.0)])
+                stored_epoch[item_id] = epoch
+            if flush:
+                epoch += 1  # what run_maintenance()/update() do
+
+    def test_facade_flush_invalidates_end_to_end(self, fresh_ssrec_indexed, ytube_small):
+        """The non-randomized end of the same contract, through the real
+        facade: a maintenance flush orphans every cached entry."""
+        rec = fresh_ssrec_indexed.enable_result_cache()
+        item = ytube_small.items[0]
+        rec.recommend(item, 5)
+        rec.recommend(item, 5)
+        assert rec.result_cache_stats()["hits"] == 1
+        rec.run_maintenance()
+        rec.recommend(item, 5)
+        assert rec.result_cache_stats()["hits"] == 1  # no new hit after flush
+        assert rec.result_cache_stats()["misses"] == 2

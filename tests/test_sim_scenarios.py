@@ -93,10 +93,16 @@ class TestStreamIntegrity:
                 assert item.category == inter.category
                 assert item.producer == inter.producer
 
-    def test_upload_ids_unique(self, catalog):
+    def test_upload_ids_unique_except_redelivery(self, catalog):
+        """Uploads are delivered exactly once — except in the
+        duplicate/out-of-order scenario, whose at-least-once transport
+        redelivers uploads on purpose (the cached plans' bench surface)."""
         for name, scenario in catalog.items():
             ids = [it.item_id for it in scenario.uploads()]
-            assert len(ids) == len(set(ids)), name
+            if name == "duplicate_out_of_order":
+                assert len(ids) > len(set(ids)), name  # redelivery happened
+            else:
+                assert len(ids) == len(set(ids)), name
 
     def test_training_slice_precedes_serving(self, catalog):
         for name, scenario in catalog.items():
