@@ -1,0 +1,79 @@
+"""Network serving: dynamic micro-batch coalescing vs per-request dispatch.
+
+Fires an open-loop query load (:func:`repro.serve.loadgen.drive_queries`)
+through a live socket server twice — once with the coalescer off (every
+recommend dispatched to the model thread individually) and once with it
+on (concurrently queued recommends regrouped into greedy micro-batches
+that track the arrival rate).  Both arms serve the same fitted scan-mode
+recommender and every served ranked list is compared bitwise against the
+in-process ``recommend_batch`` reference, so the measured win is proven
+exact as it is timed (the wire conformance suite additionally holds the
+``served-*`` plans to zero divergences across the whole scenario
+catalog).
+
+Assertions:
+
+- **parity** — both arms are bit-identical to the in-process reference;
+- **coalescing actually happened** — the coalesced arm formed real
+  multi-request batches;
+- **speedup** — coalescing clears >=1.5x items/sec over per-request
+  dispatch at default scale.
+"""
+
+import os
+
+from conftest import SCALE
+from repro.eval import experiments as ex
+
+#: CI smoke runs set this to shrink the query load.
+MAX_ITEMS = int(os.environ.get("REPRO_BENCH_SERVER_ITEMS", "256"))
+
+#: In-flight request bound of the open-loop generator.  The coalescer
+#: tracks the arrival rate (windows close when the model frees up), so
+#: under this load its batches settle near the concurrency.
+CONCURRENCY = int(os.environ.get("REPRO_BENCH_SERVER_CONCURRENCY", "16"))
+
+#: The >=1.5x headline claim of the coalescer (open-loop load at default
+#: scale; scales below keep the same bar).
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_SERVER_MIN_SPEEDUP", "1.5"))
+
+
+def test_server_coalescing(bench_run, bench_seed, save_result, efficiency_datasets):
+    result, seconds = bench_run(
+        lambda: ex.run_server_throughput(
+            efficiency_datasets["YTube"],
+            max_items=MAX_ITEMS,
+            concurrency=CONCURRENCY,
+            seed=bench_seed,
+        )
+    )
+    metrics = {
+        "driver": {"seconds": seconds},
+        "per_request": {
+            "items_per_sec": result.per_request_items_per_sec,
+            "seconds": result.per_request_seconds,
+            "latency_ms": result.per_request_latency_ms,
+        },
+        "coalesced": {
+            "items_per_sec": result.coalesced_items_per_sec,
+            "seconds": result.coalesced_seconds,
+            "latency_ms": result.coalesced_latency_ms,
+        },
+    }
+    checks = {
+        "parity_ok": result.parity_ok,
+        "coalescing_speedup": result.speedup,
+        "mean_batch_size": result.mean_batch_size,
+        "max_batch_size": result.max_batch_size,
+        "n_items": result.n_items,
+    }
+    extras = {"scale": SCALE, "concurrency": result.concurrency, "k": result.k}
+    save_result("server", result.to_text(), metrics=metrics, checks=checks,
+                extras=extras)
+    # The wire is exact or it is nothing: both arms matched the in-process
+    # reference bit for bit while being timed.
+    assert result.parity_ok, result.to_text()
+    # The coalescer must have formed real batches to measure.
+    assert result.mean_batch_size >= 2.0, result.to_text()
+    # The headline: >=1.5x items/sec over per-request dispatch.
+    assert result.speedup >= MIN_SPEEDUP, result.to_text()

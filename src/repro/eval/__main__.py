@@ -24,6 +24,17 @@ it)::
     python -m repro.eval conformance --paths scan-item,scan-item-cached,index-batch
     python -m repro.eval conformance --list-paths
 
+The network layer has two entry points: ``serve`` fits on a dataset and
+hosts it over the framed JSON socket protocol until Ctrl-C; ``loadgen``
+replays the adversarial scenario catalog as open-loop socket traffic —
+self-hosting a verified server per scenario by default (exit status 1 on
+any bitwise divergence — the CI server-smoke job gates on it), or
+against an external ``--address host:port`` (unverified)::
+
+    python -m repro.eval serve --dataset YTube --scale default --port 7431
+    python -m repro.eval loadgen --scenarios duplicate_out_of_order,bursty_uploads
+    python -m repro.eval loadgen --address 127.0.0.1:7431 --no-verify
+
 ``--paths`` accepts plan names from the registry (``--list-paths`` prints
 it, one line per plan — the conformance catalog is registry-derived, so
 newly registered plans appear automatically).  ``--scale`` controls the
@@ -35,15 +46,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.datasets.ytube import YTubeConfig, generate_ytube
 from repro.eval import experiments as ex
 
 SINGLE_DATASET_EXPERIMENTS = {
     "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "batch", "sharded", "cache",
+    "serve",
 }
 ALL_EXPERIMENTS = sorted(
-    SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11", "conformance"}
+    SINGLE_DATASET_EXPERIMENTS | {"table2", "table3", "fig11", "conformance", "loadgen"}
 )
 
 
@@ -103,6 +116,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="conformance only: print the plan registry (one line per "
         "plan) and exit",
     )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve only: interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve only: port to bind (default: 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--address",
+        default=None,
+        metavar="HOST:PORT",
+        help="loadgen only: replay against an already-running external "
+        "server instead of self-hosting (implies --no-verify)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        help="loadgen only: in-flight recommend bound (default: 8)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="loadgen only: recommend window size (default: 8)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="loadgen only: skip the bitwise replica verification",
+    )
+    parser.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="serve/loadgen: per-request dispatch instead of micro-batch "
+        "coalescing",
+    )
     return parser
 
 
@@ -115,6 +169,26 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "table3":
         print(ex.run_table3(scale=args.scale, seed=args.seed).to_text())
         return 0
+    if args.experiment == "loadgen":
+        address = None
+        if args.address:
+            host, _, port = args.address.rpartition(":")
+            address = (host, int(port))
+        names = args.scenarios.split(",") if args.scenarios else None
+        result = ex.run_loadgen(
+            scenarios=names,
+            seed=args.seed,
+            k=args.k,
+            window_size=args.window,
+            concurrency=args.concurrency,
+            max_events=args.events,
+            verify=not args.no_verify,
+            coalesce=not args.no_coalesce,
+            address=address,
+        )
+        print(result.to_text())
+        # Non-zero exit on any served/replica divergence: CI gates on this.
+        return 0 if result.total_divergences == 0 else 1
     if args.experiment == "conformance":
         if args.list_paths:
             from repro.exec import PLAN_REGISTRY
@@ -161,6 +235,25 @@ def main(argv: list[str] | None = None) -> int:
         result = ex.run_sharded_throughput(dataset, seed=args.seed)
     elif args.experiment == "cache":
         result = ex.run_result_cache(base=dataset, seed=args.seed)
+    elif args.experiment == "serve":
+        thread = ex.run_serve(
+            dataset,
+            host=args.host,
+            port=args.port,
+            coalesce=not args.no_coalesce,
+            seed=args.seed,
+        )
+        host, port = thread.server.host, thread.server.port
+        print(f"serving {args.dataset} ({args.scale}) on {host}:{port} "
+              f"— Ctrl-C to drain and stop", flush=True)
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            thread.stop()
+        return 0
     else:  # pragma: no cover - argparse restricts choices
         raise AssertionError(args.experiment)
     print(result.to_text())

@@ -97,6 +97,33 @@ class CompiledPlan:
         assert ctx.ranked is not None
         return ctx.ranked
 
+    def run_requests(
+        self, requests: Sequence[tuple[SocialItem, int | None]]
+    ) -> list[RankedList]:
+        """Serve one *coalesced* micro-batch of independent requests.
+
+        This is the seam the network coalescer
+        (:class:`repro.serve.server.RecommenderServer`) executes through:
+        concurrently arriving ``(item, k)`` requests — possibly with
+        different ``k`` — are grouped by ``k`` and each group runs
+        through :meth:`run_batch`, so the amortized window costs apply to
+        traffic that never asked to be a batch.  Results come back in
+        request order and are bit-identical to serving each request
+        through :meth:`run_item` (the batch entry's exactness guarantee).
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        groups: dict[int | None, list[int]] = {}
+        for position, (_, k) in enumerate(requests):
+            groups.setdefault(k, []).append(position)
+        out: list[RankedList | None] = [None] * len(requests)
+        for k, positions in groups.items():
+            ranked = self.run_batch([requests[p][0] for p in positions], k)
+            for position, result in zip(positions, ranked):
+                out[position] = result
+        return out  # type: ignore[return-value]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stages = " -> ".join(type(op).__name__ for op in self.ops)
         return f"CompiledPlan({self.plan.name!r}: {stages})"
@@ -163,6 +190,24 @@ class _RecommenderExecutor:
         if callable(batch):
             return batch(items, k)
         return [self.recommender.recommend(item, k) for item in items]
+
+    def run_requests(
+        self, requests: Sequence[tuple[SocialItem, int | None]]
+    ) -> list[RankedList]:
+        """Mixed-``k`` coalesced serving for adapted recommenders (same
+        contract as :meth:`CompiledPlan.run_requests`)."""
+        requests = list(requests)
+        if not requests:
+            return []
+        groups: dict[int | None, list[int]] = {}
+        for position, (_, k) in enumerate(requests):
+            groups.setdefault(k, []).append(position)
+        out: list[RankedList | None] = [None] * len(requests)
+        for k, positions in groups.items():
+            ranked = self.run_batch([requests[p][0] for p in positions], k)
+            for position, result in zip(positions, ranked):
+                out[position] = result
+        return out  # type: ignore[return-value]
 
 
 def as_executor(recommender):

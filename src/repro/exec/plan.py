@@ -41,6 +41,7 @@ CANDIDATE_SOURCES = ("full-scan", "cppse-probe")
 SCORINGS = ("vectorized", "oracle-reference")
 BATCHINGS = ("item", "micro-batch")
 PLACEMENT_KINDS = ("local", "sharded")
+TRANSPORTS = ("inproc", "wire")
 
 
 @dataclass(frozen=True)
@@ -96,6 +97,13 @@ class ExecPlan:
             conformance replay drives (compiled plans serve both).
         placement: local or sharded placement.
         cached: wrap scoring in a plan-level result cache.
+        transport: ``"inproc"`` (a library call) or ``"wire"`` (served by
+            :class:`repro.serve.server.RecommenderServer` over the framed
+            JSON protocol; the conformance harness stands up a live
+            server per replica and judges the results bit-for-bit
+            *through the socket*).  ``"wire"`` plans with
+            ``batching="micro-batch"`` serve through the server's dynamic
+            coalescer; ``"item"`` wire plans dispatch per request.
         description: one-line summary (``--list-paths`` output).
         conformance: replay this plan in the differential conformance
             catalog (:mod:`repro.sim.conformance`).
@@ -110,6 +118,7 @@ class ExecPlan:
     batching: str = "item"
     placement: Placement = field(default_factory=Placement.local)
     cached: bool = False
+    transport: str = "inproc"
     description: str = ""
     conformance: bool = True
     anchor: str | None = None
@@ -126,6 +135,8 @@ class ExecPlan:
             raise ValueError(f"scoring must be one of {SCORINGS}, got {self.scoring!r}")
         if self.batching not in BATCHINGS:
             raise ValueError(f"batching must be one of {BATCHINGS}, got {self.batching!r}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
 
     # ------------------------------------------------------------------
     # Derived facts
@@ -140,11 +151,17 @@ class ExecPlan:
         return self.placement.kind == "sharded"
 
     @property
+    def is_wire(self) -> bool:
+        """Whether this plan is served over the network protocol."""
+        return self.transport == "wire"
+
+    @property
     def config_derivable(self) -> bool:
         """Whether :meth:`PlanRegistry.for_config` can ever derive this
         plan — oracle-reference scoring is a diagnostic axis with no
-        config spelling, so oracle plans are instantiated by name only."""
-        return self.scoring == "vectorized"
+        config spelling, and wire transport is a deployment fact, so
+        those plans are instantiated by name only."""
+        return self.scoring == "vectorized" and self.transport == "inproc"
 
     def config_overrides(self) -> dict:
         """``SsRecConfig.with_options`` overrides that make a config ask
@@ -168,7 +185,8 @@ class ExecPlan:
 
     def axes(self) -> tuple:
         """The identity tuple :meth:`PlanRegistry.for_config` matches on."""
-        return (self.candidate_source, self.scoring, self.batching, self.placement, self.cached)
+        return (self.candidate_source, self.scoring, self.batching, self.placement,
+                self.cached, self.transport)
 
     def describe(self) -> str:
         """One-line rendering for ``--list-paths`` and the docs."""
@@ -179,6 +197,9 @@ class ExecPlan:
         )
         judge = f"bit-identical to {self.anchor}" if self.anchor else "vs oracle"
         flags = "cached " if self.cached else ""
+        if self.is_wire:
+            flags += "wire "
+            judge += " through the wire"
         tail = f" [{judge}]" if self.conformance else " [not in conformance catalog]"
         return (
             f"{self.candidate_source} / {self.scoring} / {self.batching} / "
@@ -295,6 +316,7 @@ class PlanRegistry:
             batching,
             placement,
             bool(cached),
+            "inproc",
         )
         for plan in self._plans.values():
             if plan.axes() == axes:
@@ -308,6 +330,7 @@ class PlanRegistry:
         batching: str,
         placement: Placement,
         cached: bool,
+        transport: str = "inproc",
     ) -> ExecPlan:
         """An unregistered-but-valid plan, named systematically."""
         parts = ["index" if candidate_source == "cppse-probe" else "scan"]
@@ -326,6 +349,7 @@ class PlanRegistry:
             batching=batching,
             placement=placement,
             cached=cached,
+            transport=transport,
             description="synthesized from config (not a registered path)",
             conformance=False,
         )
@@ -411,6 +435,27 @@ def _build_default_registry() -> PlanRegistry:
             anchor=plan.anchor or plan.name,
             description=f"{plan.description} + plan-level result cache",
         ))
+    # The served-* family: the same logical query answered through the
+    # network front door (repro.serve.server), judged bit-for-bit through
+    # the socket against the in-process anchors.  micro-batch transport
+    # plans serve through the server's dynamic coalescer (concurrent
+    # requests forming micro-batches under a latency budget); item plans
+    # dispatch per request.
+    registry.register(ExecPlan(
+        name="served-scan-batch",
+        candidate_source="full-scan",
+        batching="micro-batch",
+        transport="wire",
+        anchor="scan-item",
+        description="network-served scan, dynamic micro-batch coalescing",
+    ))
+    registry.register(ExecPlan(
+        name="served-index-item",
+        candidate_source="cppse-probe",
+        transport="wire",
+        anchor="index-item",
+        description="network-served CPPse-index, per-request dispatch",
+    ))
     return registry
 
 

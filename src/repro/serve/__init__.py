@@ -16,9 +16,30 @@ stack:
   OS process per shard (queue transport, collect/restart lifecycle) for
   the process backend;
 - :mod:`repro.serve.snapshot` — versioned save/load of the full trained
-  state so a server warm-starts without retraining.
+  state so a server warm-starts without retraining;
+- :mod:`repro.serve.protocol` — the length-prefixed, versioned JSON
+  frame format (typed encode/decode, incremental :class:`FrameDecoder`);
+- :mod:`repro.serve.server` — :class:`RecommenderServer`, the asyncio
+  socket front end with dynamic micro-batch coalescing and admission
+  control (plus :class:`ServerThread` for embedding in sync callers);
+- :mod:`repro.serve.client` — blocking and asyncio clients over the
+  frame protocol;
+- :mod:`repro.serve.loadgen` — open-loop scenario replay as network
+  traffic, with optional bitwise verification against a replica.
 """
 
+from repro.serve.client import AsyncRecommenderClient, RecommenderClient
+from repro.serve.loadgen import LoadgenReport, QueryLoadReport, drive_queries, drive_scenario
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    Reply,
+    Request,
+    ServerError,
+    ServerOverloadError,
+)
+from repro.serve.server import RecommenderServer, ServerStats, ServerThread
 from repro.serve.service import ShardedRecommender
 from repro.serve.shard import RecommenderShard, ShardMetrics
 from repro.serve.sharding import ShardPlan, UserSharder, hash_shard, merge_top_k
@@ -33,6 +54,22 @@ from repro.serve.snapshot import (
 )
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "AsyncRecommenderClient",
+    "FrameDecoder",
+    "LoadgenReport",
+    "ProtocolError",
+    "QueryLoadReport",
+    "RecommenderClient",
+    "RecommenderServer",
+    "Reply",
+    "Request",
+    "ServerError",
+    "ServerOverloadError",
+    "ServerStats",
+    "ServerThread",
+    "drive_queries",
+    "drive_scenario",
     "ShardedRecommender",
     "RecommenderShard",
     "ShardMetrics",

@@ -1,0 +1,274 @@
+"""Clients for :class:`~repro.serve.server.RecommenderServer`.
+
+Two flavors over the same framed JSON protocol:
+
+- :class:`RecommenderClient` — blocking sockets, the drop-in remote
+  recommender for synchronous callers (the conformance runner serves its
+  ``served-*`` replicas through it).  Besides the one-call methods it
+  offers :meth:`RecommenderClient.recommend_window` — *pipelined*
+  recommends (send all, then collect all) so the server's coalescer
+  actually sees concurrent requests from a synchronous caller.
+- :class:`AsyncRecommenderClient` — asyncio streams with a background
+  reader resolving replies by request id, supporting arbitrarily many
+  in-flight requests on one connection; the open-loop load generator
+  drives traffic through it.
+
+Both raise :class:`~repro.serve.protocol.ProtocolError` on wire garbage,
+:class:`~repro.serve.protocol.ServerOverloadError` on typed overload
+replies (retryable), and :class:`~repro.serve.protocol.ServerError` on
+remote failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from collections.abc import Sequence
+
+from repro.datasets.schema import Interaction, SocialItem
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    Reply,
+    Request,
+    ServerError,
+    ServerOverloadError,
+    decode_reply,
+    encode_request,
+    interaction_to_wire,
+    item_to_wire,
+    ranked_from_wire,
+)
+
+RankedList = list[tuple[int, float]]
+
+
+def _reply_value(reply: Reply) -> object:
+    """Unwrap one reply: ok -> result, overload/error -> typed raise."""
+    if reply.status == "ok":
+        return reply.result
+    if reply.status == "overload":
+        raise ServerOverloadError(reply.error or "server overloaded")
+    raise ServerError(reply.error or "remote operation failed")
+
+
+class RecommenderClient:
+    """Blocking-socket client; one connection, request/reply by id.
+
+    Args:
+        host, port: server address (as returned by ``ServerThread.start``).
+        timeout: per-``recv`` socket timeout in seconds; a silent server
+            surfaces as ``socket.timeout`` instead of a hang.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._next_id = 0
+        self._replies: dict[int, Reply] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send(self, op: str, payload: dict) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode_request(Request(op, request_id, payload)))
+        return request_id
+
+    def _receive(self, request_id: int) -> Reply:
+        """Read frames until ``request_id``'s reply arrives (replies for
+        other in-flight ids are parked, preserving pipelining)."""
+        while request_id not in self._replies:
+            data = self._sock.recv(65536)
+            if not data:
+                self._decoder.close()  # torn frame -> ProtocolError
+                raise ProtocolError("server closed the connection before replying")
+            for message in self._decoder.feed(data):
+                reply = decode_reply(message)
+                self._replies[reply.request_id] = reply
+        return self._replies.pop(request_id)
+
+    def _call(self, op: str, payload: dict) -> object:
+        return _reply_value(self._receive(self._send(op, payload)))
+
+    # ------------------------------------------------------------------
+    # The serving surface
+    # ------------------------------------------------------------------
+    def observe(self, item: SocialItem) -> None:
+        """Stream one new item into the served model (ack awaited, so a
+        subsequent recommend sees it — the library-call ordering)."""
+        self._call("observe", {"item": item_to_wire(item)})
+
+    def update(self, interaction: Interaction, item: SocialItem | None = None) -> None:
+        self._call("update", {
+            "interaction": interaction_to_wire(interaction),
+            "item": None if item is None else item_to_wire(item),
+        })
+
+    def recommend(self, item: SocialItem, k: int | None = None) -> RankedList:
+        return ranked_from_wire(self._call("recommend", {"item": item_to_wire(item), "k": k}))
+
+    def recommend_batch(
+        self, items: Sequence[SocialItem], k: int | None = None
+    ) -> list[RankedList]:
+        """One explicit micro-batch request (server executes it as one
+        batch regardless of coalescing)."""
+        result = self._call(
+            "recommend_batch",
+            {"items": [item_to_wire(item) for item in items], "k": k},
+        )
+        if not isinstance(result, list):
+            raise ProtocolError(f"recommend_batch result must be an array, got {result!r}")
+        return [ranked_from_wire(entry) for entry in result]
+
+    def recommend_window(
+        self, items: Sequence[SocialItem], k: int | None = None
+    ) -> list[RankedList]:
+        """Pipelined per-item recommends: send every request, then
+        collect every reply.  On a coalescing server the window arrives
+        as concurrent requests and is served through the dynamic
+        micro-batcher — this is how a synchronous caller exercises
+        coalescing."""
+        ids = [self._send("recommend", {"item": item_to_wire(item), "k": k}) for item in items]
+        return [ranked_from_wire(_reply_value(self._receive(rid))) for rid in ids]
+
+    def snapshot(self, path, reload: bool = False) -> dict:
+        """Server-side snapshot save (optionally swapping in the reload —
+        a warm restart without dropping the connection)."""
+        result = self._call("snapshot", {"path": str(path), "reload": bool(reload)})
+        if not isinstance(result, dict):
+            raise ProtocolError(f"snapshot result must be an object, got {result!r}")
+        return result
+
+    def stats(self) -> dict:
+        result = self._call("stats", {})
+        if not isinstance(result, dict):
+            raise ProtocolError(f"stats result must be an object, got {result!r}")
+        return result
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "RecommenderClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncRecommenderClient:
+    """Asyncio client with unbounded pipelining on one connection.
+
+    A background reader task resolves per-request futures by id, so any
+    number of requests may be in flight concurrently — the open-loop
+    load generator's transport.  Build with :meth:`connect`.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> "AsyncRecommenderClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame_bytes)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    self._fail_pending(ProtocolError("server closed the connection"))
+                    return
+                for message in self._decoder.feed(data):
+                    reply = decode_reply(message)
+                    future = self._pending.pop(reply.request_id, None)
+                    if future is not None and not future.done():
+                        future.set_result(reply)
+        except (ProtocolError, ConnectionError, asyncio.CancelledError) as exc:
+            self._fail_pending(exc if isinstance(exc, Exception)
+                               else ProtocolError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def request(self, op: str, payload: dict) -> object:
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_request(Request(op, request_id, payload)))
+        # drain() only above the transport's buffered-write threshold:
+        # requests are small, so the common case is a pure synchronous
+        # buffer append — the await round-trip is the hot-path cost, not
+        # the copy.
+        if self._writer.transport.get_write_buffer_size() > 1 << 16:
+            await self._writer.drain()
+        return _reply_value(await future)
+
+    async def observe(self, item: SocialItem) -> None:
+        await self.request("observe", {"item": item_to_wire(item)})
+
+    async def update(self, interaction: Interaction, item: SocialItem | None = None) -> None:
+        await self.request("update", {
+            "interaction": interaction_to_wire(interaction),
+            "item": None if item is None else item_to_wire(item),
+        })
+
+    async def recommend(self, item: SocialItem, k: int | None = None) -> RankedList:
+        result = await self.request("recommend", {"item": item_to_wire(item), "k": k})
+        return ranked_from_wire(result)
+
+    async def recommend_batch(
+        self, items: Sequence[SocialItem], k: int | None = None
+    ) -> list[RankedList]:
+        result = await self.request(
+            "recommend_batch",
+            {"items": [item_to_wire(item) for item in items], "k": k},
+        )
+        if not isinstance(result, list):
+            raise ProtocolError(f"recommend_batch result must be an array, got {result!r}")
+        return [ranked_from_wire(entry) for entry in result]
+
+    async def stats(self) -> dict:
+        result = await self.request("stats", {})
+        if not isinstance(result, dict):
+            raise ProtocolError(f"stats result must be an object, got {result!r}")
+        return result
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()

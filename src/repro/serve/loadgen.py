@@ -1,0 +1,276 @@
+"""Open-loop load generation: replay sim scenarios as network traffic.
+
+The generator drives a live :class:`~repro.serve.server.RecommenderServer`
+through the :class:`~repro.serve.client.AsyncRecommenderClient`:
+mutations (uploads, interactions) replay in stream order — each awaited,
+preserving the library-call ordering — while every recommendation window
+is issued **open-loop**: all of the window's recommend requests go out
+concurrently (bounded by ``concurrency`` in-flight), which is the
+traffic shape the server's dynamic coalescer is built for.
+
+Two drivers:
+
+- :func:`drive_scenario` — replay one :class:`~repro.sim.scenarios.Scenario`
+  as traffic, optionally judging every served ranked list **bit for
+  bit** against an in-process replica fed the identical event sequence
+  (the CI server-smoke gate: zero divergences through the socket);
+- :func:`drive_queries` — a pure-query open loop over a fixed item set
+  against an already-warmed server (the throughput bench's measured
+  section; returns the ranked lists so the bench can assert parity).
+
+Typed overload replies are retried with a small backoff and counted —
+an overloaded server sheds load without corrupting the replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.datasets.schema import SocialItem
+from repro.eval.metrics import TimingStats
+from repro.serve.client import AsyncRecommenderClient, RankedList
+from repro.serve.protocol import ServerOverloadError
+from repro.sim.scenarios import Scenario
+
+#: Retry schedule for typed overload replies (attempts x backoff
+#: seconds); an open-loop generator must tolerate shed load.
+OVERLOAD_RETRIES = 200
+OVERLOAD_BACKOFF = 0.005
+
+
+@dataclass
+class LoadgenReport:
+    """Outcome of one scenario replayed as traffic.
+
+    Attributes:
+        scenario: replayed scenario name.
+        n_observes / n_updates / n_recommends: traffic counts.
+        divergences: served ranked lists that failed the bitwise
+            comparison against the in-process replica (0 when unverified).
+        verified: whether a replica judged the replay.
+        overloads: typed overload replies absorbed (after retries).
+        seconds: wall clock of the whole replay.
+        latency: recommend round-trip times (client-observed).
+        server_stats: the server's own ``stats`` reply at the end.
+    """
+
+    scenario: str
+    n_observes: int = 0
+    n_updates: int = 0
+    n_recommends: int = 0
+    divergences: int = 0
+    verified: bool = False
+    overloads: int = 0
+    seconds: float = 0.0
+    latency: TimingStats = field(default_factory=TimingStats)
+    server_stats: dict = field(default_factory=dict)
+
+    @property
+    def items_per_sec(self) -> float:
+        return self.n_recommends / self.seconds if self.seconds else 0.0
+
+    def to_text(self) -> str:
+        lat = self.latency.summary_ms()
+        verdict = (
+            "unverified"
+            if not self.verified
+            else ("EXACT" if self.divergences == 0 else f"BROKEN ({self.divergences})")
+        )
+        coalescing = self.server_stats.get("coalescing", {})
+        return (
+            f"{self.scenario:<24} recommends={self.n_recommends:<5} "
+            f"items/sec={self.items_per_sec:8.1f} "
+            f"p50={lat['p50_ms']:6.2f}ms p95={lat['p95_ms']:6.2f}ms "
+            f"p99={lat['p99_ms']:6.2f}ms overloads={self.overloads:<3} "
+            f"mean_batch={coalescing.get('mean_batch_size', 0.0):4.1f} "
+            f"wire={verdict}"
+        )
+
+
+async def _recommend_with_retry(
+    client: AsyncRecommenderClient,
+    item: SocialItem,
+    k: int,
+    report: LoadgenReport,
+    semaphore: asyncio.Semaphore,
+) -> RankedList:
+    async with semaphore:
+        for attempt in range(OVERLOAD_RETRIES):
+            started = time.perf_counter()
+            try:
+                ranked = await client.recommend(item, k)
+            except ServerOverloadError:
+                report.overloads += 1
+                await asyncio.sleep(OVERLOAD_BACKOFF * (attempt + 1))
+                continue
+            report.latency.record(time.perf_counter() - started)
+            return ranked
+        raise ServerOverloadError(
+            f"recommend for item {item.item_id} still overloaded after "
+            f"{OVERLOAD_RETRIES} retries"
+        )
+
+
+async def _drive_scenario_async(
+    host: str,
+    port: int,
+    scenario: Scenario,
+    k: int,
+    window_size: int,
+    concurrency: int,
+    replica,
+) -> LoadgenReport:
+    report = LoadgenReport(scenario=scenario.name, verified=replica is not None)
+    client = await AsyncRecommenderClient.connect(host, port)
+    semaphore = asyncio.Semaphore(max(1, concurrency))
+    started = time.perf_counter()
+    try:
+        window: list[SocialItem] = []
+
+        async def serve_window() -> None:
+            if not window:
+                return
+            served = await asyncio.gather(*[
+                _recommend_with_retry(client, item, k, report, semaphore)
+                for item in window
+            ])
+            report.n_recommends += len(window)
+            if replica is not None:
+                expected = replica.recommend_batch(window, k)
+                for got, want in zip(served, expected):
+                    if got != want:
+                        report.divergences += 1
+            window.clear()
+
+        for event in scenario.events:
+            if event.kind == "upload":
+                item = event.payload
+                await client.observe(item)
+                if replica is not None:
+                    replica.observe_item(item)
+                report.n_observes += 1
+                window.append(item)
+                if len(window) >= window_size:
+                    await serve_window()
+            else:
+                interaction = event.payload
+                payload_item = scenario.item_payload(interaction)
+                await client.update(interaction, payload_item)
+                if replica is not None:
+                    replica.update(interaction, payload_item)
+                report.n_updates += 1
+        await serve_window()
+        report.seconds = time.perf_counter() - started
+        report.server_stats = await client.stats()
+    finally:
+        await client.close()
+    return report
+
+
+def drive_scenario(
+    host: str,
+    port: int,
+    scenario: Scenario,
+    k: int = 10,
+    window_size: int = 8,
+    concurrency: int = 8,
+    replica=None,
+) -> LoadgenReport:
+    """Replay one scenario as open-loop traffic against a live server.
+
+    Args:
+        replica: an in-process recommender fed the identical event
+            sequence; every served ranked list is compared to its
+            ``recommend_batch`` output bitwise.  The replica must start
+            from the same trained state the server's owner did (the
+            experiments driver deepcopies one fitted template for both).
+    """
+    return asyncio.run(_drive_scenario_async(
+        host, port, scenario, int(k), int(window_size), int(concurrency), replica
+    ))
+
+
+@dataclass
+class QueryLoadReport:
+    """A pure-query open loop's measurement (the bench's unit)."""
+
+    n_queries: int
+    seconds: float
+    overloads: int
+    latency: TimingStats
+    results: list[RankedList]
+    server_stats: dict
+
+    @property
+    def items_per_sec(self) -> float:
+        return self.n_queries / self.seconds if self.seconds else 0.0
+
+
+async def _drive_queries_async(
+    host: str,
+    port: int,
+    items: Sequence[SocialItem],
+    k: int,
+    concurrency: int,
+) -> QueryLoadReport:
+    report = LoadgenReport(scenario="queries")
+    client = await AsyncRecommenderClient.connect(host, port)
+    started = time.perf_counter()
+    try:
+        # A fixed worker pool instead of one task + semaphore per query:
+        # ``concurrency`` tasks total, each pulling the next item index —
+        # the open-loop in-flight bound without per-query task overhead
+        # (this loop shares one core with the server under test, so the
+        # generator's own cost is part of the measurement).
+        results: list[RankedList | None] = [None] * len(items)
+        next_index = 0
+
+        async def worker() -> None:
+            nonlocal next_index
+            while next_index < len(items):
+                index = next_index
+                next_index += 1
+                for attempt in range(OVERLOAD_RETRIES):
+                    query_started = time.perf_counter()
+                    try:
+                        results[index] = await client.recommend(items[index], k)
+                    except ServerOverloadError:
+                        report.overloads += 1
+                        await asyncio.sleep(OVERLOAD_BACKOFF * (attempt + 1))
+                        continue
+                    report.latency.record(time.perf_counter() - query_started)
+                    break
+                else:
+                    raise ServerOverloadError(
+                        f"recommend for item {items[index].item_id} still "
+                        f"overloaded after {OVERLOAD_RETRIES} retries"
+                    )
+
+        await asyncio.gather(*[worker() for _ in range(max(1, concurrency))])
+        seconds = time.perf_counter() - started
+        stats = await client.stats()
+    finally:
+        await client.close()
+    return QueryLoadReport(
+        n_queries=len(items),
+        seconds=seconds,
+        overloads=report.overloads,
+        latency=report.latency,
+        results=list(results),
+        server_stats=stats,
+    )
+
+
+def drive_queries(
+    host: str,
+    port: int,
+    items: Sequence[SocialItem],
+    k: int = 10,
+    concurrency: int = 16,
+) -> QueryLoadReport:
+    """Fire ``items`` as concurrent recommends (bounded in-flight) and
+    measure items/sec + latency; results return for parity checks."""
+    return asyncio.run(_drive_queries_async(host, port, list(items), int(k), int(concurrency)))

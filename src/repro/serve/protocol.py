@@ -1,0 +1,437 @@
+"""The wire protocol of :mod:`repro.serve.server`: versioned JSON frames.
+
+Every message on the wire is one **frame**: a 4-byte big-endian length
+prefix followed by that many bytes of UTF-8 JSON.  The JSON payload is a
+single object carrying the protocol version (``"v"``), the message kind
+(``"kind"``: ``"request"`` or ``"reply"``) and the typed body.  Framing
+is deliberately minimal — the same shape as the single-purpose
+socket services the deployment exemplars use — but every decode step is
+**typed and total**: torn frames, oversized lengths, malformed JSON,
+unknown versions/kinds/ops and ill-typed fields all raise
+:class:`ProtocolError` instead of hanging or propagating random
+exceptions (mirroring the ``SnapshotError`` discipline of the snapshot
+layer).
+
+Exactness note: scores cross the wire as JSON numbers serialized via
+shortest round-trip repr and parsed with correct rounding — both the
+stdlib ``json`` codec and the optional :mod:`orjson` fast path (used
+when the library is importable; same wire bytes, ~3x less CPU per
+frame) round-trip every finite binary64 exactly, so a served ranked
+list can be compared **bit for bit** against the in-process library
+path — the wire conformance family in :mod:`repro.sim.conformance` does
+exactly that.  Non-finite floats stay off the wire: frames are standard
+JSON, scores are isfinite-checked at :func:`ranked_to_wire` (a NaN
+score is a bug worth failing loudly on), and :func:`_require_float`
+rejects non-finite numbers a hostile peer smuggles in.
+
+The streaming :class:`FrameDecoder` is transport-agnostic (feed it bytes
+from a blocking socket, an asyncio reader, or a fuzzer) and is the one
+place frame-level validation lives for both the server and the clients.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator
+
+try:  # pragma: no cover - exercised when the wheel is present
+    import orjson
+except ImportError:  # pragma: no cover - stdlib fallback path
+    orjson = None  # type: ignore[assignment]
+
+from repro.datasets.schema import Interaction, SocialItem
+
+#: Bump on any frame- or message-shape change; decoders reject unknown
+#: versions with a typed error instead of guessing.
+PROTOCOL_VERSION = 1
+
+#: Frames above this are rejected before any allocation of the payload.
+#: Generous for recommendation traffic (a 10k-item micro-batch fits);
+#: small enough that a corrupt length prefix cannot OOM the peer.
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Operations a server understands, and the reply statuses it emits.
+REQUEST_OPS = (
+    "observe",
+    "update",
+    "recommend",
+    "recommend_batch",
+    "snapshot",
+    "stats",
+)
+REPLY_STATUSES = ("ok", "error", "overload")
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A frame or message violated the wire protocol (torn frame,
+    oversized length, malformed JSON, unknown version/kind/op, ill-typed
+    field).  Always raised instead of hanging on malformed input."""
+
+
+class ServerError(RuntimeError):
+    """The server replied ``status="error"`` — the remote operation
+    failed; the message carries the remote error text."""
+
+
+class ServerOverloadError(ServerError):
+    """The server replied ``status="overload"`` — the admission queue was
+    full and the request was rejected *without* being executed.  Safe to
+    retry after backing off."""
+
+
+# ----------------------------------------------------------------------
+# Typed messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """One client->server operation.
+
+    Attributes:
+        op: one of :data:`REQUEST_OPS`.
+        request_id: client-chosen non-negative id; the matching reply
+            echoes it (replies may interleave across coalesced batches,
+            so clients match by id, not by order).
+        payload: op-specific body — wire-shaped dicts on the encode side,
+            typed domain objects (:class:`SocialItem`, ...) after
+            :func:`decode_request` validated them at the boundary.
+    """
+
+    op: str
+    request_id: int
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Reply:
+    """One server->client outcome.
+
+    Attributes:
+        request_id: echo of the request's id.
+        status: ``"ok"`` (``result`` holds the value), ``"error"``
+            (``error`` holds the remote message) or ``"overload"``
+            (rejected unexecuted by admission control).
+        result: op-specific result for ``"ok"`` replies.
+        error: remote error text for ``"error"``/``"overload"`` replies.
+    """
+
+    request_id: int
+    status: str = "ok"
+    result: object = None
+    error: str = ""
+
+
+# ----------------------------------------------------------------------
+# Wire shapes of the domain objects
+# ----------------------------------------------------------------------
+def item_to_wire(item: SocialItem) -> dict:
+    """A :class:`SocialItem` as a JSON-ready dict (all fields ship — the
+    server-side extractor and scorer need the text and timestamp)."""
+    return {
+        "item_id": int(item.item_id),
+        "category": int(item.category),
+        "producer": int(item.producer),
+        "entities": [int(e) for e in item.entities],
+        "text": item.text,
+        "timestamp": float(item.timestamp),
+    }
+
+
+def item_from_wire(obj: object) -> SocialItem:
+    data = _require_dict(obj, "item")
+    return SocialItem(
+        item_id=_require_int(data.get("item_id"), "item.item_id"),
+        category=_require_int(data.get("category"), "item.category"),
+        producer=_require_int(data.get("producer"), "item.producer"),
+        entities=tuple(
+            _require_int(e, "item.entities[*]")
+            for e in _require_list(data.get("entities"), "item.entities")
+        ),
+        text=_require_str(data.get("text"), "item.text"),
+        timestamp=_require_float(data.get("timestamp"), "item.timestamp"),
+    )
+
+
+def interaction_to_wire(interaction: Interaction) -> dict:
+    return {
+        "user_id": int(interaction.user_id),
+        "item_id": int(interaction.item_id),
+        "category": int(interaction.category),
+        "producer": int(interaction.producer),
+        "timestamp": float(interaction.timestamp),
+    }
+
+
+def interaction_from_wire(obj: object) -> Interaction:
+    data = _require_dict(obj, "interaction")
+    return Interaction(
+        user_id=_require_int(data.get("user_id"), "interaction.user_id"),
+        item_id=_require_int(data.get("item_id"), "interaction.item_id"),
+        category=_require_int(data.get("category"), "interaction.category"),
+        producer=_require_int(data.get("producer"), "interaction.producer"),
+        timestamp=_require_float(data.get("timestamp"), "interaction.timestamp"),
+    )
+
+
+def ranked_to_wire(ranked: list[tuple[int, float]]) -> list[list]:
+    """A ranked ``(user_id, score)`` list as JSON pairs (shortest
+    round-trip float serialization — bitwise parity survives the wire).
+
+    Non-finite scores are refused here, at the boundary where scores
+    enter the wire: a NaN ranking is a scorer bug, and failing loudly
+    beats whatever a JSON codec would silently do with it.
+    """
+    out = []
+    for uid, score in ranked:
+        score = float(score)
+        if not math.isfinite(score):
+            raise ProtocolError(f"unencodable ranked score {score!r} for user {uid!r}")
+        out.append([int(uid), score])
+    return out
+
+
+def ranked_from_wire(obj: object) -> list[tuple[int, float]]:
+    pairs = _require_list(obj, "ranked")
+    out: list[tuple[int, float]] = []
+    for pair in pairs:
+        entry = _require_list(pair, "ranked[*]")
+        if len(entry) != 2:
+            raise ProtocolError(f"ranked entry must be a [user_id, score] pair, got {entry!r}")
+        out.append((_require_int(entry[0], "ranked[*].user_id"),
+                    _require_float(entry[1], "ranked[*].score")))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Frame encode/decode
+# ----------------------------------------------------------------------
+def _dumps(body: dict) -> bytes:
+    """Compact UTF-8 JSON bytes; orjson when present, stdlib otherwise.
+    Both serialize floats shortest-round-trip (formatting may differ in
+    exponent style; every finite binary64 parses back exactly either
+    way, which is the invariant conformance relies on)."""
+    if orjson is not None:
+        return orjson.dumps(body)
+    return json.dumps(body, separators=(",", ":"), allow_nan=False).encode("utf-8")
+
+
+def _loads(data: bytes) -> object:
+    if orjson is not None:
+        return orjson.loads(data)
+    return json.loads(data.decode("utf-8"))
+
+
+def encode_frame(message: dict, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Length-prefix one JSON message (version stamped here, once)."""
+    body = dict(message)
+    body.setdefault("v", PROTOCOL_VERSION)
+    try:
+        data = _dumps(body)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unencodable message: {exc}") from exc
+    if len(data) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    return _LENGTH.pack(len(data)) + data
+
+
+def encode_request(request: Request) -> bytes:
+    if request.op not in REQUEST_OPS:
+        raise ProtocolError(f"unknown request op {request.op!r}")
+    message = {"kind": "request", "id": int(request.request_id), "op": request.op}
+    message.update(request.payload)
+    return encode_frame(message)
+
+
+def encode_reply(reply: Reply) -> bytes:
+    if reply.status not in REPLY_STATUSES:
+        raise ProtocolError(f"unknown reply status {reply.status!r}")
+    return encode_frame({
+        "kind": "reply",
+        "id": int(reply.request_id),
+        "status": reply.status,
+        "result": reply.result,
+        "error": reply.error,
+    })
+
+
+def decode_payload(data: bytes) -> dict:
+    """One frame's JSON bytes -> validated top-level message dict."""
+    try:
+        obj = _loads(data)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame payload (bad JSON): {exc}") from exc
+    message = _require_dict(obj, "message")
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} (this peer speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+    kind = message.get("kind")
+    if kind not in ("request", "reply"):
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    return message
+
+
+def decode_request(message: dict) -> Request:
+    """Validated top-level message -> typed :class:`Request`.
+
+    Every op's payload is shape-checked here, so a server handler never
+    sees an ill-typed field — malformed input dies at the protocol
+    boundary with a :class:`ProtocolError` naming the offending field.
+    """
+    if message.get("kind") != "request":
+        raise ProtocolError(f"expected a request, got kind {message.get('kind')!r}")
+    op = message.get("op")
+    if op not in REQUEST_OPS:
+        raise ProtocolError(f"unknown request op {op!r}")
+    request_id = _require_id(message.get("id"))
+    payload: dict = {}
+    if op == "observe":
+        payload["item"] = item_from_wire(message.get("item"))
+    elif op == "update":
+        payload["interaction"] = interaction_from_wire(message.get("interaction"))
+        item = message.get("item")
+        payload["item"] = None if item is None else item_from_wire(item)
+    elif op == "recommend":
+        payload["item"] = item_from_wire(message.get("item"))
+        payload["k"] = _require_optional_k(message.get("k"))
+    elif op == "recommend_batch":
+        items = _require_list(message.get("items"), "items")
+        payload["items"] = [item_from_wire(entry) for entry in items]
+        payload["k"] = _require_optional_k(message.get("k"))
+    elif op == "snapshot":
+        payload["path"] = _require_str(message.get("path"), "path")
+        reload_flag = message.get("reload", False)
+        if not isinstance(reload_flag, bool):
+            raise ProtocolError(f"snapshot.reload must be a bool, got {reload_flag!r}")
+        payload["reload"] = reload_flag
+    # "stats" carries no payload.
+    return Request(op=op, request_id=request_id, payload=payload)
+
+
+def decode_reply(message: dict) -> Reply:
+    if message.get("kind") != "reply":
+        raise ProtocolError(f"expected a reply, got kind {message.get('kind')!r}")
+    status = message.get("status")
+    if status not in REPLY_STATUSES:
+        raise ProtocolError(f"unknown reply status {status!r}")
+    error = message.get("error", "")
+    if not isinstance(error, str):
+        raise ProtocolError(f"reply.error must be a string, got {error!r}")
+    return Reply(
+        request_id=_require_id(message.get("id")),
+        status=status,
+        result=message.get("result"),
+        error=error,
+    )
+
+
+class FrameDecoder:
+    """Incremental frame splitter shared by the server and both clients.
+
+    Feed it raw bytes as they arrive; it yields complete, validated
+    top-level message dicts and buffers the rest.  A length prefix above
+    ``max_frame_bytes`` (or a negative remainder — impossible with
+    unsigned lengths, torn input shows up as a stalled partial frame) is
+    rejected immediately; :meth:`close` converts an end-of-stream inside
+    a partial frame into a typed torn-frame error.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held back waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> Iterator[dict]:
+        """Consume ``data``, yielding every completed message."""
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise ProtocolError(
+                    f"frame length {length} exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            yield decode_payload(payload)
+
+    def close(self) -> None:
+        """Signal end-of-stream; raises on a torn (partial) frame."""
+        if self._buffer:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(self._buffer)} bytes of a "
+                f"partial frame buffered)"
+            )
+
+
+# ----------------------------------------------------------------------
+# Field validators (every decode failure is a ProtocolError)
+# ----------------------------------------------------------------------
+def _require_dict(value: object, name: str) -> dict:
+    if not isinstance(value, dict):
+        raise ProtocolError(f"{name} must be an object, got {type(value).__name__}")
+    return value
+
+
+def _require_list(value: object, name: str) -> list:
+    if not isinstance(value, list):
+        raise ProtocolError(f"{name} must be an array, got {type(value).__name__}")
+    return value
+
+
+def _require_int(value: object, name: str) -> int:
+    # bool is an int subclass but never a valid id/count on this wire.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{name} must be an integer, got {value!r}")
+    return value
+
+
+def _require_float(value: object, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    # Non-finite values cannot arrive through a standard-JSON codec, but
+    # the stdlib parser accepts NaN/Infinity literals — reject them here
+    # so both codec paths present the same wire.
+    if not math.isfinite(value):
+        raise ProtocolError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _require_str(value: object, name: str) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(f"{name} must be a string, got {value!r}")
+    return value
+
+
+def _require_id(value: object) -> int:
+    request_id = _require_int(value, "id")
+    if request_id < 0:
+        raise ProtocolError(f"id must be non-negative, got {request_id}")
+    return request_id
+
+
+def _require_optional_k(value: object) -> int | None:
+    if value is None:
+        return None
+    k = _require_int(value, "k")
+    if k < 0:
+        raise ProtocolError(f"k must be non-negative, got {k}")
+    return k

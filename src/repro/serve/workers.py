@@ -20,7 +20,9 @@ Mechanics:
   Every request produces exactly one reply and each worker serves its
   queue FIFO, so the parent can pipeline a fan-out (send to all workers,
   then collect in shard order) while mutation ordering stays identical to
-  the in-process backends.
+  the in-process backends.  Requests and replies carry a per-worker
+  sequence tag; replies left uncollected by a failed exchange are
+  recognized as stale and discarded, never misattributed to a later call.
 - **Authority.** Once the pool is running the *worker* copies are the
   authoritative shard state; the parent's ``service.shards`` go stale
   until :meth:`collect`/:meth:`collect_all` pull the live objects back
@@ -45,7 +47,8 @@ import traceback
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-#: Operations a worker understands (requests are ``(op, args)`` tuples).
+#: Operations a worker understands (requests are ``(seq, op, args)``
+#: tuples; every reply echoes its request's ``seq``).
 WORKER_OPS = (
     "recommend",
     "recommend_batch",
@@ -123,23 +126,33 @@ def _shard_worker_main(shard_blob: bytes, requests, replies) -> None:
     """
     shard = pickle.loads(shard_blob)
     while True:
-        op, args = requests.get()
+        seq, op, args = requests.get()
         if op == "stop":
-            replies.put(("ok", None))
+            replies.put((seq, "ok", None))
             break
         try:
-            replies.put(("ok", _apply_op(shard, op, args)))
+            replies.put((seq, "ok", _apply_op(shard, op, args)))
         except Exception as exc:  # noqa: BLE001 - shipped to the parent
-            replies.put(("err", f"{exc!r}\n{traceback.format_exc()}"))
+            replies.put((seq, "err", f"{exc!r}\n{traceback.format_exc()}"))
 
 
 @dataclass
 class _Worker:
-    """Parent-side handle of one shard worker."""
+    """Parent-side handle of one shard worker.
+
+    ``seq`` is the per-worker exchange counter: every request carries the
+    next value and its reply must echo it back.  When an exchange fails —
+    a timeout, a worker error raised mid-:meth:`ShardWorkerPool.map` —
+    the un-collected replies of that exchange stay queued; the tag lets
+    later exchanges recognize and discard them instead of mistaking a
+    stale reply for their own (an off-by-one that would silently serve
+    the wrong shard's results forever after).
+    """
 
     process: multiprocessing.process.BaseProcess
     requests: object  # multiprocessing.Queue
     replies: object  # multiprocessing.Queue
+    seq: int = 0
 
 
 class ShardWorkerPool:
@@ -210,9 +223,9 @@ class ShardWorkerPool:
 
     def _stop_worker(self, worker: _Worker) -> None:
         if worker.process.is_alive():
-            worker.requests.put(("stop", ()))
+            seq = self._send(worker, "stop", ())
             try:
-                self._reply_from(worker, len(self._workers))
+                self._reply_from(worker, len(self._workers), seq)
             except ShardWorkerError:
                 pass  # dying while stopping is not worth surfacing
             worker.process.join(timeout=10.0)
@@ -248,11 +261,28 @@ class ShardWorkerPool:
         if self._closed:
             raise ShardWorkerError("worker pool is closed")
 
-    def _reply_from(self, worker: _Worker, index: int):
+    @staticmethod
+    def _send(worker: _Worker, op: str, args: tuple) -> int:
+        """Enqueue one sequence-tagged request; returns the tag to await."""
+        worker.seq += 1
+        worker.requests.put((worker.seq, op, args))
+        return worker.seq
+
+    def _reply_from(self, worker: _Worker, index: int, seq: int):
+        """Await the reply tagged ``seq``, discarding stale leftovers.
+
+        A reply with a lower tag belongs to an exchange whose collection
+        was abandoned (a prior :class:`ShardWorkerError` unwound ``map``
+        mid-collection); consuming it as ours would shift every later
+        reply off by one, so it is dropped.  Liveness is polled between
+        queue waits: a worker that died *after* the request was enqueued
+        — the fan-out/reply gap — surfaces here within the poll interval
+        instead of hanging until the full reply timeout.
+        """
         deadline = time.monotonic() + self.reply_timeout
         while True:
             try:
-                status, value = worker.replies.get(timeout=0.2)
+                got_seq, status, value = worker.replies.get(timeout=0.2)
             except queue_lib.Empty:
                 if not worker.process.is_alive():
                     raise ShardWorkerError(
@@ -265,6 +295,8 @@ class ShardWorkerPool:
                         f"{self.reply_timeout:.0f}s"
                     ) from None
                 continue
+            if got_seq != seq:
+                continue  # stale reply from an abandoned exchange
             if status == "ok":
                 return value
             raise ShardWorkerError(f"shard worker {index} failed:\n{value}")
@@ -273,8 +305,7 @@ class ShardWorkerPool:
         """One request to one worker; blocks for the reply."""
         self._require_open()
         worker = self._workers[index]
-        worker.requests.put((op, args))
-        return self._reply_from(worker, index)
+        return self._reply_from(worker, index, self._send(worker, op, args))
 
     def map(self, op: str, *args) -> list:
         """Send the same request to every worker, collect in shard order.
@@ -283,11 +314,10 @@ class ShardWorkerPool:
         only the collection is sequential.
         """
         self._require_open()
-        for worker in self._workers:
-            worker.requests.put((op, args))
+        seqs = [self._send(worker, op, args) for worker in self._workers]
         return [
-            self._reply_from(worker, index)
-            for index, worker in enumerate(self._workers)
+            self._reply_from(worker, index, seq)
+            for (index, worker), seq in zip(enumerate(self._workers), seqs)
         ]
 
     # ------------------------------------------------------------------

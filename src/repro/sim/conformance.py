@@ -29,9 +29,21 @@ Each plan's construction, serving mode and judge derive from its axes:
   union of the shards' probed sets, valid even for the documented
   new-user placement boundary).
 
-Two replay events stay name-keyed because they test specific machinery:
-the ``sharded-index-block`` path takes one mid-stream snapshot
-save/reload, and ``sharded-scan-process`` one rolling worker restart.
+- *transport* ``wire`` serves the replica through a live socket server
+  (:class:`~repro.serve.server.RecommenderServer` on a
+  :class:`~repro.serve.server.ServerThread`, driven by the blocking
+  :class:`~repro.serve.client.RecommenderClient`): every observe, update
+  and recommend crosses the framed JSON protocol, and micro-batch wire
+  plans serve each window as *pipelined* per-item requests so the
+  server's dynamic coalescer — not the client — forms the batches.  Wire
+  plans are always anchored, so a single bit lost to serialization,
+  coalescing or request reordering is a divergence.
+
+Three replay events stay name-keyed because they test specific
+machinery: the ``sharded-index-block`` path takes one mid-stream
+snapshot save/reload, ``sharded-scan-process`` one rolling worker
+restart, and ``served-scan-batch`` one *server-side* snapshot
+save+reload (the owner swap behind a live connection).
 
 The runner is the regression backstop for serving-path optimizations:
 any future fast path must keep every one of these comparisons at zero
@@ -50,6 +62,8 @@ from repro.core.config import SsRecConfig
 from repro.core.ssrec import SsRecRecommender
 from repro.datasets.schema import SocialItem
 from repro.exec import PLAN_REGISTRY, ExecPlan
+from repro.serve.client import RecommenderClient
+from repro.serve.server import RecommenderServer, ServerThread
 from repro.serve.service import ShardedRecommender
 from repro.sim.oracle import OracleMatcher, matches_exactly, matches_within_ties
 from repro.sim.scenarios import Scenario
@@ -149,6 +163,54 @@ class ConformanceReport:
         return "\n".join(lines)
 
 
+class _WireReplica:
+    """A local replica hoisted behind a live socket server.
+
+    The wire paths' recommender: a :class:`RecommenderServer` owns the
+    replica on a background event loop and the runner talks to it only
+    through the blocking client — the same framed bytes a remote caller
+    would send.  ``recommend_window`` pipelines a window's per-item
+    requests so the server's dynamic coalescer forms the micro-batches.
+    """
+
+    def __init__(self, recommender, coalesce: bool) -> None:
+        self._thread = ServerThread(RecommenderServer(recommender, coalesce=coalesce))
+        host, port = self._thread.start()
+        self.client = RecommenderClient(host, port)
+
+    @property
+    def owner(self):
+        """The server-side recommender (tracks snapshot-reload swaps)."""
+        return self._thread.server.recommender
+
+    @property
+    def index(self):
+        return self.owner.index
+
+    def observe_item(self, item: SocialItem) -> None:
+        self.client.observe(item)
+
+    def update(self, interaction, payload_item) -> None:
+        self.client.update(interaction, payload_item)
+
+    def recommend(self, item: SocialItem, k: int):
+        return self.client.recommend(item, k)
+
+    def recommend_batch(self, items, k: int):
+        return self.client.recommend_batch(items, k)
+
+    def recommend_window(self, items, k: int):
+        return self.client.recommend_window(items, k)
+
+    def snapshot_reload(self, path) -> None:
+        """Server-side save + owner swap, behind the live connection."""
+        self.client.snapshot(path, reload=True)
+
+    def close(self) -> None:
+        self.client.close()
+        self._thread.stop()
+
+
 class _PathState:
     """One plan's live replica plus its accumulating report."""
 
@@ -197,8 +259,9 @@ class ConformanceRunner:
             is applied on top.
         paths: subset of :data:`CONFORMANCE_PATHS` to replay.
         snapshot_window: before serving this window index, the sharded
-            index path is saved to disk and reloaded — the warm-started
-            service must continue bit-compatibly mid-stream.
+            index path is saved to disk and reloaded, and the coalescing
+            wire path takes a server-side snapshot + owner swap — both
+            warm starts must continue bit-compatibly mid-stream.
         restart_window: before serving this window index, the process
             path's shard workers go through a rolling restart (collect →
             stop → respawn) — the respawned workers must continue
@@ -267,6 +330,14 @@ class ConformanceRunner:
                     workers=self.workers,
                     backend=None if backend == "sequential" else backend,
                 )
+            elif plan.is_wire:
+                if plan.uses_index:
+                    replica.attach_index()
+                # Micro-batch wire plans coalesce on the server; per-item
+                # wire plans dispatch each request alone (coalesce off).
+                recommender = _WireReplica(
+                    replica, coalesce=plan.batching == "micro-batch"
+                )
             else:
                 if plan.uses_index:
                     replica.attach_index()
@@ -308,14 +379,18 @@ class ConformanceRunner:
             paths={name: states[name].report for name in states},
         )
 
-        if snapshot_dir is not None:
-            self._replay(scenario, oracle_rec, oracle, states, Path(snapshot_dir))
-        else:
-            with tempfile.TemporaryDirectory(prefix="repro-conformance-") as tmp:
-                self._replay(scenario, oracle_rec, oracle, states, Path(tmp))
-        for state in states.values():
-            if state.is_sharded:
-                state.recommender.close()
+        try:
+            if snapshot_dir is not None:
+                self._replay(scenario, oracle_rec, oracle, states, Path(snapshot_dir))
+            else:
+                with tempfile.TemporaryDirectory(prefix="repro-conformance-") as tmp:
+                    self._replay(scenario, oracle_rec, oracle, states, Path(tmp))
+        finally:
+            # Sharded replicas own worker processes and wire replicas own
+            # a live server thread — release both even on a failed replay.
+            for state in states.values():
+                if state.is_sharded or state.plan.is_wire:
+                    state.recommender.close()
         return report
 
     def _replay(self, scenario, oracle_rec, oracle, states, snapshot_dir) -> None:
@@ -365,6 +440,15 @@ class ConformanceRunner:
                 # stream continues through the fresh processes.
                 state.recommender.restart_workers()
                 state.report.worker_restarts += 1
+            if (
+                name == "served-scan-batch"
+                and window_index == self.snapshot_window
+            ):
+                # Server-side snapshot + owner swap behind the live
+                # connection: the warm-started owner must keep serving
+                # bit-compatibly with the (never-reloaded) anchor.
+                state.recommender.snapshot_reload(snapshot_dir / f"{state.name}-w")
+                state.report.snapshot_reloads += 1
             results = self._serve(state, window)
             state.report.n_windows += 1
             state.report.n_queries += len(window) * (2 if state.is_sharded else 1)
@@ -387,6 +471,13 @@ class ConformanceRunner:
                 "item": [rec.recommend(item, self.k) for item in window],
                 "batch": rec.recommend_batch(window, self.k),
             }
+        elif state.plan.is_wire:
+            if state.plan.batching == "micro-batch":
+                # Pipelined per-item requests: the server's dynamic
+                # coalescer — not the client — forms the micro-batches.
+                results = {"batch": rec.recommend_window(window, self.k)}
+            else:
+                results = {"item": [rec.recommend(item, self.k) for item in window]}
         elif state.plan.batching == "micro-batch":
             results = {"batch": rec.recommend_batch(window, self.k)}
         else:

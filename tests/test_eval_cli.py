@@ -156,6 +156,7 @@ class TestDispatch:
         assert set(ALL_EXPERIMENTS) == {
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
             "fig10", "fig11", "batch", "sharded", "cache", "conformance",
+            "serve", "loadgen",
         }
 
 

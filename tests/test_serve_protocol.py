@@ -1,0 +1,353 @@
+"""Wire protocol: property-based round-trips and adversarial decoding.
+
+Two families, mirroring the protocol's two obligations:
+
+- **Round-trip**: every message type — all six request ops with
+  hypothesis-generated domain objects (finite floats only; the wire is
+  standard JSON) and every reply status — must survive
+  encode -> frame-split -> decode bit for bit, under arbitrary
+  chunking of the byte stream (the decoder is incremental).
+- **Rejection**: torn frames, oversized length prefixes, malformed
+  JSON, unknown protocol versions/kinds/ops and ill-typed fields must
+  all raise a typed :class:`ProtocolError` — never hang, never leak a
+  random exception.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.schema import Interaction, SocialItem
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_OPS,
+    FrameDecoder,
+    ProtocolError,
+    Reply,
+    Request,
+    decode_payload,
+    decode_reply,
+    decode_request,
+    encode_frame,
+    encode_reply,
+    encode_request,
+    interaction_from_wire,
+    interaction_to_wire,
+    item_from_wire,
+    item_to_wire,
+    ranked_from_wire,
+    ranked_to_wire,
+)
+
+# ----------------------------------------------------------------------
+# Strategies: JSON-representable domain objects (finite floats only)
+# ----------------------------------------------------------------------
+ids = st.integers(min_value=0, max_value=2**40)
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+items = st.builds(
+    SocialItem,
+    item_id=ids,
+    category=st.integers(min_value=0, max_value=500),
+    producer=ids,
+    entities=st.tuples(*[st.integers(min_value=0, max_value=10_000)] * 3).map(
+        lambda t: t[: t[0] % 4]
+    ),
+    text=st.text(max_size=40),
+    timestamp=finite_floats,
+)
+
+interactions = st.builds(
+    Interaction,
+    user_id=ids,
+    item_id=ids,
+    category=st.integers(min_value=0, max_value=500),
+    producer=ids,
+    timestamp=finite_floats,
+)
+
+ranked_lists = st.lists(st.tuples(ids, finite_floats), max_size=8).map(
+    lambda pairs: [(uid, float(score)) for uid, score in pairs]
+)
+
+optional_k = st.one_of(st.none(), st.integers(min_value=0, max_value=1000))
+
+
+def requests_for(op: str):
+    """A strategy of wire-shaped request payloads for ``op``."""
+    if op == "observe":
+        return st.builds(lambda it: {"item": item_to_wire(it)}, items)
+    if op == "update":
+        return st.builds(
+            lambda inter, it: {
+                "interaction": interaction_to_wire(inter),
+                "item": None if it is None else item_to_wire(it),
+            },
+            interactions,
+            st.one_of(st.none(), items),
+        )
+    if op == "recommend":
+        return st.builds(
+            lambda it, k: {"item": item_to_wire(it), "k": k}, items, optional_k
+        )
+    if op == "recommend_batch":
+        return st.builds(
+            lambda its, k: {"items": [item_to_wire(it) for it in its], "k": k},
+            st.lists(items, max_size=5),
+            optional_k,
+        )
+    if op == "snapshot":
+        return st.builds(
+            lambda path, reload_flag: {"path": path, "reload": reload_flag},
+            st.text(min_size=1, max_size=30),
+            st.booleans(),
+        )
+    return st.just({})  # stats
+
+
+any_request = st.sampled_from(REQUEST_OPS).flatmap(
+    lambda op: st.tuples(st.just(op), requests_for(op), ids)
+)
+
+
+def roundtrip(frame: bytes, chunk: int) -> dict:
+    """Feed one frame through an incremental decoder in ``chunk``-sized
+    pieces and return the single decoded message."""
+    decoder = FrameDecoder()
+    messages = []
+    for start in range(0, len(frame), chunk):
+        messages.extend(decoder.feed(frame[start : start + chunk]))
+    decoder.close()  # nothing buffered — the frame was whole
+    assert len(messages) == 1
+    return messages[0]
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @given(any_request, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=150, deadline=None)
+    def test_every_request_op_roundtrips(self, spec, chunk):
+        op, payload, request_id = spec
+        frame = encode_request(Request(op, request_id, payload))
+        decoded = decode_request(roundtrip(frame, chunk))
+        assert decoded.op == op
+        assert decoded.request_id == request_id
+        # The decoded payload holds typed domain objects equal (bitwise —
+        # dataclass equality compares the float fields exactly) to what
+        # was encoded.
+        if op == "observe":
+            assert decoded.payload["item"] == item_from_wire(payload["item"])
+        elif op == "update":
+            assert decoded.payload["interaction"] == interaction_from_wire(
+                payload["interaction"]
+            )
+        elif op == "recommend":
+            assert decoded.payload["k"] == payload["k"]
+            assert item_to_wire(decoded.payload["item"]) == payload["item"]
+        elif op == "recommend_batch":
+            assert [item_to_wire(it) for it in decoded.payload["items"]] == (
+                payload["items"]
+            )
+        elif op == "snapshot":
+            assert decoded.payload == payload
+
+    @given(ids, ranked_lists, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_ok_reply_roundtrips_scores_bitwise(self, request_id, ranked, chunk):
+        reply = Reply(request_id, "ok", result=ranked_to_wire(ranked))
+        decoded = decode_reply(roundtrip(encode_reply(reply), chunk))
+        assert decoded.request_id == request_id
+        assert decoded.status == "ok"
+        # float repr round-trips binary64 exactly: not one ULP moves.
+        assert ranked_from_wire(decoded.result) == ranked
+
+    @given(ids, st.sampled_from(["error", "overload"]), st.text(max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_failure_replies_roundtrip(self, request_id, status, error):
+        decoded = decode_reply(roundtrip(encode_reply(
+            Reply(request_id, status, error=error)
+        ), 5))
+        assert (decoded.request_id, decoded.status, decoded.error) == (
+            request_id, status, error
+        )
+
+    @given(items)
+    @settings(max_examples=60, deadline=None)
+    def test_item_wire_shape_is_lossless(self, item):
+        assert item_from_wire(item_to_wire(item)) == item
+
+    @given(interactions)
+    @settings(max_examples=60, deadline=None)
+    def test_interaction_wire_shape_is_lossless(self, interaction):
+        assert interaction_from_wire(interaction_to_wire(interaction)) == interaction
+
+    @given(st.lists(st.binary(min_size=0, max_size=3), max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_chunking_yields_all_frames(self, paddings):
+        """Many frames in one stream, split at arbitrary points."""
+        frames = [
+            encode_request(Request("stats", i, {})) for i in range(len(paddings) + 2)
+        ]
+        stream = b"".join(frames)
+        decoder = FrameDecoder()
+        out = []
+        # Cut the stream at pseudo-arbitrary points derived from the data.
+        cut = 1
+        position = 0
+        for padding in paddings:
+            cut = 1 + (cut + sum(padding)) % 9
+            out.extend(decoder.feed(stream[position : position + cut]))
+            position += cut
+        out.extend(decoder.feed(stream[position:]))
+        decoder.close()
+        assert [m["id"] for m in out] == list(range(len(frames)))
+
+
+# ----------------------------------------------------------------------
+# Adversarial rejection
+# ----------------------------------------------------------------------
+class TestRejection:
+    def test_torn_frame_raises_on_close(self):
+        frame = encode_request(Request("stats", 1, {}))
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame[:-3])) == []
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            decoder.close()
+
+    @given(st.binary(min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_any_partial_frame_is_torn(self, prefix):
+        decoder = FrameDecoder()
+        list(decoder.feed(prefix))
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            decoder.close()
+
+    def test_oversized_length_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            list(decoder.feed(struct.pack(">I", 65)))
+        # Rejection happened on the 4-byte prefix alone — no payload was
+        # ever needed (a corrupt length cannot make the peer allocate).
+        assert decoder.buffered == 4
+
+    def test_encode_rejects_oversized_frame(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"kind": "request", "blob": "x" * 100}, max_frame_bytes=64)
+
+    @given(st.binary(min_size=0, max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_garbage_payload_never_escapes_protocolerror(self, garbage):
+        """Any byte soup framed with a correct length either parses as a
+        versioned message or dies as a ProtocolError — nothing else."""
+        framed = struct.pack(">I", len(garbage)) + garbage
+        decoder = FrameDecoder()
+        try:
+            for message in decoder.feed(framed):
+                assert message["v"] == PROTOCOL_VERSION
+        except ProtocolError:
+            pass
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="bad JSON"):
+            decode_payload(b"{not json")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            decode_payload(b"[1,2,3]")
+
+    @pytest.mark.parametrize("version", [None, 0, 2, "1", 1.5])
+    def test_unknown_version_rejected(self, version):
+        raw = json.dumps({"v": version, "kind": "request", "op": "stats", "id": 1})
+        with pytest.raises(ProtocolError, match="version"):
+            decode_payload(raw.encode())
+
+    def test_unknown_kind_rejected(self):
+        raw = json.dumps({"v": PROTOCOL_VERSION, "kind": "gossip"})
+        with pytest.raises(ProtocolError, match="kind"):
+            decode_payload(raw.encode())
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request op"):
+            decode_request({"v": PROTOCOL_VERSION, "kind": "request",
+                            "op": "teleport", "id": 1})
+        with pytest.raises(ProtocolError, match="unknown request op"):
+            encode_request(Request("teleport", 1, {}))
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown reply status"):
+            decode_reply({"v": PROTOCOL_VERSION, "kind": "reply", "id": 1,
+                          "status": "maybe"})
+        with pytest.raises(ProtocolError, match="unknown reply status"):
+            encode_reply(Reply(1, "maybe"))
+
+    def test_kind_mismatch_rejected(self):
+        request = {"v": PROTOCOL_VERSION, "kind": "request", "op": "stats", "id": 1}
+        reply = {"v": PROTOCOL_VERSION, "kind": "reply", "id": 1, "status": "ok",
+                 "result": None, "error": ""}
+        with pytest.raises(ProtocolError, match="expected a reply"):
+            decode_reply(request)
+        with pytest.raises(ProtocolError, match="expected a request"):
+            decode_request(reply)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("item_id", "7"),
+            ("item_id", 7.5),
+            ("item_id", True),  # bool is not an id on this wire
+            ("category", None),
+            ("entities", 3),
+            ("text", 9),
+            ("timestamp", "now"),
+        ],
+    )
+    def test_ill_typed_item_fields_rejected(self, field, value):
+        wire = item_to_wire(SocialItem(1, 2, 3, (4,), "t", 5.0))
+        wire[field] = value
+        with pytest.raises(ProtocolError, match=f"item.{field}"):
+            item_from_wire(wire)
+
+    def test_negative_or_ill_typed_ids_rejected(self):
+        base = {"v": PROTOCOL_VERSION, "kind": "request", "op": "stats"}
+        for bad in (-1, "3", None, True):
+            with pytest.raises(ProtocolError):
+                decode_request({**base, "id": bad})
+
+    def test_bad_k_rejected(self):
+        wire = {"v": PROTOCOL_VERSION, "kind": "request", "op": "recommend",
+                "id": 1, "item": item_to_wire(SocialItem(1, 2, 3, (), "t", 0.0))}
+        for bad in (-1, "5", 2.5, True):
+            with pytest.raises(ProtocolError, match="k"):
+                decode_request({**wire, "k": bad})
+
+    def test_bad_snapshot_reload_flag_rejected(self):
+        with pytest.raises(ProtocolError, match="reload"):
+            decode_request({"v": PROTOCOL_VERSION, "kind": "request",
+                            "op": "snapshot", "id": 1, "path": "p", "reload": 1})
+
+    def test_malformed_ranked_entries_rejected(self):
+        with pytest.raises(ProtocolError, match="pair"):
+            ranked_from_wire([[1, 2.0, 3.0]])
+        with pytest.raises(ProtocolError, match="ranked"):
+            ranked_from_wire("nope")
+
+    def test_nan_scores_refused_at_encode(self):
+        # At the wire boundary where scores enter...
+        with pytest.raises(ProtocolError, match="unencodable"):
+            ranked_to_wire([(1, float("nan"))])
+        with pytest.raises(ProtocolError, match="unencodable"):
+            ranked_to_wire([(1, float("inf"))])
+        # ...and on decode, where the stdlib parser would otherwise admit
+        # a hostile peer's NaN/Infinity literals.
+        with pytest.raises(ProtocolError, match="finite"):
+            ranked_from_wire([[1, float("nan")]])
+
+    def test_default_limit_is_sane(self):
+        assert 0 < DEFAULT_MAX_FRAME_BYTES <= 2**31

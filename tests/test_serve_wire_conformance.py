@@ -1,0 +1,91 @@
+"""Wire conformance: the served-* path family through a live socket.
+
+The differential harness's strongest claim about the network layer:
+replaying adversarial scenarios through a **live server** — every
+observe, update and recommend crossing the framed JSON protocol, windows
+arriving as pipelined requests that the server's dynamic coalescer
+regroups — produces results **bit-identical** to the in-process anchor
+paths.  ``served-scan-batch`` additionally takes one mid-stream
+server-side snapshot + owner swap and must keep matching the
+(never-reloaded) anchor afterwards.
+
+The family is registry-derived: the ``served-*`` plans are registered
+like any other, so they appear in ``--list-paths``, in
+:data:`CONFORMANCE_PATHS`, and in every default conformance run with no
+second catalog to maintain.
+"""
+
+import pytest
+
+from repro.exec import PLAN_REGISTRY
+from repro.sim import CONFORMANCE_PATHS, ConformanceRunner, ScenarioGenerator
+
+#: The scenarios this suite replays through the wire: out-of-order
+#: at-least-once delivery (duplicates crossing the coalescer) and upload
+#: bursts (windows larger than the arrival pattern the coalescer sees).
+WIRE_SCENARIOS = ("duplicate_out_of_order", "bursty_uploads")
+
+#: Anchors first (they produce the bitwise reference), then the wire
+#: family judged against them.
+WIRE_PATHS = ("scan-item", "index-item", "served-scan-batch", "served-index-item")
+
+
+@pytest.fixture(scope="module")
+def reports(ytube_small):
+    generator = ScenarioGenerator(base=ytube_small, seed=5, max_events=240)
+    runner = ConformanceRunner(
+        k=6, window_size=6, paths=WIRE_PATHS, snapshot_window=1
+    )
+    return {
+        name: runner.run(generator.generate(name)) for name in WIRE_SCENARIOS
+    }
+
+
+class TestWireBitParity:
+    def test_zero_divergences_through_the_socket(self, reports):
+        for name, report in reports.items():
+            assert report.conformant, f"{name}:\n{report.to_text()}"
+
+    def test_wire_paths_actually_served(self, reports):
+        for report in reports.values():
+            for path in ("served-scan-batch", "served-index-item"):
+                assert report.paths[path].n_windows > 0
+                assert report.paths[path].n_queries > 0
+
+    def test_snapshot_reloaded_behind_live_connection(self, reports):
+        """One server-side snapshot + owner swap mid-stream; the reloaded
+        owner must keep matching the never-reloaded anchor bit for bit
+        (the zero-divergence assertion covers the matching; this pins
+        that the swap actually happened)."""
+        for report in reports.values():
+            assert report.paths["served-scan-batch"].snapshot_reloads == 1
+            assert report.paths["served-index-item"].snapshot_reloads == 0
+
+
+class TestWireFamilyRegistration:
+    """The served-* family is a first-class registry citizen."""
+
+    def test_in_conformance_catalog(self):
+        assert "served-scan-batch" in CONFORMANCE_PATHS
+        assert "served-index-item" in CONFORMANCE_PATHS
+
+    def test_plans_are_wire_and_anchored(self):
+        scan = PLAN_REGISTRY.get("served-scan-batch")
+        index = PLAN_REGISTRY.get("served-index-item")
+        assert scan.is_wire and index.is_wire
+        # Wire plans are always anchored: bitwise judgement, never the
+        # tie-tolerant oracle comparison.
+        assert scan.anchor == "scan-item"
+        assert index.anchor == "index-item"
+        assert scan.batching == "micro-batch"  # coalescing arm
+        assert index.batching == "item"  # per-request dispatch arm
+
+    def test_list_paths_shows_served_family(self, capsys):
+        """``python -m repro.eval conformance --list-paths`` prints it."""
+        from repro.eval.__main__ import main
+
+        assert main(["conformance", "--list-paths"]) == 0
+        out = capsys.readouterr().out
+        assert "served-scan-batch" in out
+        assert "served-index-item" in out
+        assert "wire" in out

@@ -9,6 +9,7 @@ their own pools keep the shard count at 2.
 from __future__ import annotations
 
 import copy
+import time
 
 import pytest
 
@@ -201,6 +202,60 @@ class TestPoolLifecycle:
     def test_pool_requires_shards(self):
         with pytest.raises(ValueError, match="at least one shard"):
             ShardWorkerPool([])
+
+
+class TestReplyDiscipline:
+    """Sequence-tagged exchanges: failed fan-outs must never skew later
+    replies, and a death in the fan-out/reply gap must fail fast."""
+
+    @pytest.fixture
+    def pool_service(self, fitted_ssrec):
+        trained = copy.deepcopy(fitted_ssrec)
+        service = ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        )
+        pool = service._ensure_pool()
+        yield service, pool
+        pool.close()
+        service._pool = None  # closed manually; nothing left to collect
+
+    def test_death_between_fanout_and_reply_fails_fast(self, pool_service):
+        service, pool = pool_service
+        worker = pool._workers[1]
+        assert pool.call(1, "n_users") >= 0  # worker fully up
+        worker.process.terminate()
+        worker.process.join(timeout=10)
+        # The request is already enqueued — exactly the fan-out/reply gap —
+        # and no reply will ever come.  Liveness polling must surface the
+        # death in a poll interval, not after the full reply timeout.
+        seq = pool._send(worker, "n_users", ())
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="died"):
+            pool._reply_from(worker, 1, seq)
+        assert time.monotonic() - started < pool.reply_timeout / 2
+
+    def test_forged_stale_reply_is_discarded(self, pool_service):
+        service, pool = pool_service
+        expected = pool.call(0, "n_users")
+        worker = pool._workers[0]
+        # A leftover reply from an abandoned exchange (its tag was already
+        # consumed or abandoned) sits in the queue; the next call must
+        # skip it rather than serve garbage.
+        worker.replies.put((worker.seq, "ok", "stale-garbage"))
+        assert pool.call(0, "n_users") == expected
+
+    def test_failed_map_leaves_later_exchanges_aligned(self, pool_service):
+        service, pool = pool_service
+        counts = pool.map("n_users")
+        # The bad op fails on worker 0 and unwinds map() mid-collection,
+        # abandoning worker 1's (error) reply in its queue.
+        with pytest.raises(ShardWorkerError, match="unknown worker op"):
+            pool.map("teleport")
+        # Before sequence tags, worker 1's stale error would be consumed
+        # as the reply of whatever came next, failing it spuriously and
+        # shifting every later reply off by one.
+        assert pool.call(1, "n_users") == counts[1]
+        assert pool.map("n_users") == counts
 
 
 class TestWorkerOps:
