@@ -67,7 +67,19 @@ def test_server_coalescing(bench_run, bench_seed, save_result, efficiency_datase
         "max_batch_size": result.max_batch_size,
         "n_items": result.n_items,
     }
-    extras = {"scale": SCALE, "concurrency": result.concurrency, "k": result.k}
+    # The coalesced server's metrics scrape rides along in extras (nested
+    # registry dump); prove it round-trips the obs schema before writing
+    # so the artifact never carries an unparseable dump.
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry.from_dict(result.obs.get("registry", {}))
+    assert registry.to_dict() == result.obs.get("registry"), "obs dump round-trip"
+    extras = {
+        "scale": SCALE,
+        "concurrency": result.concurrency,
+        "k": result.k,
+        "obs": result.obs,
+    }
     save_result("server", result.to_text(), metrics=metrics, checks=checks,
                 extras=extras)
     # The wire is exact or it is nothing: both arms matched the in-process

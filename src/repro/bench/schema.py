@@ -24,6 +24,7 @@ the gate — never silently passes through CI.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import sys
@@ -118,13 +119,47 @@ class BenchResult:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / artifact_name(self.name)
-        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        path.write_text(json.dumps(data, indent=2, sort_keys=True, allow_nan=False) + "\n")
         return path
 
 
 def _require(condition: bool, problems: list[str], message: str) -> None:
     if not condition:
         problems.append(message)
+
+
+def _check_json_clean(value: object, where: str, problems: list[str]) -> None:
+    """Recursively require ``value`` to be strict-JSON serializable.
+
+    ``extras`` is free-form (nested metric-registry dumps, figure
+    series), but it still must survive ``json.dumps(..., allow_nan=False)``
+    and a round trip: string keys only, no NaN/Inf, no foreign types.
+    Checked at validation time so a bench with a poisoned payload fails
+    its own run, not the later gate that loads the artifact.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return
+    if isinstance(value, float):
+        _require(
+            math.isfinite(value),
+            problems,
+            f"{where} must be a finite number, got {value!r}",
+        )
+        return
+    if isinstance(value, dict):
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                problems.append(f"{where} has a non-string key {key!r}")
+                continue
+            _check_json_clean(entry, f"{where}[{key!r}]", problems)
+        return
+    if isinstance(value, list):
+        for index, entry in enumerate(value):
+            _check_json_clean(entry, f"{where}[{index}]", problems)
+        return
+    problems.append(
+        f"{where} must be JSON-serializable, got {type(value).__name__}"
+    )
 
 
 def validate_result(data: object, source: str = "artifact") -> dict:
@@ -162,7 +197,13 @@ def validate_result(data: object, source: str = "artifact") -> dict:
     )
     _require(isinstance(data.get("meta"), dict), problems, "meta must be an object")
     _require(isinstance(data.get("checks", {}), dict), problems, "checks must be an object")
-    _require(isinstance(data.get("extras", {}), dict), problems, "extras must be an object")
+    extras = data.get("extras", {})
+    if not isinstance(extras, dict):
+        problems.append("extras must be an object")
+    else:
+        # extras may nest arbitrarily deep (metric-registry dumps ride
+        # along here) but must stay strict-JSON clean all the way down.
+        _check_json_clean(extras, "extras", problems)
 
     metrics = data.get("metrics")
     if not isinstance(metrics, dict) or not metrics:

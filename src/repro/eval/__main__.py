@@ -34,6 +34,7 @@ against an external ``--address host:port`` (unverified)::
     python -m repro.eval serve --dataset YTube --scale default --port 7431
     python -m repro.eval loadgen --scenarios duplicate_out_of_order,bursty_uploads
     python -m repro.eval loadgen --address 127.0.0.1:7431 --no-verify
+    python -m repro.eval loadgen --obs-dump metrics.json
 
 ``--paths`` accepts plan names from the registry (``--list-paths`` prints
 it, one line per plan — the conformance catalog is registry-derived, so
@@ -152,12 +153,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="loadgen only: skip the bitwise replica verification",
     )
     parser.add_argument(
+        "--obs-dump",
+        default=None,
+        metavar="PATH",
+        help="loadgen only: write the merged server metrics scrape "
+        "(registry dump + Prometheus text + slow-request log) to PATH as "
+        "JSON — readable by `python -m repro.obs summarize`",
+    )
+    parser.add_argument(
         "--no-coalesce",
         action="store_true",
         help="serve/loadgen: per-request dispatch instead of micro-batch "
         "coalescing",
     )
     return parser
+
+
+def _write_obs_dump(path: str, reports) -> None:
+    """Merge every scenario's server metrics scrape into one dump file.
+
+    Each loadgen report carries the ``metrics``-route payload of its own
+    (per-scenario) server; merging their registries gives the suite-wide
+    view.  The written JSON round-trips through
+    ``python -m repro.obs summarize`` — CI schema-checks it that way.
+    """
+    import json
+
+    from repro.obs import MetricsRegistry
+
+    merged = MetricsRegistry()
+    slow_requests: list = []
+    for report in reports:
+        obs = getattr(report, "server_obs", None) or {}
+        registry = obs.get("registry")
+        if registry is not None:
+            merged.merge(MetricsRegistry.from_dict(registry))
+        slow_requests.extend(obs.get("slow_requests", []))
+    payload = {
+        "registry": merged.to_dict(),
+        "prometheus": merged.to_prometheus(),
+        "slow_requests": slow_requests,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, allow_nan=False)
+    print(f"server metrics dump written to {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -187,6 +226,8 @@ def main(argv: list[str] | None = None) -> int:
             address=address,
         )
         print(result.to_text())
+        if args.obs_dump:
+            _write_obs_dump(args.obs_dump, result.reports)
         # Non-zero exit on any served/replica divergence: CI gates on this.
         return 0 if result.total_divergences == 0 else 1
     if args.experiment == "conformance":

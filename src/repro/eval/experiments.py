@@ -1223,6 +1223,9 @@ class ServerThroughputResult:
             round-trip percentiles per arm.
         mean_batch_size / max_batch_size: the coalescer's formed batches.
         parity_ok: every served list matched the in-process reference.
+        obs: the coalesced server's ``metrics``-route payload after the
+            measured rounds — the server-side queue-wait vs batch-exec
+            decomposition behind the client-observed latencies.
     """
 
     dataset: str
@@ -1236,6 +1239,7 @@ class ServerThroughputResult:
     mean_batch_size: float
     max_batch_size: int
     parity_ok: bool
+    obs: dict = field(default_factory=dict)
 
     @property
     def per_request_items_per_sec(self) -> float:
@@ -1268,6 +1272,19 @@ class ServerThroughputResult:
             f"  speedup: {self.speedup:.2f}x",
             f"  parity: {'bit-identical' if self.parity_ok else 'BROKEN'}",
         ]
+        histograms = {
+            entry.get("name"): entry
+            for entry in self.obs.get("registry", {}).get("histograms", [])
+        }
+        queue = histograms.get("server.queue_seconds")
+        batch = histograms.get("server.batch_seconds")
+        if queue or batch:
+            lines.append(
+                "  server-side: "
+                f"queued {0 if queue is None else queue.get('count', 0)} requests, "
+                f"executed {0 if batch is None else batch.get('count', 0)} batches "
+                "(scrape the metrics route for the full registry)"
+            )
         return "\n".join(lines)
 
 
@@ -1367,6 +1384,10 @@ def run_server_throughput(
         mean_batch_size=batch_stats[0],
         max_batch_size=batch_stats[1],
         parity_ok=parity_ok,
+        # The coalesced arm's metrics scrape (cumulative up to its best
+        # round): the server-side queue/batch decomposition behind the
+        # client-observed latencies.
+        obs=measured["coalesced"].server_obs,
     )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-import numpy as np
+from repro.obs.metrics import exact_percentile
 
 
 def precision_at_k(
@@ -120,10 +120,9 @@ class TimingStats:
         return self.total / self.n if self.samples else 0.0
 
     def percentile(self, q: float) -> float:
-        """q-th percentile (0..100) of the samples."""
-        if not self.samples:
-            return 0.0
-        return float(np.percentile(np.asarray(self.samples), q))
+        """q-th percentile (0..100) of the samples (the one shared
+        implementation in :mod:`repro.obs.metrics`)."""
+        return exact_percentile(self.samples, q)
 
     @property
     def p50(self) -> float:

@@ -23,6 +23,7 @@ from collections.abc import Sequence
 from repro.core.config import SsRecConfig
 from repro.datasets.schema import SocialItem
 from repro.exec.cache import ResultCache
+from repro.obs.hooks import active_hooks
 from repro.exec.ops import (
     CppseKnnOp,
     CppseProbeCandidateOp,
@@ -79,8 +80,15 @@ class CompiledPlan:
     def run_item(self, item: SocialItem, k: int | None = None) -> RankedList:
         """Top-``k`` ``(user_id, score)`` for one item."""
         ctx = ExecContext([item], coerce_k(k, self.owner.config))
-        for op in self.ops:
-            op.run_item(ctx)
+        hooks = active_hooks()
+        if hooks is None:  # nobody watching: keep the original tight loop
+            for op in self.ops:
+                op.run_item(ctx)
+        else:
+            plan_name = self.plan.name
+            for op in self.ops:
+                with hooks.operator(plan_name, type(op).__name__):
+                    op.run_item(ctx)
         assert ctx.ranked is not None
         return ctx.ranked[0]
 
@@ -92,8 +100,15 @@ class CompiledPlan:
         if not items:
             return []
         ctx = ExecContext(items, coerce_k(k, self.owner.config))
-        for op in self.ops:
-            op.run_batch(ctx)
+        hooks = active_hooks()
+        if hooks is None:  # nobody watching: keep the original tight loop
+            for op in self.ops:
+                op.run_batch(ctx)
+        else:
+            plan_name = self.plan.name
+            for op in self.ops:
+                with hooks.operator(plan_name, type(op).__name__):
+                    op.run_batch(ctx)
         assert ctx.ranked is not None
         return ctx.ranked
 

@@ -274,20 +274,54 @@ class FanoutOp(ServeOp):
         service = self.service
         item, k = ctx.items[0], ctx.k
         if service.backend == "process":
-            ctx.per_shard = service._ensure_pool().map("recommend", item, k)
+            from repro.obs.trace import trace_context
+
+            ctx.per_shard = service._ensure_pool().map(
+                "recommend", item, k, trace_ctx=trace_context()
+            )
             return
         service.scorer.expanded_query(item)
-        ctx.per_shard = service._fan_out(lambda shard: shard.recommend(item, k))
+        ctx.per_shard = service._fan_out(
+            self._traced(lambda shard: shard.recommend(item, k))
+        )
 
     def run_batch(self, ctx: ExecContext) -> None:
         service = self.service
         items, k = ctx.items, ctx.k
         if service.backend == "process":
-            ctx.per_shard = service._ensure_pool().map("recommend_batch", items, k)
+            from repro.obs.trace import trace_context
+
+            ctx.per_shard = service._ensure_pool().map(
+                "recommend_batch", items, k, trace_ctx=trace_context()
+            )
             return
         for item in items:
             service.scorer.expanded_query(item)
-        ctx.per_shard = service._fan_out(lambda shard: shard.recommend_batch(items, k))
+        ctx.per_shard = service._fan_out(
+            self._traced(lambda shard: shard.recommend_batch(items, k))
+        )
+
+    @staticmethod
+    def _traced(call):
+        """Carry the caller's active trace onto the fan-out threads.
+
+        The threaded backend runs shards on pool threads whose
+        thread-local trace state is empty; re-installing the caller's
+        trace there lets per-shard spans attach to the request's tree.
+        With no active trace this returns ``call`` untouched.
+        """
+        from repro.obs.trace import current_parent_id, current_trace, use_trace
+
+        trace = current_trace()
+        if trace is None:
+            return call
+        parent_id = current_parent_id()
+
+        def traced_call(shard):
+            with use_trace(trace, parent_id):
+                return call(shard)
+
+        return traced_call
 
 
 class MergeOp(ServeOp):

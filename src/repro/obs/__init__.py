@@ -1,0 +1,60 @@
+"""repro.obs — dependency-free observability: metrics, traces, profiles.
+
+One subsystem answers "where did the milliseconds go?" across the whole
+stack:
+
+- :mod:`repro.obs.metrics` — mergeable counters/gauges/histograms in a
+  :class:`MetricsRegistry`; shard workers ship dumps over their reply
+  queue, the server's ``metrics`` route merges and exposes them
+  (Prometheus text + JSON).
+- :mod:`repro.obs.trace` — per-request trace ids and spans propagated
+  across threads, worker processes and the wire protocol into one span
+  tree per served request.
+- :mod:`repro.obs.hooks` — the ``compile_plan`` seam wrapping every
+  exec operator; answers ``None`` when nobody is watching, so the
+  disabled path stays bit-identical and effectively free.
+- :mod:`repro.obs.profile` — ``REPRO_PROFILE=1`` per-operator wall and
+  allocation profiling dumped as flamegraph-compatible collapsed
+  stacks.
+
+``python -m repro.obs`` scrapes a live server's metrics route,
+summarizes a dump, or diffs two dumps.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    ObsSchemaError,
+    exact_percentile,
+)
+from repro.obs.trace import (
+    Trace,
+    build_tree,
+    current_trace,
+    span,
+    trace_context,
+    use_trace,
+)
+from repro.obs.hooks import ExecHooks, active_hooks
+from repro.obs.profile import PROFILER, OperatorProfiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ObsSchemaError",
+    "exact_percentile",
+    "Trace",
+    "build_tree",
+    "current_trace",
+    "span",
+    "trace_context",
+    "use_trace",
+    "ExecHooks",
+    "active_hooks",
+    "PROFILER",
+    "OperatorProfiler",
+]

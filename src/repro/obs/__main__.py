@@ -1,0 +1,168 @@
+"""Observability CLI: scrape a live server, summarize or diff dumps.
+
+::
+
+    python -m repro.obs scrape 127.0.0.1:7431                # JSON dump
+    python -m repro.obs scrape 127.0.0.1:7431 --prometheus   # text format
+    python -m repro.obs summarize obs.json                   # schema check + table
+    python -m repro.obs diff before.json after.json          # what moved
+
+``summarize`` and ``diff`` accept either a bare registry dump
+(:meth:`~repro.obs.metrics.MetricsRegistry.to_dict`) or the server's
+full ``metrics``-route payload (which nests the dump under
+``"registry"``).  Both validate the dump against the registry schema
+and exit non-zero on a malformed file — the CI server-smoke job uses
+``summarize`` as its metrics-route schema gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry, ObsSchemaError
+
+
+def _load_registry(path: str) -> MetricsRegistry:
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ObsSchemaError(f"{path}: unreadable: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObsSchemaError(f"{path}: malformed JSON: {exc}") from exc
+    if isinstance(data, dict) and "registry" in data:
+        data = data["registry"]  # metrics-route payload wrapping the dump
+    return MetricsRegistry.from_dict(data)
+
+
+def _metric_label(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{rendered}}}"
+
+
+def _summarize(registry: MetricsRegistry) -> str:
+    lines = []
+    counters = registry.counters()
+    if counters:
+        lines.append("counters:")
+        lines.extend(
+            f"  {_metric_label(c.name, c.labels):<48} {c.value}" for c in counters
+        )
+    gauges = registry.gauges()
+    if gauges:
+        lines.append("gauges:")
+        lines.extend(
+            f"  {_metric_label(g.name, g.labels):<48} {g.value:g}" for g in gauges
+        )
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("histograms:")
+        for name, labels, hist in histograms:
+            summary = hist.summary_ms()
+            lines.append(
+                f"  {_metric_label(name, labels):<48} count={hist.count:<8} "
+                f"mean={summary['mean_ms']:8.3f}ms p50={summary['p50_ms']:8.3f}ms "
+                f"p95={summary['p95_ms']:8.3f}ms p99={summary['p99_ms']:8.3f}ms"
+            )
+    if not lines:
+        lines.append("(empty registry)")
+    return "\n".join(lines)
+
+
+def _diff(before: MetricsRegistry, after: MetricsRegistry) -> str:
+    lines = []
+    before_counters = {
+        (c.name, tuple(sorted(c.labels.items()))): c.value for c in before.counters()
+    }
+    after_counters = {
+        (c.name, tuple(sorted(c.labels.items()))): c.value for c in after.counters()
+    }
+    counter_keys = sorted(set(before_counters) | set(after_counters))
+    if counter_keys:
+        lines.append("counters (delta):")
+        for key in counter_keys:
+            name, labels = key
+            delta = after_counters.get(key, 0) - before_counters.get(key, 0)
+            lines.append(f"  {_metric_label(name, dict(labels)):<48} {delta:+d}")
+
+    def hist_index(registry: MetricsRegistry) -> dict:
+        return {
+            (name, tuple(sorted(labels.items()))): hist
+            for name, labels, hist in registry.histograms()
+        }
+
+    before_hists, after_hists = hist_index(before), hist_index(after)
+    hist_keys = sorted(set(before_hists) | set(after_hists))
+    if hist_keys:
+        lines.append("histograms (before -> after):")
+        empty = LatencyHistogram()
+        for key in hist_keys:
+            name, labels = key
+            b = before_hists.get(key, empty)
+            a = after_hists.get(key, empty)
+            lines.append(
+                f"  {_metric_label(name, dict(labels)):<48} "
+                f"count={b.count}->{a.count} "
+                f"p50={b.quantile(50) * 1e3:.3f}->{a.quantile(50) * 1e3:.3f}ms "
+                f"p95={b.quantile(95) * 1e3:.3f}->{a.quantile(95) * 1e3:.3f}ms"
+            )
+    if not lines:
+        lines.append("(both registries empty)")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Scrape, summarize or diff repro.obs metrics dumps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    scrape = sub.add_parser("scrape", help="fetch a live server's metrics route")
+    scrape.add_argument("address", metavar="HOST:PORT")
+    scrape.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print Prometheus text format instead of the JSON dump",
+    )
+    summarize = sub.add_parser(
+        "summarize", help="schema-check one dump and print a readable table"
+    )
+    summarize.add_argument("path")
+    diff = sub.add_parser("diff", help="compare two dumps metric by metric")
+    diff.add_argument("before")
+    diff.add_argument("after")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "scrape":
+            from repro.serve.client import RecommenderClient  # local: keeps obs light
+
+            host, _, port = args.address.rpartition(":")
+            with RecommenderClient(host or "127.0.0.1", int(port)) as client:
+                payload = client.metrics()
+            if args.prometheus:
+                print(payload.get("prometheus", ""), end="")
+            else:
+                print(json.dumps(payload.get("registry", {}), indent=2, sort_keys=True))
+            return 0
+        if args.command == "summarize":
+            print(_summarize(_load_registry(args.path)))
+            return 0
+        if args.command == "diff":
+            print(_diff(_load_registry(args.before), _load_registry(args.after)))
+            return 0
+    except ObsSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(args.command)  # pragma: no cover - argparse restricts
+
+
+if __name__ == "__main__":
+    sys.exit(main())

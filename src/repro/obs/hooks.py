@@ -1,0 +1,90 @@
+"""The exec-pipeline hook seam: spans and profiles around operators.
+
+:func:`active_hooks` is the single question the compiled plan asks per
+request: *is anybody watching?*  With no active trace and the profiler
+disabled it answers ``None`` in two reads, and
+:meth:`~repro.exec.compile.CompiledPlan.run_item` takes its original
+tight loop — the guarantee behind bit-identical disabled-path
+conformance and negligible disabled overhead.  When a trace is active
+(or ``REPRO_PROFILE=1``), each operator runs inside an
+:class:`_OperatorScope` that records an ``exec.<OpName>`` span and/or a
+``repro;<plan>;<op>`` profile sample.
+
+This module deliberately does not import :mod:`repro.exec` — the seam
+points one way (exec asks obs), keeping obs dependency-free.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from repro.obs.profile import PROFILER, OperatorProfiler
+from repro.obs.trace import Trace, current_trace, span
+
+
+class _OperatorScope:
+    """Context manager wrapping one operator invocation."""
+
+    __slots__ = ("_span", "_profiler", "_stack", "_start", "_alloc_start")
+
+    def __init__(
+        self,
+        traced: bool,
+        profiler: OperatorProfiler | None,
+        plan_name: str,
+        op_name: str,
+    ) -> None:
+        self._span = span(f"exec.{op_name}", plan=plan_name) if traced else None
+        self._profiler = profiler
+        self._stack = ("repro", plan_name, op_name) if profiler is not None else ()
+
+    def __enter__(self) -> "_OperatorScope":
+        if self._span is not None:
+            self._span.__enter__()
+        if self._profiler is not None:
+            self._alloc_start = (
+                tracemalloc.get_traced_memory()[0] if tracemalloc.is_tracing() else 0
+            )
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._profiler is not None:
+            seconds = time.perf_counter() - self._start
+            alloc = (
+                tracemalloc.get_traced_memory()[0] - self._alloc_start
+                if tracemalloc.is_tracing()
+                else 0
+            )
+            self._profiler.sample(self._stack, seconds, alloc)
+        if self._span is not None:
+            self._span.__exit__(*exc_info)
+        return False
+
+
+class ExecHooks:
+    """The per-request hook bundle handed to the compiled plan."""
+
+    __slots__ = ("trace", "profiler")
+
+    def __init__(self, trace: Trace | None, profiler: OperatorProfiler | None) -> None:
+        self.trace = trace
+        self.profiler = profiler
+
+    def operator(self, plan_name: str, op_name: str) -> _OperatorScope:
+        """The scope to run one pipeline stage inside."""
+        return _OperatorScope(self.trace is not None, self.profiler, plan_name, op_name)
+
+
+def active_hooks() -> ExecHooks | None:
+    """The hooks for this request, or ``None`` when nobody is watching.
+
+    Called once per ``run_item``/``run_batch``; the ``None`` answer is
+    the disabled fast path (one thread-local read plus one flag read).
+    """
+    trace = current_trace()
+    profiler = PROFILER if PROFILER.enabled else None
+    if trace is None and profiler is None:
+        return None
+    return ExecHooks(trace, profiler)

@@ -1,0 +1,507 @@
+"""Mergeable metrics primitives: counters, gauges, latency histograms.
+
+The registry is the one telemetry vocabulary every layer shares — the
+exec operator pipeline, the shard runtime, the process worker pool and
+the socket server all record into :class:`MetricsRegistry` instances,
+and because every primitive **merges**, a registry can cross a process
+or wire boundary as a plain JSON dump and be folded into an aggregate
+view on the other side (shard workers ship theirs back over the
+existing reply queue; the server's ``metrics`` route merges its own
+with the owner's).
+
+Design constraints, in order:
+
+- **dependency-free** — stdlib only, so ``repro.obs`` can be imported
+  by every layer (including spawn-started worker processes) without
+  adding a dependency edge;
+- **mergeable** — ``merge(a, b)`` is associative and commutative for
+  counters and histograms (the property tests hold it to that), so
+  aggregation order across shards/processes cannot change the answer;
+- **bounded** — histograms are fixed-bucket (geometric bounds), so a
+  registry's size is independent of traffic volume, unlike the exact
+  sample lists :class:`~repro.eval.metrics.TimingStats` keeps.
+
+Quantiles come in two flavors: :func:`exact_percentile` over raw sample
+lists (bit-compatible with ``numpy.percentile``'s default linear
+interpolation — the one percentile implementation ``TimingStats``, the
+stream engine and the eval harness now share), and the histogram's
+bucket-interpolated :meth:`LatencyHistogram.quantile` for merged
+cross-process views where raw samples were never shipped.
+
+Metric naming scheme (see docs/ARCHITECTURE.md §12): dotted lowercase
+``<layer>.<quantity>[_<unit>]`` — e.g. ``server.requests``,
+``shard.item_seconds`` — with dimensions as labels, never baked into
+the name (``shard="3"``, ``op="recommend"``).  The Prometheus
+exposition sanitizes dots to underscores.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from collections.abc import Sequence
+
+
+class ObsSchemaError(ValueError):
+    """A serialized registry dump is malformed or incompatible."""
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``values``, exactly.
+
+    Linear interpolation between closest ranks — the same estimator as
+    ``numpy.percentile``'s default method, so callers that migrated off
+    NumPy (``TimingStats``, ``EngineReport``) report bit-identical
+    summaries.  Empty input yields 0.0 (the harness convention).
+    """
+    if not values:
+        return 0.0
+    q = float(q)
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = sorted(float(v) for v in values)
+    if len(data) == 1:
+        return data[0]
+    position = (len(data) - 1) * (q / 100.0)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return data[lower]
+    fraction = position - lower
+    low, high = data[lower], data[upper]
+    # NumPy's lerp switches anchors at t=0.5 for floating-point symmetry;
+    # mirror it so migrated callers report bit-identical summaries.
+    if fraction >= 0.5:
+        return high - (high - low) * (1.0 - fraction)
+    return low + (high - low) * fraction
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (merge = sum)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict | None = None, value: int = 0) -> None:
+        self.name = str(name)
+        self.labels = dict(labels or {})
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        self.value += int(n)
+
+
+class Gauge:
+    """A point-in-time value (merge = last writer wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict | None = None, value: float = 0.0) -> None:
+        self.name = str(name)
+        self.labels = dict(labels or {})
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+def geometric_bounds(
+    start: float = 1e-6, stop: float = 100.0, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Geometric bucket upper bounds from ``start`` to ``stop`` seconds."""
+    n = int(round(math.log10(stop / start) * per_decade))
+    return tuple(start * 10 ** (i / per_decade) for i in range(n + 1))
+
+
+#: Default latency bounds: 1µs .. 100s, 4 buckets per decade (33 bounds
+#: plus the implicit overflow bucket).  Every histogram built without
+#: explicit bounds shares this tuple, so they all merge.
+DEFAULT_LATENCY_BOUNDS = geometric_bounds()
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency accounting in seconds.
+
+    Bucket ``i`` counts samples ``<= bounds[i]`` (and above the previous
+    bound); one overflow bucket catches everything beyond the last
+    bound.  Alongside the buckets the exact ``count``/``sum``/``min``/
+    ``max`` are kept, so means are exact and quantile estimates are
+    clamped to the observed range.  Two histograms with equal bounds
+    merge by adding buckets — associative and commutative by
+    construction.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        self.bounds = tuple(
+            float(b) for b in (DEFAULT_LATENCY_BOUNDS if bounds is None else bounds)
+        )
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def record(self, seconds: float, n: int = 1) -> None:
+        """Record ``n`` samples of ``seconds`` each (``n`` amortizes a
+        batch's wall clock over its items in one call)."""
+        if n <= 0:
+            return
+        seconds = float(seconds)
+        self.counts[bisect_left(self.bounds, seconds)] += n
+        self.count += n
+        self.sum += seconds * n
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated ``q``-th percentile (0..100), in seconds.
+
+        Linear interpolation inside the covering bucket, clamped to the
+        observed ``[min, max]`` so a wide bucket never reports a latency
+        no sample reached.  Monotone in ``q``.
+        """
+        if self.count == 0:
+            return 0.0
+        q = float(q)
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        target = (q / 100.0) * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self.bounds[index] if index < len(self.bounds) else self.max
+                )
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - target <= count always lands above
+
+    def summary_ms(self) -> dict[str, float]:
+        """Mean/p50/p95/p99 in milliseconds (the harness summary shape)."""
+        return {
+            "mean_ms": self.mean * 1000.0,
+            "p50_ms": self.quantile(50) * 1000.0,
+            "p95_ms": self.quantile(95) * 1000.0,
+            "p99_ms": self.quantile(99) * 1000.0,
+        }
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        for bound_name in ("min", "max"):
+            theirs = getattr(other, bound_name)
+            if theirs is None:
+                continue
+            ours = getattr(self, bound_name)
+            picker = min if bound_name == "min" else max
+            setattr(self, bound_name, theirs if ours is None else picker(ours, theirs))
+        return self
+
+    def copy(self) -> "LatencyHistogram":
+        fresh = LatencyHistogram(self.bounds)
+        fresh.merge(self)
+        return fresh
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "LatencyHistogram":
+        if not isinstance(data, dict):
+            raise ObsSchemaError(f"histogram must be an object, got {type(data).__name__}")
+        bounds = data.get("bounds")
+        counts = data.get("counts")
+        if not isinstance(bounds, list) or not all(
+            isinstance(b, (int, float)) and not isinstance(b, bool) for b in bounds
+        ):
+            raise ObsSchemaError("histogram.bounds must be an array of numbers")
+        if not isinstance(counts, list) or not all(
+            isinstance(c, int) and not isinstance(c, bool) and c >= 0 for c in counts
+        ):
+            raise ObsSchemaError("histogram.counts must be an array of non-negative ints")
+        if len(counts) != len(bounds) + 1:
+            raise ObsSchemaError(
+                f"histogram.counts must have len(bounds)+1 entries, got "
+                f"{len(counts)} for {len(bounds)} bounds"
+            )
+        try:
+            hist = cls(bounds)
+        except ValueError as exc:
+            raise ObsSchemaError(str(exc)) from exc
+        hist.counts = list(counts)
+        hist.count = _require_count(data.get("count"), "histogram.count")
+        hist.sum = _require_number(data.get("sum"), "histogram.sum")
+        if sum(counts) != hist.count:
+            raise ObsSchemaError("histogram.count does not match the bucket total")
+        for bound_name in ("min", "max"):
+            value = data.get(bound_name)
+            if value is not None:
+                value = _require_number(value, f"histogram.{bound_name}")
+            elif hist.count:
+                raise ObsSchemaError(
+                    f"histogram.{bound_name} must be set on a non-empty histogram"
+                )
+            setattr(hist, bound_name, value)
+        return hist
+
+
+def _require_count(value: object, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ObsSchemaError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def _require_number(value: object, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ObsSchemaError(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ObsSchemaError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def _require_labels(value: object, name: str) -> dict:
+    if value is None:
+        return {}
+    if not isinstance(value, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in value.items()
+    ):
+        raise ObsSchemaError(f"{name} must map strings to strings, got {value!r}")
+    return dict(value)
+
+
+def _require_metric_name(value: object, name: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise ObsSchemaError(f"{name} must be a non-empty string, got {value!r}")
+    return value
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Primitives are keyed by ``(name, labels)``; :meth:`counter`,
+    :meth:`gauge` and :meth:`histogram` get-or-create, so recording
+    sites never race a registration step.  :meth:`merge` folds another
+    registry (or its :meth:`to_dict` dump, via :meth:`from_dict`) into
+    this one — the cross-process aggregation primitive.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, LatencyHistogram] = {}
+        # Histograms carry no name/labels themselves; the registry keeps
+        # the association for serialization.
+        self._histogram_meta: dict[tuple, tuple[str, dict]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording surface
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (str(name), _label_key(labels))
+        entry = self._counters.get(key)
+        if entry is None:
+            entry = self._counters[key] = Counter(name, labels)
+        return entry
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (str(name), _label_key(labels))
+        entry = self._gauges.get(key)
+        if entry is None:
+            entry = self._gauges[key] = Gauge(name, labels)
+        return entry
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] | None = None, **labels: str
+    ) -> LatencyHistogram:
+        key = (str(name), _label_key(labels))
+        entry = self._histograms.get(key)
+        if entry is None:
+            entry = self._histograms[key] = LatencyHistogram(bounds)
+            self._histogram_meta[key] = (str(name), dict(labels))
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> list[Counter]:
+        return [self._counters[key] for key in sorted(self._counters)]
+
+    def gauges(self) -> list[Gauge]:
+        return [self._gauges[key] for key in sorted(self._gauges)]
+
+    def histograms(self) -> list[tuple[str, dict, LatencyHistogram]]:
+        out = []
+        for key in sorted(self._histograms):
+            name, labels = self._histogram_meta[key]
+            out.append((name, dict(labels), self._histograms[key]))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Merge / serialization
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry (associative, commutative
+        for counters and histograms; gauges are last-writer-wins)."""
+        for counter in other.counters():
+            self.counter(counter.name, **counter.labels).inc(counter.value)
+        for gauge in other.gauges():
+            self.gauge(gauge.name, **gauge.labels).set(gauge.value)
+        for name, labels, hist in other.histograms():
+            self.histogram(name, bounds=hist.bounds, **labels).merge(hist)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": [
+                {"name": c.name, "labels": c.labels, "value": c.value}
+                for c in self.counters()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": g.labels, "value": g.value}
+                for g in self.gauges()
+            ],
+            "histograms": [
+                {"name": name, "labels": labels, **hist.to_dict()}
+                for name, labels, hist in self.histograms()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "MetricsRegistry":
+        """Parse one :meth:`to_dict` dump, validating every field — the
+        schema check the CLI and the CI metrics-route gate rely on."""
+        if not isinstance(data, dict):
+            raise ObsSchemaError(f"registry dump must be an object, got {type(data).__name__}")
+        registry = cls()
+        for section in ("counters", "gauges", "histograms"):
+            entries = data.get(section, [])
+            if not isinstance(entries, list):
+                raise ObsSchemaError(f"registry.{section} must be an array")
+            for entry in entries:
+                if not isinstance(entry, dict):
+                    raise ObsSchemaError(f"registry.{section}[*] must be an object")
+                name = _require_metric_name(entry.get("name"), f"{section}[*].name")
+                labels = _require_labels(entry.get("labels"), f"{section}[*].labels")
+                if section == "counters":
+                    registry.counter(name, **labels).inc(
+                        _require_count(entry.get("value"), f"{section}[{name!r}].value")
+                    )
+                elif section == "gauges":
+                    registry.gauge(name, **labels).set(
+                        _require_number(entry.get("value"), f"{section}[{name!r}].value")
+                    )
+                else:
+                    hist = LatencyHistogram.from_dict(entry)
+                    registry.histogram(name, bounds=hist.bounds, **labels).merge(hist)
+        return registry
+
+    # ------------------------------------------------------------------
+    # Prometheus exposition
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (v0.0.4).
+
+        Dotted metric names sanitize to underscores; histograms emit the
+        standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+        ``_count``.
+        """
+        lines: list[str] = []
+        by_name: dict[str, list[Counter]] = {}
+        for counter in self.counters():
+            by_name.setdefault(counter.name, []).append(counter)
+        for name, entries in by_name.items():
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            for entry in entries:
+                lines.append(f"{metric}{_prometheus_labels(entry.labels)} {entry.value}")
+        gauge_groups: dict[str, list[Gauge]] = {}
+        for gauge in self.gauges():
+            gauge_groups.setdefault(gauge.name, []).append(gauge)
+        for name, entries in gauge_groups.items():
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            for entry in entries:
+                lines.append(
+                    f"{metric}{_prometheus_labels(entry.labels)} {_prometheus_float(entry.value)}"
+                )
+        hist_groups: dict[str, list[tuple[dict, LatencyHistogram]]] = {}
+        for name, labels, hist in self.histograms():
+            hist_groups.setdefault(name, []).append((labels, hist))
+        for name, entries in hist_groups.items():
+            metric = _prometheus_name(name)
+            lines.append(f"# TYPE {metric} histogram")
+            for labels, hist in entries:
+                cumulative = 0
+                for bound, bucket_count in zip(hist.bounds, hist.counts):
+                    cumulative += bucket_count
+                    le_labels = {**labels, "le": _prometheus_float(bound)}
+                    lines.append(
+                        f"{metric}_bucket{_prometheus_labels(le_labels)} {cumulative}"
+                    )
+                inf_labels = {**labels, "le": "+Inf"}
+                lines.append(f"{metric}_bucket{_prometheus_labels(inf_labels)} {hist.count}")
+                lines.append(
+                    f"{metric}_sum{_prometheus_labels(labels)} {_prometheus_float(hist.sum)}"
+                )
+                lines.append(f"{metric}_count{_prometheus_labels(labels)} {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+_PROM_LABEL_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prometheus_name(name: str) -> str:
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _prometheus_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        label = _PROM_LABEL_INVALID.sub("_", str(key))
+        value = str(labels[key]).replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(f'{label}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prometheus_float(value: float) -> str:
+    return repr(float(value))

@@ -1,0 +1,136 @@
+"""Opt-in per-operator profiling: wall time and allocations, collapsed.
+
+Set ``REPRO_PROFILE=1`` before starting a process and every exec
+operator invocation is sampled — wall seconds always, allocated bytes
+when ``tracemalloc`` is tracing (the profiler starts it on enable).  At
+interpreter exit (or on an explicit :meth:`OperatorProfiler.dump`) the
+aggregate is written as **collapsed-stack** files, the
+``folded``-format input flamegraph tooling consumes::
+
+    repro;scan-item;VectorizedScoreOp 184223        # wall microseconds
+    repro;scan-item;VectorizedScoreOp 5242880       # bytes (.alloc file)
+
+``REPRO_PROFILE_DIR`` picks the output directory (default: the working
+directory); files are named per-pid so shard worker processes — which
+inherit the environment and therefore profile themselves — never
+clobber the parent's dump.
+
+Disabled (the default), the cost is one attribute read per request in
+:func:`repro.obs.hooks.active_hooks`; nothing is sampled, started or
+registered.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import tracemalloc
+from pathlib import Path
+
+#: Environment switch; any value other than empty/"0" enables profiling.
+ENV_FLAG = "REPRO_PROFILE"
+#: Output directory of the exit-time dump (default: os.getcwd()).
+ENV_DIR = "REPRO_PROFILE_DIR"
+
+
+class OperatorProfiler:
+    """Aggregating sampler keyed by collapsed stack tuples."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = False
+        self._samples: dict[tuple[str, ...], list] = {}
+        self._lock = threading.Lock()
+        self._dump_registered = False
+        if enabled:
+            self.enable()
+
+    def enable(self) -> None:
+        """Turn sampling on; starts tracemalloc and registers the
+        exit-time dump exactly once."""
+        self.enabled = True
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+        if not self._dump_registered:
+            self._dump_registered = True
+            atexit.register(self._dump_at_exit)
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def sample(self, stack: tuple[str, ...], seconds: float, alloc_bytes: int = 0) -> None:
+        """Fold one measurement into the aggregate for ``stack``."""
+        with self._lock:
+            entry = self._samples.get(stack)
+            if entry is None:
+                entry = self._samples[stack] = [0.0, 0, 0]
+            entry[0] += float(seconds)
+            entry[1] += max(0, int(alloc_bytes))
+            entry[2] += 1
+
+    @property
+    def n_stacks(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def snapshot(self) -> dict[tuple[str, ...], tuple[float, int, int]]:
+        """``{stack: (wall_seconds, alloc_bytes, calls)}`` at this instant."""
+        with self._lock:
+            return {stack: tuple(entry) for stack, entry in self._samples.items()}
+
+    def collapsed(self) -> str:
+        """Wall time as collapsed stacks (microseconds per line)."""
+        lines = [
+            f"{';'.join(stack)} {max(1, round(entry[0] * 1e6))}"
+            for stack, entry in sorted(self.snapshot().items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def collapsed_alloc(self) -> str:
+        """Allocated bytes as collapsed stacks (bytes per line)."""
+        lines = [
+            f"{';'.join(stack)} {entry[1]}"
+            for stack, entry in sorted(self.snapshot().items())
+            if entry[1]
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump(self, directory: str | os.PathLike | None = None) -> list[Path]:
+        """Write the collapsed-stack files; returns the paths written.
+
+        ``repro-profile-<pid>.collapsed`` always (wall µs); the
+        companion ``.alloc.collapsed`` only when allocation data exists.
+        """
+        directory = Path(directory or os.environ.get(ENV_DIR) or os.getcwd())
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        wall_path = directory / f"repro-profile-{os.getpid()}.collapsed"
+        wall_path.write_text(self.collapsed())
+        written.append(wall_path)
+        alloc = self.collapsed_alloc()
+        if alloc:
+            alloc_path = directory / f"repro-profile-{os.getpid()}.alloc.collapsed"
+            alloc_path.write_text(alloc)
+            written.append(alloc_path)
+        return written
+
+    def _dump_at_exit(self) -> None:  # pragma: no cover - interpreter teardown
+        if self._samples:
+            try:
+                self.dump()
+            except OSError:
+                pass
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+#: The process-wide profiler every hook site samples into.  Constructed
+#: from the environment so worker processes (which inherit it) profile
+#: themselves without any plumbing.
+PROFILER = OperatorProfiler(enabled=_env_enabled())

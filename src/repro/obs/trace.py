@@ -1,0 +1,220 @@
+"""Request tracing: one trace id, spans across threads and processes.
+
+A :class:`Trace` collects **span dicts** — plain JSON-ready dicts, not
+objects, because spans cross the shard-worker reply queue and the wire
+protocol verbatim.  The active trace is thread-local: the server's
+model thread, the fan-out worker threads and the shard worker
+*processes* each install it with :func:`use_trace` (carrying the trace
+id and the parent span id across the boundary via
+:func:`trace_context`), so one served request assembles a single span
+tree spanning every layer that touched it.
+
+The hot-path contract: :func:`span` with **no active trace** returns a
+shared no-op context manager — one thread-local read, no allocation —
+so instrumented code paths (exec operators, shard serving) cost nothing
+measurable when nobody is tracing.  Disabled-path conformance depends
+on this being purely observational: spans never change what executes.
+
+Span taxonomy (see docs/ARCHITECTURE.md §12): ``server.request`` (root,
+one per traced request) → ``server.coalesce`` (queue wait) →
+``server.batch`` / ``server.execute`` (model-thread execution) →
+``exec.<OperatorName>`` (one per pipeline stage) → ``shard.recommend``
+/ ``worker.<op>`` (per-shard work, in-process or cross-process) →
+``shard.knn`` / ``shard.scan`` / ``shard.maintenance`` (inside a
+shard).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def new_id() -> str:
+    """A fresh 64-bit hex id for traces and spans."""
+    return os.urandom(8).hex()
+
+
+class Trace:
+    """One request's span collection, safe to append from any thread."""
+
+    __slots__ = ("trace_id", "_spans", "_lock")
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = str(trace_id) if trace_id else new_id()
+        self._spans: list[dict] = []
+        self._lock = threading.Lock()
+
+    def add(self, span_dict: dict) -> None:
+        with self._lock:
+            self._spans.append(span_dict)
+
+    def extend(self, span_dicts) -> None:
+        """Graft spans shipped back from another thread or process."""
+        with self._lock:
+            self._spans.extend(span_dicts)
+
+    def spans(self) -> list[dict]:
+        """Every recorded span, ordered by start time."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s["start"], s["name"]))
+
+    def span_names(self) -> list[str]:
+        return [span_dict["name"] for span_dict in self.spans()]
+
+    def to_dict(self) -> dict:
+        """The wire/reply shape: ``{"trace_id", "spans"}``."""
+        return {"trace_id": self.trace_id, "spans": self.spans()}
+
+    def tree(self) -> list[dict]:
+        """Spans nested by parent id (roots first, children by start)."""
+        return build_tree(self.spans())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def build_tree(span_dicts: list[dict]) -> list[dict]:
+    """Nest flat span dicts into parent/children trees.
+
+    Spans whose parent never arrived (e.g. a worker's root when only the
+    worker slice is inspected) surface as roots rather than vanishing.
+    """
+    nodes = {
+        s["span_id"]: {**s, "children": []}
+        for s in sorted(span_dicts, key=lambda s: (s["start"], s["name"]))
+    }
+    roots = []
+    for node in nodes.values():
+        parent = nodes.get(node.get("parent_id"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+# ----------------------------------------------------------------------
+# Thread-local active-trace state
+# ----------------------------------------------------------------------
+_state = threading.local()
+
+
+def current_trace() -> Trace | None:
+    """The trace installed on this thread, or None."""
+    return getattr(_state, "trace", None)
+
+
+def current_parent_id() -> str | None:
+    """The span id new spans on this thread would parent under."""
+    return getattr(_state, "parent_id", None)
+
+
+def trace_context() -> dict | None:
+    """The ``{"trace_id", "parent_id"}`` dict to ship across a process
+    boundary (None when nothing is being traced — the fast path)."""
+    trace = getattr(_state, "trace", None)
+    if trace is None:
+        return None
+    return {"trace_id": trace.trace_id, "parent_id": getattr(_state, "parent_id", None)}
+
+
+@contextmanager
+def use_trace(trace: Trace, parent_id: str | None = None) -> Iterator[Trace]:
+    """Install ``trace`` as this thread's active trace.
+
+    Re-entrant: the previous trace/parent are restored on exit, so
+    nested installs (the sequential fan-out path) behave like a stack.
+    """
+    previous_trace = getattr(_state, "trace", None)
+    previous_parent = getattr(_state, "parent_id", None)
+    _state.trace = trace
+    _state.parent_id = parent_id
+    try:
+        yield trace
+    finally:
+        _state.trace = previous_trace
+        _state.parent_id = previous_parent
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the untraced fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("_trace", "_name", "_tags", "span_id", "_start_wall",
+                 "_start_perf", "_previous_parent")
+
+    def __init__(self, trace: Trace, name: str, tags: dict) -> None:
+        self._trace = trace
+        self._name = name
+        self._tags = tags
+
+    def __enter__(self) -> "_LiveSpan":
+        self.span_id = new_id()
+        self._previous_parent = getattr(_state, "parent_id", None)
+        _state.parent_id = self.span_id
+        self._start_wall = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _state.parent_id = self._previous_parent
+        self._trace.add({
+            "name": self._name,
+            "span_id": self.span_id,
+            "parent_id": self._previous_parent,
+            "start": self._start_wall,
+            "duration": time.perf_counter() - self._start_perf,
+            "tags": self._tags,
+        })
+        return False
+
+
+def span(name: str, **tags):
+    """A context manager recording one span on the active trace.
+
+    With no active trace this returns a shared no-op — the disabled-path
+    cost is one thread-local read.  Tags are stringified at record time
+    so span dicts stay JSON-clean across queues and the wire.
+    """
+    trace = getattr(_state, "trace", None)
+    if trace is None:
+        return _NOOP
+    return _LiveSpan(trace, str(name), {k: str(v) for k, v in tags.items()})
+
+
+def make_span(
+    name: str,
+    *,
+    parent_id: str | None,
+    start: float,
+    duration: float,
+    span_id: str | None = None,
+    **tags,
+) -> dict:
+    """Build one span dict explicitly (for event-loop code that measures
+    its own timestamps instead of entering a context manager)."""
+    return {
+        "name": str(name),
+        "span_id": span_id or new_id(),
+        "parent_id": parent_id,
+        "start": float(start),
+        "duration": float(duration),
+        "tags": {k: str(v) for k, v in tags.items()},
+    }

@@ -117,6 +117,23 @@ class RecommenderClient:
     def recommend(self, item: SocialItem, k: int | None = None) -> RankedList:
         return ranked_from_wire(self._call("recommend", {"item": item_to_wire(item), "k": k}))
 
+    def recommend_traced(
+        self, item: SocialItem, k: int | None = None
+    ) -> tuple[RankedList, dict | None]:
+        """One recommend with its server-side span tree.
+
+        Returns ``(ranked, trace)`` where ``trace`` is the reply's
+        ``{"trace_id", "spans"}`` dict — the request's full cross-process
+        span tree (feed the spans to
+        :func:`repro.obs.trace.build_tree` to nest them).  The ranked
+        list is bit-identical to :meth:`recommend`'s; tracing is purely
+        observational.
+        """
+        reply = self._receive(
+            self._send("recommend", {"item": item_to_wire(item), "k": k, "trace": True})
+        )
+        return ranked_from_wire(_reply_value(reply)), reply.trace
+
     def recommend_batch(
         self, items: Sequence[SocialItem], k: int | None = None
     ) -> list[RankedList]:
@@ -153,6 +170,14 @@ class RecommenderClient:
         result = self._call("stats", {})
         if not isinstance(result, dict):
             raise ProtocolError(f"stats result must be an object, got {result!r}")
+        return result
+
+    def metrics(self) -> dict:
+        """The server's ``metrics`` route: ``{"registry", "prometheus",
+        "slow_requests"}`` — the merged server + owner registry dump."""
+        result = self._call("metrics", {})
+        if not isinstance(result, dict):
+            raise ProtocolError(f"metrics result must be an object, got {result!r}")
         return result
 
     def close(self) -> None:
@@ -259,10 +284,36 @@ class AsyncRecommenderClient:
             raise ProtocolError(f"recommend_batch result must be an array, got {result!r}")
         return [ranked_from_wire(entry) for entry in result]
 
+    async def recommend_traced(
+        self, item: SocialItem, k: int | None = None
+    ) -> tuple[RankedList, dict | None]:
+        """One recommend with its server-side span tree (see
+        :meth:`RecommenderClient.recommend_traced`)."""
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_request(Request(
+            "recommend", request_id,
+            {"item": item_to_wire(item), "k": k, "trace": True},
+        )))
+        if self._writer.transport.get_write_buffer_size() > 1 << 16:
+            await self._writer.drain()
+        reply = await future
+        return ranked_from_wire(_reply_value(reply)), reply.trace
+
     async def stats(self) -> dict:
         result = await self.request("stats", {})
         if not isinstance(result, dict):
             raise ProtocolError(f"stats result must be an object, got {result!r}")
+        return result
+
+    async def metrics(self) -> dict:
+        """The server's ``metrics`` route (see
+        :meth:`RecommenderClient.metrics`)."""
+        result = await self.request("metrics", {})
+        if not isinstance(result, dict):
+            raise ProtocolError(f"metrics result must be an object, got {result!r}")
         return result
 
     async def close(self) -> None:

@@ -55,6 +55,11 @@ class LoadgenReport:
         seconds: wall clock of the whole replay.
         latency: recommend round-trip times (client-observed).
         server_stats: the server's own ``stats`` reply at the end.
+        server_obs: the server's ``metrics``-route payload at the end
+            (merged registry dump + Prometheus text + slow-request log)
+            — the server-side view the client-observed latency alone
+            cannot give: how long requests queued in the coalescer vs
+            how long batches actually executed.
     """
 
     scenario: str
@@ -67,6 +72,7 @@ class LoadgenReport:
     seconds: float = 0.0
     latency: TimingStats = field(default_factory=TimingStats)
     server_stats: dict = field(default_factory=dict)
+    server_obs: dict = field(default_factory=dict)
 
     @property
     def items_per_sec(self) -> float:
@@ -80,7 +86,7 @@ class LoadgenReport:
             else ("EXACT" if self.divergences == 0 else f"BROKEN ({self.divergences})")
         )
         coalescing = self.server_stats.get("coalescing", {})
-        return (
+        lines = (
             f"{self.scenario:<24} recommends={self.n_recommends:<5} "
             f"items/sec={self.items_per_sec:8.1f} "
             f"p50={lat['p50_ms']:6.2f}ms p95={lat['p95_ms']:6.2f}ms "
@@ -88,6 +94,17 @@ class LoadgenReport:
             f"mean_batch={coalescing.get('mean_batch_size', 0.0):4.1f} "
             f"wire={verdict}"
         )
+        queue = coalescing.get("queue", {})
+        batch_exec = coalescing.get("batch_exec", {})
+        if queue.get("count") or batch_exec.get("count"):
+            # Server-side decomposition of the client round-trip: time
+            # spent queued in the coalescer vs executing on the model.
+            lines += (
+                f"\n{'':<24} server: queue p95={queue.get('p95_ms', 0.0):6.2f}ms "
+                f"batch-exec p95={batch_exec.get('p95_ms', 0.0):6.2f}ms "
+                f"({batch_exec.get('count', 0)} batches)"
+            )
+        return lines
 
 
 async def _recommend_with_retry(
@@ -165,6 +182,7 @@ async def _drive_scenario_async(
         await serve_window()
         report.seconds = time.perf_counter() - started
         report.server_stats = await client.stats()
+        report.server_obs = await client.metrics()
     finally:
         await client.close()
     return report
@@ -203,6 +221,7 @@ class QueryLoadReport:
     latency: TimingStats
     results: list[RankedList]
     server_stats: dict
+    server_obs: dict = field(default_factory=dict)
 
     @property
     def items_per_sec(self) -> float:
@@ -252,6 +271,7 @@ async def _drive_queries_async(
         await asyncio.gather(*[worker() for _ in range(max(1, concurrency))])
         seconds = time.perf_counter() - started
         stats = await client.stats()
+        obs = await client.metrics()
     finally:
         await client.close()
     return QueryLoadReport(
@@ -261,6 +281,7 @@ async def _drive_queries_async(
         latency=report.latency,
         results=list(results),
         server_stats=stats,
+        server_obs=obs,
     )
 
 

@@ -61,6 +61,7 @@ REQUEST_OPS = (
     "recommend_batch",
     "snapshot",
     "stats",
+    "metrics",
 )
 REPLY_STATUSES = ("ok", "error", "overload")
 
@@ -117,12 +118,17 @@ class Reply:
             (rejected unexecuted by admission control).
         result: op-specific result for ``"ok"`` replies.
         error: remote error text for ``"error"``/``"overload"`` replies.
+        trace: optional ``{"trace_id", "spans"}`` span tree for traced
+            requests (``recommend`` with ``trace=true``); ``None`` — the
+            default — is omitted from the wire entirely, so untraced
+            replies are byte-identical to protocol v1 without the field.
     """
 
     request_id: int
     status: str = "ok"
     result: object = None
     error: str = ""
+    trace: dict | None = None
 
 
 # ----------------------------------------------------------------------
@@ -251,13 +257,16 @@ def encode_request(request: Request) -> bytes:
 def encode_reply(reply: Reply) -> bytes:
     if reply.status not in REPLY_STATUSES:
         raise ProtocolError(f"unknown reply status {reply.status!r}")
-    return encode_frame({
+    message = {
         "kind": "reply",
         "id": int(reply.request_id),
         "status": reply.status,
         "result": reply.result,
         "error": reply.error,
-    })
+    }
+    if reply.trace is not None:
+        message["trace"] = reply.trace
+    return encode_frame(message)
 
 
 def decode_payload(data: bytes) -> dict:
@@ -302,6 +311,10 @@ def decode_request(message: dict) -> Request:
     elif op == "recommend":
         payload["item"] = item_from_wire(message.get("item"))
         payload["k"] = _require_optional_k(message.get("k"))
+        trace_flag = message.get("trace", False)
+        if not isinstance(trace_flag, bool):
+            raise ProtocolError(f"recommend.trace must be a bool, got {trace_flag!r}")
+        payload["trace"] = trace_flag
     elif op == "recommend_batch":
         items = _require_list(message.get("items"), "items")
         payload["items"] = [item_from_wire(entry) for entry in items]
@@ -312,7 +325,7 @@ def decode_request(message: dict) -> Request:
         if not isinstance(reload_flag, bool):
             raise ProtocolError(f"snapshot.reload must be a bool, got {reload_flag!r}")
         payload["reload"] = reload_flag
-    # "stats" carries no payload.
+    # "stats" and "metrics" carry no payload.
     return Request(op=op, request_id=request_id, payload=payload)
 
 
@@ -325,11 +338,15 @@ def decode_reply(message: dict) -> Reply:
     error = message.get("error", "")
     if not isinstance(error, str):
         raise ProtocolError(f"reply.error must be a string, got {error!r}")
+    trace = message.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        raise ProtocolError(f"reply.trace must be an object, got {trace!r}")
     return Reply(
         request_id=_require_id(message.get("id")),
         status=status,
         result=message.get("result"),
         error=error,
+        trace=trace,
     )
 
 

@@ -2,7 +2,7 @@
 
 :class:`RecommenderServer` exposes the serving facade's operations —
 ``observe`` / ``update`` / ``recommend`` / ``recommend_batch`` /
-``snapshot`` / ``stats`` — over the framed JSON protocol of
+``snapshot`` / ``stats`` / ``metrics`` — over the framed JSON protocol of
 :mod:`repro.serve.protocol`.  It serves any owner with the recommender
 shape (:class:`~repro.core.ssrec.SsRecRecommender`,
 :class:`~repro.serve.service.ShardedRecommender`, or a test double) via
@@ -32,9 +32,13 @@ Three serving-layer mechanisms live here:
   decoded per connection), which is what makes served streams
   bit-reproducible against the in-process library call sequence.
 
-Per-route latency is recorded in
-:class:`~repro.eval.metrics.TimingStats` (the same p50/p95/p99 summary
-the sharded runtime reports); ``stats`` returns it over the wire.
+Observability (see :mod:`repro.obs`): per-route, queue-wait and
+batch-execution latency live in mergeable
+:class:`~repro.obs.metrics.LatencyHistogram` s (``stats`` returns the
+p50/p95/p99 summaries over the wire); ``metrics`` returns the merged
+server + owner registry (JSON dump and Prometheus text) plus the
+slow-request log; a ``recommend`` with ``trace=true`` carries its full
+cross-process span tree back on the reply.
 
 Synchronous contexts (tests, the conformance runner, the eval CLI) run
 the server on a background event loop via :class:`ServerThread`::
@@ -49,11 +53,13 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.eval.metrics import TimingStats
 from repro.exec.compile import as_executor
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.trace import Trace, make_span, new_id, span, use_trace
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     REQUEST_OPS,
@@ -69,7 +75,15 @@ from repro.serve.protocol import (
 
 @dataclass
 class ServerStats:
-    """Serving counters plus per-route latency percentiles."""
+    """Serving counters plus per-route latency percentiles.
+
+    Latency is kept in fixed-bucket mergeable
+    :class:`~repro.obs.metrics.LatencyHistogram` s: ``route_latency``
+    per request op, ``queue_seconds`` for coalescer queue wait (from
+    submit to window close) and ``batch_seconds`` for model-thread
+    batch execution — the queue-vs-service split the loadgen report
+    surfaces.
+    """
 
     requests: int = 0
     replies: int = 0
@@ -77,12 +91,15 @@ class ServerStats:
     errors: int = 0
     protocol_errors: int = 0
     disconnects: int = 0
+    slow_requests: int = 0
     coalesced_batches: int = 0
     coalesced_requests: int = 0
     max_batch_size: int = 0
-    route_latency: dict[str, TimingStats] = field(
-        default_factory=lambda: {op: TimingStats() for op in REQUEST_OPS}
+    route_latency: dict[str, LatencyHistogram] = field(
+        default_factory=lambda: {op: LatencyHistogram() for op in REQUEST_OPS}
     )
+    queue_seconds: LatencyHistogram = field(default_factory=LatencyHistogram)
+    batch_seconds: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def record_batch(self, size: int) -> None:
         self.coalesced_batches += 1
@@ -106,18 +123,81 @@ class ServerStats:
             "errors": self.errors,
             "protocol_errors": self.protocol_errors,
             "disconnects": self.disconnects,
+            "slow_requests": self.slow_requests,
             "coalescing": {
                 "batches": self.coalesced_batches,
                 "batched_requests": self.coalesced_requests,
                 "mean_batch_size": self.mean_batch_size,
                 "max_batch_size": self.max_batch_size,
+                "queue": {"count": self.queue_seconds.count,
+                          **self.queue_seconds.summary_ms()},
+                "batch_exec": {"count": self.batch_seconds.count,
+                               **self.batch_seconds.summary_ms()},
             },
             "routes": {
-                op: {"count": stats.n, **stats.summary_ms()}
-                for op, stats in self.route_latency.items()
-                if stats.n
+                op: {"count": hist.count, **hist.summary_ms()}
+                for op, hist in self.route_latency.items()
+                if hist.count
             },
         }
+
+    def to_registry(self) -> MetricsRegistry:
+        """The same counters/latencies as a mergeable registry — the
+        server's contribution to the ``metrics`` route."""
+        registry = MetricsRegistry()
+        registry.counter("server.requests").inc(self.requests)
+        registry.counter("server.replies").inc(self.replies)
+        registry.counter("server.overloads").inc(self.overloads)
+        registry.counter("server.errors").inc(self.errors)
+        registry.counter("server.protocol_errors").inc(self.protocol_errors)
+        registry.counter("server.disconnects").inc(self.disconnects)
+        registry.counter("server.slow_requests").inc(self.slow_requests)
+        registry.counter("server.coalesced_batches").inc(self.coalesced_batches)
+        registry.counter("server.coalesced_requests").inc(self.coalesced_requests)
+        registry.gauge("server.max_batch_size").set(self.max_batch_size)
+        for op, hist in self.route_latency.items():
+            if hist.count:
+                registry.histogram(
+                    "server.route_seconds", bounds=hist.bounds, op=op
+                ).merge(hist)
+        if self.queue_seconds.count:
+            registry.histogram(
+                "server.queue_seconds", bounds=self.queue_seconds.bounds
+            ).merge(self.queue_seconds)
+        if self.batch_seconds.count:
+            registry.histogram(
+                "server.batch_seconds", bounds=self.batch_seconds.bounds
+            ).merge(self.batch_seconds)
+        return registry
+
+
+class _RequestTrace:
+    """Book-keeping of one traced request, from admission to reply.
+
+    ``wire=True`` means the client asked for the span tree on its reply
+    (``recommend`` with ``trace=true``); ``wire=False`` traces are
+    implicit — recorded only so the slow-request log has a full tree to
+    capture when the request crosses the latency threshold.
+    """
+
+    __slots__ = ("trace", "root_id", "started", "started_wall", "wire")
+
+    def __init__(self, wire: bool) -> None:
+        self.trace = Trace()
+        self.root_id = new_id()
+        self.started = time.perf_counter()
+        self.started_wall = time.time()
+        self.wire = bool(wire)
+
+    def attach_batch(self, batch_spans: list[dict]) -> None:
+        """Graft a coalesced batch's shared spans under this request's
+        root (the batch root re-parents; its subtree comes verbatim)."""
+        self.trace.extend(
+            {**span_dict, "parent_id": self.root_id}
+            if span_dict.get("parent_id") is None
+            else span_dict
+            for span_dict in batch_spans
+        )
 
 
 class _Coalescer:
@@ -146,15 +226,19 @@ class _Coalescer:
         self._server = server
         self.max_batch = max(1, int(max_batch))
         self.max_delay = float(max_delay)
-        self._pending: list[tuple[object, int | None, asyncio.Future]] = []
+        self._pending: list[
+            tuple[object, int | None, asyncio.Future, _RequestTrace | None, float]
+        ] = []
         self._timer: asyncio.TimerHandle | asyncio.Handle | None = None
         self._inflight_batches = 0
 
-    def submit(self, item, k: int | None) -> asyncio.Future:
+    def submit(
+        self, item, k: int | None, request_trace: _RequestTrace | None = None
+    ) -> asyncio.Future:
         """Admit one recommend request; resolves with its ranked list."""
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((item, k, future))
+        self._pending.append((item, k, future, request_trace, time.perf_counter()))
         if len(self._pending) >= self.max_batch:
             self.flush()
         elif self._inflight_batches == 0 and self._timer is None:
@@ -175,12 +259,56 @@ class _Coalescer:
         if not self._pending:
             return
         batch, self._pending = self._pending, []
-        self._server.stats.record_batch(len(batch))
-        requests = [(item, k) for item, k, _ in batch]
-        futures = [future for _, _, future in batch]
+        stats = self._server.stats
+        stats.record_batch(len(batch))
+        closed_at = time.perf_counter()
+        requests = [(item, k) for item, k, _, _, _ in batch]
+        futures = [future for _, _, future, _, _ in batch]
+        traced = [rt for _, _, _, rt, _ in batch if rt is not None]
+        for _, _, _, rt, submitted in batch:
+            waited = closed_at - submitted
+            stats.queue_seconds.record(waited)
+            if rt is not None:
+                rt.trace.add(make_span(
+                    "server.coalesce",
+                    parent_id=rt.root_id,
+                    start=rt.started_wall,
+                    duration=waited,
+                    batch_size=len(batch),
+                ))
         self._inflight_batches += 1
+        # One shared trace per traced batch: the model-thread execution
+        # (exec operators, fan-out, worker spans) records once, then the
+        # subtree is grafted under every traced request's root.
+        batch_trace = Trace() if traced else None
+        batch_span_id = new_id() if traced else None
+
+        def run() -> list:
+            start_wall = time.time()
+            start = time.perf_counter()
+            try:
+                if batch_trace is None:
+                    return self._server._executor().run_requests(requests)
+                with use_trace(batch_trace, batch_span_id):
+                    return self._server._executor().run_requests(requests)
+            finally:
+                duration = time.perf_counter() - start
+                stats.batch_seconds.record(duration)
+                if batch_trace is not None:
+                    batch_trace.add(make_span(
+                        "server.batch",
+                        span_id=batch_span_id,
+                        parent_id=None,
+                        start=start_wall,
+                        duration=duration,
+                        batch_size=len(requests),
+                    ))
 
         def resolve(ranked_lists: list) -> None:
+            if batch_trace is not None:
+                batch_spans = batch_trace.spans()
+                for rt in traced:
+                    rt.attach_batch(batch_spans)
             for future, ranked in zip(futures, ranked_lists):
                 if not future.done():
                     future.set_result(ranked)
@@ -192,11 +320,7 @@ class _Coalescer:
                     future.set_exception(exc)
             self._batch_done()
 
-        self._server._submit_model(
-            lambda: self._server._executor().run_requests(requests),
-            on_result=resolve,
-            on_error=fail,
-        )
+        self._server._submit_model(run, on_result=resolve, on_error=fail)
 
     def _batch_done(self) -> None:
         """The model freed up: dispatch whatever queued while it ran."""
@@ -225,6 +349,13 @@ class RecommenderServer:
         max_pending: admission bound on admitted-but-unfinished requests;
             excess requests get an immediate typed overload reply.
         max_frame_bytes: wire frame size limit (both directions).
+        slow_request_seconds: when set, every ``recommend`` is implicitly
+            traced and requests slower than this many seconds land —
+            with their full span tree — in the slow-request log the
+            ``metrics`` route exposes.  ``None`` (the default) disables
+            the log and keeps the untraced fast path.
+        slow_request_log_size: how many slow requests the log retains
+            (oldest evicted first).
     """
 
     def __init__(
@@ -238,15 +369,25 @@ class RecommenderServer:
         max_delay: float = 0.0,
         max_pending: int = 256,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        slow_request_seconds: float | None = None,
+        slow_request_log_size: int = 32,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if slow_request_seconds is not None and slow_request_seconds < 0:
+            raise ValueError(
+                f"slow_request_seconds must be >= 0, got {slow_request_seconds}"
+            )
         self.recommender = recommender
         self.host = host
         self.port = int(port)
         self.coalesce = bool(coalesce)
         self.max_pending = int(max_pending)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.slow_request_seconds = (
+            None if slow_request_seconds is None else float(slow_request_seconds)
+        )
+        self.slow_requests: deque[dict] = deque(maxlen=int(slow_request_log_size))
         self.stats = ServerStats()
         self.snapshot_reloads = 0
         self._coalescer = _Coalescer(self, max_batch=max_batch, max_delay=max_delay)
@@ -390,21 +531,75 @@ class RecommenderServer:
         outcome = self._dispatch(request)
         self._watch(request, writer, started=started, outcome=outcome, admitted=True)
 
+    def _request_trace(self, payload: dict) -> _RequestTrace | None:
+        """The trace for one ``recommend``, or None (the fast path).
+
+        Traced when the client asked for spans on its reply, or
+        implicitly — without touching the wire — when the slow-request
+        log is enabled, so a slow request always has a tree to capture.
+        """
+        wire = bool(payload.get("trace", False))
+        if not wire and self.slow_request_seconds is None:
+            return None
+        return _RequestTrace(wire=wire)
+
+    def _traced_reply(self, rid: int, op: str, rt: _RequestTrace, result) -> Reply:
+        """Assemble a traced request's reply: close the root span, feed
+        the slow-request log, ship the tree when the client asked."""
+        elapsed = time.perf_counter() - rt.started
+        rt.trace.add(make_span(
+            "server.request",
+            span_id=rt.root_id,
+            parent_id=None,
+            start=rt.started_wall,
+            duration=elapsed,
+            op=op,
+        ))
+        threshold = self.slow_request_seconds
+        if threshold is not None and elapsed >= threshold:
+            self.stats.slow_requests += 1
+            self.slow_requests.append({
+                "op": op,
+                "request_id": rid,
+                "seconds": elapsed,
+                "trace_id": rt.trace.trace_id,
+                "spans": rt.trace.spans(),
+            })
+        return Reply(
+            rid, "ok", result=result,
+            trace=rt.trace.to_dict() if rt.wire else None,
+        )
+
     def _dispatch(self, request: Request) -> "asyncio.Future":
         """Start one admitted operation; returns an awaitable Reply."""
         op, payload = request.op, request.payload
         rid = request.request_id
         if op == "recommend" and self.coalesce:
-            ranked_future = self._coalescer.submit(payload["item"], payload["k"])
-            return _map_future(ranked_future, lambda ranked: Reply(
-                rid, "ok", result=ranked_to_wire(ranked)))
+            rt = self._request_trace(payload)
+            ranked_future = self._coalescer.submit(payload["item"], payload["k"], rt)
+            if rt is None:
+                return _map_future(ranked_future, lambda ranked: Reply(
+                    rid, "ok", result=ranked_to_wire(ranked)))
+            return _map_future(ranked_future, lambda ranked: self._traced_reply(
+                rid, op, rt, ranked_to_wire(ranked)))
         if op == "recommend":
             item, k = payload["item"], payload["k"]
-            model_future = self._submit_model(
-                lambda: self._executor().run_requests([(item, k)])[0]
-            )
-            return _map_future(model_future, lambda ranked: Reply(
-                rid, "ok", result=ranked_to_wire(ranked)))
+            rt = self._request_trace(payload)
+            if rt is None:
+                model_future = self._submit_model(
+                    lambda: self._executor().run_requests([(item, k)])[0]
+                )
+                return _map_future(model_future, lambda ranked: Reply(
+                    rid, "ok", result=ranked_to_wire(ranked)))
+
+            def run_traced():
+                with use_trace(rt.trace, rt.root_id):
+                    with span("server.execute"):
+                        return self._executor().run_requests([(item, k)])[0]
+
+            model_future = self._submit_model(run_traced)
+            return _map_future(model_future, lambda ranked: self._traced_reply(
+                rid, op, rt, ranked_to_wire(ranked)))
         if op == "recommend_batch":
             items, k = payload["items"], payload["k"]
             model_future = self._submit_model(
@@ -434,7 +629,28 @@ class RecommenderServer:
             return _map_future(model_future, lambda result: Reply(rid, "ok", result=result))
         if op == "stats":
             return _ready(Reply(rid, "ok", result=self.stats.as_dict()))
+        if op == "metrics":
+            # Runs on the model thread: collecting the owner's registry
+            # may fan out over the worker pool, whose request/reply
+            # queues are only safe from the thread that serves on them.
+            model_future = self._submit_model(self._collect_metrics)
+            return _map_future(model_future, lambda result: Reply(
+                rid, "ok", result=result))
         raise AssertionError(f"unreachable op {op!r}")  # pragma: no cover
+
+    def _collect_metrics(self) -> dict:
+        """The ``metrics`` route payload (model thread): the server's own
+        registry merged with the owner's, as JSON dump + Prometheus text,
+        plus the slow-request log."""
+        registry = self.stats.to_registry()
+        owner_registry = getattr(self.recommender, "obs_registry", None)
+        if callable(owner_registry):
+            registry.merge(owner_registry())
+        return {
+            "registry": registry.to_dict(),
+            "prometheus": registry.to_prometheus(),
+            "slow_requests": list(self.slow_requests),
+        }
 
     def _snapshot(self, path: str, reload_flag: bool) -> dict:
         """Save the owner; optionally swap in a fresh warm-started copy.

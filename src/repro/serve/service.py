@@ -459,6 +459,26 @@ class ShardedRecommender:
             rows.append(row)
         return rows
 
+    def obs_registry(self):
+        """Every shard's telemetry merged into one
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        With live worker processes each worker dumps its registry over
+        the reply queue (the ``obs`` op) and the dumps merge here; the
+        in-process backends read the shard objects directly.  Per-shard
+        ``shard=...`` labels keep the merged view lossless.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        if self._pool_active():
+            for dump in self._pool.map("obs"):
+                registry.merge(MetricsRegistry.from_dict(dump))
+        else:
+            for shard in self.shards:
+                registry.merge(shard.obs_registry())
+        return registry
+
     def balance_stats(self) -> dict:
         return self.plan.balance_stats()
 

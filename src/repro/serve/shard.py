@@ -25,8 +25,9 @@ from repro.core.config import SsRecConfig
 from repro.core.matching import MatchingScorer, VectorizedMatcher
 from repro.core.profiles import ProfileEvent, ProfileStore, UserProfile
 from repro.datasets.schema import Interaction, SocialItem
-from repro.eval.metrics import TimingStats
 from repro.index.cppse import CPPseIndex
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.trace import span
 
 
 @dataclass
@@ -40,10 +41,12 @@ class ShardMetrics:
         candidates_returned: total ``(user, score)`` pairs returned.
         maintenance_runs: Algorithm 2 flushes executed.
         profiles_refreshed: profiles Algorithm 2 touched in total.
-        item_latency: per-*item* serving seconds — one sample per served
-            item, with a window's wall-clock amortized over its items so
-            per-item and batched traffic contribute on the same scale
-            (mirrors ``StreamEvaluator.run_batch``'s accounting).
+        item_latency: per-*item* serving seconds as a fixed-bucket
+            :class:`~repro.obs.metrics.LatencyHistogram` — a window's
+            wall-clock is amortized over its items so per-item and
+            batched traffic contribute on the same scale (mirrors
+            ``StreamEvaluator.run_batch``'s accounting), and shard
+            histograms merge exactly across processes.
     """
 
     queries: int = 0
@@ -52,18 +55,17 @@ class ShardMetrics:
     candidates_returned: int = 0
     maintenance_runs: int = 0
     profiles_refreshed: int = 0
-    item_latency: TimingStats = field(default_factory=TimingStats)
+    item_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def record_serve(self, seconds: float, n_items: int, n_candidates: int) -> None:
         per_item = float(seconds) / n_items if n_items else 0.0
-        for _ in range(n_items):
-            self.item_latency.record(per_item)
+        self.item_latency.record(per_item, n_items)
         self.items_served += n_items
         self.candidates_returned += n_candidates
 
     @property
     def total_seconds(self) -> float:
-        return self.item_latency.total
+        return self.item_latency.sum
 
     @property
     def mean_latency(self) -> float:
@@ -179,7 +181,8 @@ class RecommenderShard:
             self._maintenance_pending.clear()
             self._updates_since_maintenance = 0
             return 0
-        updated = self.index.maintain(sorted(self._maintenance_pending))
+        with span("shard.maintenance", shard=self.shard_id):
+            updated = self.index.maintain(sorted(self._maintenance_pending))
         self._maintenance_pending.clear()
         self._updates_since_maintenance = 0
         self.metrics.maintenance_runs += 1
@@ -195,9 +198,11 @@ class RecommenderShard:
         if self.index is not None:
             if self._maintenance_pending:
                 self.run_maintenance()
-            ranked = self.index.knn(item, k)
+            with span("shard.knn", shard=self.shard_id, n_items=1):
+                ranked = self.index.knn(item, k)
         else:
-            ranked = self.matcher.top_k(item, k)
+            with span("shard.scan", shard=self.shard_id, n_items=1):
+                ranked = self.matcher.top_k(item, k)
         self.metrics.queries += 1
         self.metrics.record_serve(time.perf_counter() - started, 1, len(ranked))
         return ranked
@@ -213,9 +218,11 @@ class RecommenderShard:
         if self.index is not None:
             if self._maintenance_pending:
                 self.run_maintenance()
-            ranked_lists = self.index.knn_batch(items, k)
+            with span("shard.knn", shard=self.shard_id, n_items=len(items)):
+                ranked_lists = self.index.knn_batch(items, k)
         else:
-            ranked_lists = self.matcher.top_k_batch(items, k)
+            with span("shard.scan", shard=self.shard_id, n_items=len(items)):
+                ranked_lists = self.matcher.top_k_batch(items, k)
         self.metrics.batches += 1
         self.metrics.record_serve(
             time.perf_counter() - started,
@@ -223,6 +230,37 @@ class RecommenderShard:
             sum(len(r) for r in ranked_lists),
         )
         return ranked_lists
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def obs_registry(self) -> MetricsRegistry:
+        """This shard's serving telemetry as a mergeable registry.
+
+        Every metric carries a ``shard`` label, so the per-shard views a
+        worker ships back (or the service collects in-process) merge into
+        one aggregate without collisions.
+        """
+        registry = MetricsRegistry()
+        shard = str(self.shard_id)
+        metrics = self.metrics
+        registry.counter("shard.queries", shard=shard).inc(metrics.queries)
+        registry.counter("shard.batches", shard=shard).inc(metrics.batches)
+        registry.counter("shard.items_served", shard=shard).inc(metrics.items_served)
+        registry.counter("shard.candidates_returned", shard=shard).inc(
+            metrics.candidates_returned
+        )
+        registry.counter("shard.maintenance_runs", shard=shard).inc(
+            metrics.maintenance_runs
+        )
+        registry.counter("shard.profiles_refreshed", shard=shard).inc(
+            metrics.profiles_refreshed
+        )
+        registry.gauge("shard.users", shard=shard).set(self.n_users)
+        registry.histogram(
+            "shard.item_seconds", bounds=metrics.item_latency.bounds, shard=shard
+        ).merge(metrics.item_latency)
+        return registry
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "index" if self.use_index else "scan"

@@ -47,8 +47,11 @@ import traceback
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-#: Operations a worker understands (requests are ``(seq, op, args)``
-#: tuples; every reply echoes its request's ``seq``).
+from repro.obs.trace import Trace, current_trace, span, use_trace
+
+#: Operations a worker understands (requests are ``(seq, op, args,
+#: trace_ctx)`` tuples; every reply echoes its request's ``seq`` and
+#: carries the spans recorded under ``trace_ctx``, or ``None``).
 WORKER_OPS = (
     "recommend",
     "recommend_batch",
@@ -56,6 +59,7 @@ WORKER_OPS = (
     "observe",
     "maintenance",
     "metrics",
+    "obs",
     "n_users",
     "probed_users",
     "collect",
@@ -104,6 +108,8 @@ def _apply_op(shard, op: str, args: tuple):
         row = {"shard_id": shard.shard_id, "users": shard.n_users}
         row.update(shard.metrics.as_dict())
         return row
+    if op == "obs":
+        return shard.obs_registry().to_dict()
     if op == "n_users":
         return shard.n_users
     if op == "probed_users":
@@ -126,14 +132,24 @@ def _shard_worker_main(shard_blob: bytes, requests, replies) -> None:
     """
     shard = pickle.loads(shard_blob)
     while True:
-        seq, op, args = requests.get()
+        seq, op, args, trace_ctx = requests.get()
         if op == "stop":
-            replies.put((seq, "ok", None))
+            replies.put((seq, "ok", None, None))
             break
         try:
-            replies.put((seq, "ok", _apply_op(shard, op, args)))
+            if trace_ctx is None:
+                replies.put((seq, "ok", _apply_op(shard, op, args), None))
+            else:
+                # Re-hydrate the parent's trace on this side of the
+                # process boundary; the recorded spans travel back on
+                # the reply and are grafted into the parent's tree.
+                trace = Trace(trace_ctx["trace_id"])
+                with use_trace(trace, trace_ctx.get("parent_id")):
+                    with span(f"worker.{op}", shard=shard.shard_id):
+                        value = _apply_op(shard, op, args)
+                replies.put((seq, "ok", value, trace.spans()))
         except Exception as exc:  # noqa: BLE001 - shipped to the parent
-            replies.put((seq, "err", f"{exc!r}\n{traceback.format_exc()}"))
+            replies.put((seq, "err", f"{exc!r}\n{traceback.format_exc()}", None))
 
 
 @dataclass
@@ -262,10 +278,12 @@ class ShardWorkerPool:
             raise ShardWorkerError("worker pool is closed")
 
     @staticmethod
-    def _send(worker: _Worker, op: str, args: tuple) -> int:
+    def _send(
+        worker: _Worker, op: str, args: tuple, trace_ctx: dict | None = None
+    ) -> int:
         """Enqueue one sequence-tagged request; returns the tag to await."""
         worker.seq += 1
-        worker.requests.put((worker.seq, op, args))
+        worker.requests.put((worker.seq, op, args, trace_ctx))
         return worker.seq
 
     def _reply_from(self, worker: _Worker, index: int, seq: int):
@@ -282,7 +300,7 @@ class ShardWorkerPool:
         deadline = time.monotonic() + self.reply_timeout
         while True:
             try:
-                got_seq, status, value = worker.replies.get(timeout=0.2)
+                reply = worker.replies.get(timeout=0.2)
             except queue_lib.Empty:
                 if not worker.process.is_alive():
                     raise ShardWorkerError(
@@ -295,26 +313,36 @@ class ShardWorkerPool:
                         f"{self.reply_timeout:.0f}s"
                     ) from None
                 continue
+            got_seq, status, value = reply[0], reply[1], reply[2]
+            # Stale replies may predate the span slot; tolerate 3-tuples.
+            spans = reply[3] if len(reply) > 3 else None
             if got_seq != seq:
                 continue  # stale reply from an abandoned exchange
+            if spans:
+                trace = current_trace()
+                if trace is not None:
+                    trace.extend(spans)
             if status == "ok":
                 return value
             raise ShardWorkerError(f"shard worker {index} failed:\n{value}")
 
-    def call(self, index: int, op: str, *args):
+    def call(self, index: int, op: str, *args, trace_ctx: dict | None = None):
         """One request to one worker; blocks for the reply."""
         self._require_open()
         worker = self._workers[index]
-        return self._reply_from(worker, index, self._send(worker, op, args))
+        return self._reply_from(worker, index, self._send(worker, op, args, trace_ctx))
 
-    def map(self, op: str, *args) -> list:
+    def map(self, op: str, *args, trace_ctx: dict | None = None) -> list:
         """Send the same request to every worker, collect in shard order.
 
         This is the fan-out primitive: all workers compute concurrently;
-        only the collection is sequential.
+        only the collection is sequential.  ``trace_ctx`` (from
+        :func:`repro.obs.trace.trace_context`) rides along to every
+        worker; the spans each one records come back on its reply and are
+        grafted into the caller's active trace.
         """
         self._require_open()
-        seqs = [self._send(worker, op, args) for worker in self._workers]
+        seqs = [self._send(worker, op, args, trace_ctx) for worker in self._workers]
         return [
             self._reply_from(worker, index, seq)
             for (index, worker), seq in zip(enumerate(self._workers), seqs)

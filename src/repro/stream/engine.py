@@ -42,14 +42,14 @@ class EngineReport:
     def latency_percentile(self, q: float) -> float:
         """q-th percentile (0..100) of the per-item end-to-end latencies.
 
-        Delegates to :class:`repro.eval.metrics.TimingStats` (imported
-        lazily so the stream substrate stays import-light) — one
-        percentile implementation serves engine reports, shard metrics
+        Delegates to :func:`repro.obs.metrics.exact_percentile` (imported
+        lazily so the stream substrate stays import-light) — the one
+        percentile implementation serving engine reports, timing stats
         and the evaluation harness alike.
         """
-        from repro.eval.metrics import TimingStats
+        from repro.obs.metrics import exact_percentile
 
-        return TimingStats(samples=self.item_latencies).percentile(q)
+        return exact_percentile(self.item_latencies, q)
 
     @property
     def p50_latency(self) -> float:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
@@ -86,6 +87,55 @@ class TestSchema:
     def test_load_rejects_missing_file(self, tmp_path):
         with pytest.raises(BenchSchemaError, match="unreadable"):
             load_result(tmp_path / "BENCH_nope.json")
+
+
+
+class TestExtrasValidation:
+    """extras is free-form but must stay strict-JSON clean all the way
+    down — nested metric-registry dumps ride along in it now."""
+
+    def test_nested_obs_dump_accepted(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("server.requests").inc(3)
+        registry.histogram("server.route_seconds", op="recommend").record(0.002)
+        result = make_result(extras={
+            "scale": "small",
+            "obs": {
+                "registry": registry.to_dict(),
+                "prometheus": registry.to_prometheus(),
+                "slow_requests": [
+                    {"op": "recommend", "seconds": 0.5, "spans": [
+                        {"name": "server.request", "parent_id": None},
+                    ]},
+                ],
+            },
+        })
+        path = result.write(tmp_path)
+        loaded = load_result(path)
+        # The nested dump survives the round trip intact and re-parses.
+        restored = MetricsRegistry.from_dict(loaded["extras"]["obs"]["registry"])
+        assert restored.to_dict() == registry.to_dict()
+
+    @pytest.mark.parametrize("poison, message", [
+        ({"obs": {"p95": float("nan")}}, "finite"),
+        ({"obs": {"p95": float("inf")}}, "finite"),
+        ({"obs": [1, {"deep": [float("-inf")]}]}, "finite"),
+        ({"obs": {"when": object()}}, "JSON-serializable"),
+        ({"obs": {1: "non-string key"}}, "non-string key"),
+    ])
+    def test_poisoned_extras_rejected_before_write(self, tmp_path, poison, message):
+        result = make_result(extras=poison)
+        with pytest.raises(BenchSchemaError, match=message):
+            result.write(tmp_path)
+        # Validation ran before the write: nothing was poisoned on disk.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_error_names_the_nested_path(self):
+        data = make_result(extras={"obs": {"series": [1.0, float("nan")]}}).to_dict()
+        with pytest.raises(BenchSchemaError, match=re.escape("extras['obs']['series'][1]")):
+            validate_result(data)
 
 
 class TestCompare:

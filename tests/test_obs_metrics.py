@@ -1,0 +1,216 @@
+"""repro.obs.metrics: the one percentile implementation, mergeable
+histograms, and the registry's dump/merge/exposition contract.
+
+The load-bearing claims:
+
+- :func:`exact_percentile` is **bit-identical** to ``numpy.percentile``'s
+  default linear interpolation — TimingStats, the stream engine and the
+  eval harness all migrated onto it, so their reported summaries must
+  not move by one ulp;
+- histogram merge is closed under the fixed bounds (the property suite
+  additionally holds it associative/commutative), and quantiles stay
+  clamped to the observed range;
+- ``to_dict``/``from_dict`` round-trip exactly and reject malformed
+  dumps loudly — the CI metrics-route schema gate is this validator.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    LatencyHistogram,
+    MetricsRegistry,
+    ObsSchemaError,
+    exact_percentile,
+)
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, geometric_bounds
+
+
+class TestExactPercentile:
+    def test_bit_identical_to_numpy(self):
+        rng = random.Random(29)
+        for trial in range(200):
+            n = rng.randint(1, 40)
+            values = [rng.uniform(-1e3, 1e3) for _ in range(n)]
+            q = rng.uniform(0.0, 100.0)
+            assert exact_percentile(values, q) == float(np.percentile(values, q)), (
+                f"trial {trial}: n={n} q={q}"
+            )
+
+    def test_edge_quantiles_and_singletons(self):
+        assert exact_percentile([], 50) == 0.0
+        assert exact_percentile([7.0], 99) == 7.0
+        values = [3.0, 1.0, 2.0]
+        assert exact_percentile(values, 0) == 1.0
+        assert exact_percentile(values, 100) == 3.0
+        assert exact_percentile(values, 50) == 2.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="percentile"):
+            exact_percentile([1.0], 101)
+
+
+class TestLatencyHistogram:
+    def test_record_and_summary(self):
+        hist = LatencyHistogram()
+        for ms in (1, 2, 5, 10, 100):
+            hist.record(ms / 1000.0)
+        assert hist.count == 5
+        assert hist.min == 0.001
+        assert hist.max == 0.1
+        assert hist.sum == pytest.approx(0.118)
+        summary = hist.summary_ms()
+        assert summary["mean_ms"] == pytest.approx(hist.mean * 1000.0)
+        # Quantiles are clamped to the observed range and monotone.
+        quantiles = [hist.quantile(q) for q in (0, 25, 50, 75, 95, 100)]
+        assert quantiles == sorted(quantiles)
+        assert all(hist.min <= value <= hist.max for value in quantiles)
+
+    def test_batch_amortized_record(self):
+        # record(seconds, n) is the batch path: n items at the per-item
+        # wall clock in one call.
+        loop = LatencyHistogram()
+        for _ in range(32):
+            loop.record(0.004)
+        batched = LatencyHistogram()
+        batched.record(0.004, n=32)
+        assert batched.counts == loop.counts
+        assert batched.count == loop.count
+        assert (batched.min, batched.max) == (loop.min, loop.max)
+        # One multiply vs 32 adds: equal up to float addition order.
+        assert batched.sum == pytest.approx(loop.sum)
+        batched.record(0.004, n=0)  # no-op, not an error
+        assert batched.count == 32
+
+    def test_empty_histogram_is_inert(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.quantile(95) == 0.0
+        assert hist.summary_ms() == {
+            "mean_ms": 0.0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+
+    def test_merge_requires_equal_bounds(self):
+        left = LatencyHistogram()
+        right = LatencyHistogram(geometric_bounds(per_decade=2))
+        with pytest.raises(ValueError, match="bounds"):
+            left.merge(right)
+
+    def test_merge_equals_pooled_recording(self):
+        rng = random.Random(31)
+        samples_a = [rng.uniform(1e-5, 5.0) for _ in range(200)]
+        samples_b = [rng.uniform(1e-5, 5.0) for _ in range(150)]
+        pooled = LatencyHistogram()
+        left, right = LatencyHistogram(), LatencyHistogram()
+        for value in samples_a:
+            pooled.record(value)
+            left.record(value)
+        for value in samples_b:
+            pooled.record(value)
+            right.record(value)
+        merged = left.merge(right)
+        assert merged.counts == pooled.counts
+        assert merged.count == pooled.count
+        assert (merged.min, merged.max) == (pooled.min, pooled.max)
+        # Bucket counts are exact; the running sum differs only by float
+        # addition order.
+        assert merged.sum == pytest.approx(pooled.sum)
+
+    def test_serialization_round_trip(self):
+        hist = LatencyHistogram()
+        for value in (0.0001, 0.003, 0.02, 1.5):
+            hist.record(value)
+        restored = LatencyHistogram.from_dict(hist.to_dict())
+        assert restored.to_dict() == hist.to_dict()
+        assert restored.quantile(95) == hist.quantile(95)
+
+    @pytest.mark.parametrize("mutation", [
+        lambda d: d.pop("bounds"),
+        lambda d: d.update(counts=d["counts"][:-1]),
+        lambda d: d.update(counts=[-1] + d["counts"][1:]),
+        lambda d: d.update(count=d["count"] + 1),
+        lambda d: d.update(sum="not-a-number"),
+        lambda d: d.update(min=None),
+    ])
+    def test_malformed_dump_rejected(self, mutation):
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        data = hist.to_dict()
+        mutation(data)
+        with pytest.raises(ObsSchemaError):
+            LatencyHistogram.from_dict(data)
+
+    def test_default_bounds_are_shared_and_increasing(self):
+        assert LatencyHistogram().bounds == DEFAULT_LATENCY_BOUNDS
+        assert list(DEFAULT_LATENCY_BOUNDS) == sorted(set(DEFAULT_LATENCY_BOUNDS))
+        assert DEFAULT_LATENCY_BOUNDS[0] == pytest.approx(1e-6)
+        assert math.isclose(DEFAULT_LATENCY_BOUNDS[-1], 100.0, rel_tol=1e-9)
+
+
+class TestMetricsRegistry:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("server.requests").inc(5)
+        registry.counter("shard.queries", shard="0").inc(3)
+        registry.counter("shard.queries", shard="1").inc(4)
+        registry.gauge("shard.users", shard="0").set(12.0)
+        registry.histogram("server.route_seconds", op="recommend").record(0.002)
+        return registry
+
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a.b", x="1")
+        first.inc()
+        assert registry.counter("a.b", x="1") is first
+        # Different labels are a different series.
+        assert registry.counter("a.b", x="2") is not first
+        assert len(registry) == 2
+
+    def test_merge_sums_counters_and_merges_histograms(self):
+        left, right = self.make_registry(), self.make_registry()
+        right.gauge("shard.users", shard="0").set(99.0)
+        left.merge(right)
+        assert left.counter("server.requests").value == 10
+        assert left.counter("shard.queries", shard="1").value == 8
+        # Gauges are last-writer-wins.
+        assert left.gauge("shard.users", shard="0").value == 99.0
+        assert left.histogram("server.route_seconds", op="recommend").count == 2
+
+    def test_dump_round_trip(self):
+        registry = self.make_registry()
+        dump = registry.to_dict()
+        assert MetricsRegistry.from_dict(dump).to_dict() == dump
+
+    @pytest.mark.parametrize("dump", [
+        "not-an-object",
+        {"counters": "nope"},
+        {"counters": [{"name": "", "value": 1}]},
+        {"counters": [{"name": "x", "value": -1}]},
+        {"counters": [{"name": "x", "value": 1, "labels": {"a": 2}}]},
+        {"gauges": [{"name": "x", "value": float("nan")}]},
+        {"histograms": [{"name": "x"}]},
+    ])
+    def test_malformed_dump_rejected(self, dump):
+        with pytest.raises(ObsSchemaError):
+            MetricsRegistry.from_dict(dump)
+
+    def test_prometheus_exposition(self):
+        text = self.make_registry().to_prometheus()
+        assert "# TYPE server_requests counter" in text
+        assert 'shard_queries{shard="0"} 3' in text
+        assert "# TYPE shard_users gauge" in text
+        assert "# TYPE server_route_seconds histogram" in text
+        # The histogram emits cumulative buckets, the +Inf catch-all,
+        # and exact sum/count.
+        assert 'le="+Inf"' in text
+        assert 'server_route_seconds_count{op="recommend"} 1' in text
+        # Dotted names are sanitized: no raw dots survive in metric names.
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                assert "." not in line.split()[2]

@@ -1,0 +1,155 @@
+"""repro.obs tracing, exec hooks, and the opt-in operator profiler.
+
+The disabled path is the contract under test as much as the enabled
+one: with no active trace, :func:`repro.obs.span` must return the
+shared no-op (no allocation, no recorded state), and
+:func:`repro.obs.active_hooks` must answer ``None`` so compiled plans
+keep their original tight loop — conformance depends on instrumentation
+being purely observational.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import (
+    PROFILER,
+    OperatorProfiler,
+    Trace,
+    active_hooks,
+    build_tree,
+    current_trace,
+    span,
+    trace_context,
+    use_trace,
+)
+from repro.obs.trace import current_parent_id, make_span, new_id
+
+
+class TestSpans:
+    def test_untraced_span_is_shared_noop(self):
+        assert current_trace() is None
+        first, second = span("anything"), span("else", tag="x")
+        assert first is second, "untraced spans must be one shared no-op"
+        with first:
+            pass  # must be enterable and side-effect free
+        assert trace_context() is None
+
+    def test_nesting_records_parent_ids(self):
+        trace = Trace()
+        with use_trace(trace):
+            with span("outer", k="10") as outer:
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        spans = {entry["name"]: entry for entry in trace.spans()}
+        assert spans["outer"]["parent_id"] is None
+        assert spans["inner"]["parent_id"] == outer.span_id
+        assert spans["sibling"]["parent_id"] is None
+        assert spans["outer"]["tags"] == {"k": "10"}  # stringified at record
+        assert all(entry["duration"] >= 0.0 for entry in spans.values())
+        (root_a, root_b) = trace.tree()
+        assert root_a["name"] == "outer"
+        assert [child["name"] for child in root_a["children"]] == ["inner"]
+        assert root_b["name"] == "sibling"
+
+    def test_use_trace_is_reentrant(self):
+        outer_trace, inner_trace = Trace(), Trace()
+        with use_trace(outer_trace, parent_id="p-outer"):
+            assert current_parent_id() == "p-outer"
+            with use_trace(inner_trace):
+                assert current_trace() is inner_trace
+                assert current_parent_id() is None
+            assert current_trace() is outer_trace
+            assert current_parent_id() == "p-outer"
+        assert current_trace() is None
+
+    def test_trace_context_ships_ids_across_boundaries(self):
+        trace = Trace("feedface00000000")
+        with use_trace(trace):
+            with span("root") as root:
+                context = trace_context()
+        assert context == {"trace_id": "feedface00000000", "parent_id": root.span_id}
+
+    def test_trace_is_thread_local_and_thread_safe(self):
+        trace = Trace()
+        seen_in_thread = []
+
+        def worker() -> None:
+            # A fresh thread starts untraced...
+            seen_in_thread.append(current_trace())
+            # ...until the fan-out explicitly re-installs the trace.
+            with use_trace(trace, parent_id="fan-out"):
+                for index in range(50):
+                    with span("worker.op", index=index):
+                        pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen_in_thread == [None] * 4
+        assert len(trace) == 200
+        assert all(s["parent_id"] == "fan-out" for s in trace.spans())
+
+    def test_build_tree_surfaces_orphans_as_roots(self):
+        spans = [
+            make_span("child", parent_id="never-shipped", start=2.0, duration=0.1),
+            make_span("root", parent_id=None, start=1.0, duration=0.5),
+        ]
+        roots = build_tree(spans)
+        assert [root["name"] for root in roots] == ["root", "child"]
+
+    def test_grafted_spans_sort_by_start(self):
+        trace = Trace()
+        trace.add(make_span("late", parent_id=None, start=5.0, duration=0.1))
+        trace.extend([make_span("early", parent_id=None, start=1.0, duration=0.1)])
+        assert trace.span_names() == ["early", "late"]
+        assert trace.to_dict() == {"trace_id": trace.trace_id, "spans": trace.spans()}
+
+    def test_new_id_shape(self):
+        ids = {new_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 and int(i, 16) >= 0 for i in ids)
+
+
+class TestHooks:
+    def test_disabled_path_answers_none(self):
+        # No trace, profiler off (the default environment): the compile
+        # seam must see None and keep the original operator loop.
+        assert current_trace() is None
+        assert not PROFILER.enabled
+        assert active_hooks() is None
+
+    def test_tracing_activates_operator_spans(self):
+        trace = Trace()
+        with use_trace(trace):
+            hooks = active_hooks()
+            assert hooks is not None
+            with hooks.operator("scan-item", "ScoreOp"):
+                pass
+        (entry,) = trace.spans()
+        assert entry["name"] == "exec.ScoreOp"
+        assert entry["tags"]["plan"] == "scan-item"
+
+
+class TestProfiler:
+    def test_sampling_and_collapsed_output(self, tmp_path):
+        profiler = OperatorProfiler()
+        profiler.enabled = True  # sample() directly; enable() would start tracemalloc
+        profiler.sample(("repro", "scan-item", "ScoreOp"), 0.25, alloc_bytes=1024)
+        profiler.sample(("repro", "scan-item", "ScoreOp"), 0.75, alloc_bytes=1024)
+        profiler.sample(("repro", "scan-item", "TopKOp"), 1e-9)
+        assert profiler.n_stacks == 2
+        wall = profiler.collapsed()
+        assert "repro;scan-item;ScoreOp 1000000" in wall  # 1.0s in µs
+        assert "repro;scan-item;TopKOp 1" in wall  # sub-µs floors at 1
+        assert profiler.collapsed_alloc() == "repro;scan-item;ScoreOp 2048\n"
+        paths = profiler.dump(tmp_path)
+        assert [p.name.split("-")[0] for p in paths] == ["repro", "repro"]
+        assert paths[0].read_text() == wall
+        profiler.clear()
+        assert profiler.n_stacks == 0
+        assert profiler.collapsed() == ""

@@ -336,3 +336,80 @@ class TestResultCacheEpochInvalidation:
         rec.recommend(item, 5)
         assert rec.result_cache_stats()["hits"] == 1  # no new hit after flush
         assert rec.result_cache_stats()["misses"] == 2
+
+
+class TestHistogramMergeAlgebra:
+    """LatencyHistogram.merge must be a commutative monoid on equal-bounds
+    histograms: aggregation order across shards, worker processes and the
+    wire cannot change the merged answer.  Bucket counts and extrema are
+    exact; the running float sum is order-sensitive only in its last ulp.
+    """
+
+    samples = st.lists(
+        st.floats(min_value=1e-7, max_value=50.0,
+                  allow_nan=False, allow_infinity=False),
+        min_size=0,
+        max_size=30,
+    )
+
+    @staticmethod
+    def _histogram(values):
+        from repro.obs import LatencyHistogram
+
+        hist = LatencyHistogram()
+        for value in values:
+            hist.record(value)
+        return hist
+
+    @staticmethod
+    def _exact_parts(hist):
+        return (hist.counts, hist.count, hist.min, hist.max)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples, samples)
+    def test_commutative(self, left_samples, right_samples):
+        ab = self._histogram(left_samples).merge(self._histogram(right_samples))
+        ba = self._histogram(right_samples).merge(self._histogram(left_samples))
+        assert self._exact_parts(ab) == self._exact_parts(ba)
+        assert ab.sum == pytest.approx(ba.sum)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples, samples, samples)
+    def test_associative(self, a, b, c):
+        left = self._histogram(a).merge(
+            self._histogram(b).merge(self._histogram(c))
+        )
+        right = self._histogram(a).merge(self._histogram(b)).merge(
+            self._histogram(c)
+        )
+        assert self._exact_parts(left) == self._exact_parts(right)
+        assert left.sum == pytest.approx(right.sum)
+
+    @settings(max_examples=40, deadline=None)
+    @given(samples)
+    def test_empty_is_identity(self, values):
+        from repro.obs import LatencyHistogram
+
+        hist = self._histogram(values)
+        merged = self._histogram(values).merge(LatencyHistogram())
+        assert self._exact_parts(merged) == self._exact_parts(hist)
+        assert merged.sum == hist.sum
+
+    @settings(max_examples=40, deadline=None)
+    @given(samples, samples)
+    def test_registry_merge_round_trips_the_wire_shape(self, left_samples, right_samples):
+        """Dump -> from_dict -> merge equals in-process merge: what shard
+        workers ship over the reply queue loses nothing."""
+        from repro.obs import MetricsRegistry
+
+        def registry(values, shard):
+            reg = MetricsRegistry()
+            reg.counter("shard.queries", shard=shard).inc(len(values))
+            for value in values:
+                reg.histogram("shard.item_seconds", shard=shard).record(value)
+            return reg
+
+        direct = registry(left_samples, "0").merge(registry(right_samples, "1"))
+        shipped = MetricsRegistry.from_dict(registry(left_samples, "0").to_dict())
+        shipped.merge(MetricsRegistry.from_dict(registry(right_samples, "1").to_dict()))
+        assert shipped.to_dict() == direct.to_dict()

@@ -380,3 +380,119 @@ class TestErrorsAndOps:
         finally:
             client.close()
             listener.close()
+
+
+class TestObservability:
+    """The metrics route, wire-level tracing, and the slow-request log."""
+
+    def test_metrics_route_schema_and_counts(self):
+        from repro.obs import MetricsRegistry
+
+        stub = StubRecommender()
+        server = RecommenderServer(stub, coalesce=False)
+        with ServerThread(server) as (host, port):
+            with RecommenderClient(host, port) as client:
+                for i in range(3):
+                    client.recommend(make_item(i), 2)
+                payload = client.metrics()
+        assert set(payload) == {"registry", "prometheus", "slow_requests"}
+        # The dump must survive the strict schema validator — the CI
+        # metrics gate parses it exactly this way.
+        registry = MetricsRegistry.from_dict(payload["registry"])
+        assert registry.to_dict() == payload["registry"]
+        assert registry.counter("server.requests").value >= 3
+        assert registry.histogram("server.route_seconds", op="recommend").count == 3
+        assert "server_requests" in payload["prometheus"]
+        assert payload["slow_requests"] == []
+
+    def test_traced_recommend_ships_span_tree(self):
+        from repro.obs import build_tree
+
+        stub = StubRecommender()
+        server = RecommenderServer(stub, coalesce=False)
+        with ServerThread(server) as (host, port):
+            with RecommenderClient(host, port) as client:
+                ranked, trace = client.recommend_traced(make_item(7), 3)
+                # Tracing never changes what is served.
+                assert ranked == client.recommend(make_item(7), 3)
+        assert trace is not None
+        assert set(trace) == {"trace_id", "spans"}
+        names = [entry["name"] for entry in trace["spans"]]
+        assert "server.request" in names
+        assert "server.execute" in names
+        # Exactly one root, everything else hangs off it.
+        (root,) = build_tree(trace["spans"])
+        assert root["name"] == "server.request"
+        assert root["tags"]["op"] == "recommend"
+        # Exactly one parentless span — the request root; every other
+        # span nests under it.
+        orphans = [e for e in trace["spans"] if e["parent_id"] is None]
+        assert [e["name"] for e in orphans] == ["server.request"]
+
+    def test_untraced_recommend_carries_no_trace_field(self):
+        # The wire conformance suite holds the byte layout; here we hold
+        # the reply object: no trace unless asked.
+        stub = StubRecommender()
+        server = RecommenderServer(stub, coalesce=False)
+        with ServerThread(server) as (host, port):
+            with socket.create_connection((host, port), timeout=10) as sock:
+                from repro.serve.protocol import Request, encode_request
+
+                sock.sendall(encode_request(Request(
+                    "recommend", 0, {"item": item_to_wire(make_item(1)), "k": 2}
+                )))
+                decoder = FrameDecoder()
+                messages = []
+                while not messages:
+                    messages = list(decoder.feed(sock.recv(65536)))
+        assert "trace" not in messages[0]
+
+    def test_coalesced_traced_requests_share_batch_spans(self):
+        from repro.obs import build_tree
+
+        stub = StubRecommender(delay=0.02)
+        server = RecommenderServer(stub, coalesce=True, max_delay=0.05)
+
+        async def run():
+            client = await AsyncRecommenderClient.connect(server.host, server.port)
+            try:
+                return await asyncio.gather(*[
+                    client.recommend_traced(make_item(i), 2) for i in range(4)
+                ])
+            finally:
+                await client.close()
+
+        with ServerThread(server):
+            outcomes = asyncio.run(run())
+        for ranked, trace in outcomes:
+            assert ranked == StubRecommender.expected(ranked[0][0] // 100, 2)
+            names = [entry["name"] for entry in trace["spans"]]
+            assert "server.request" in names
+            assert "server.coalesce" in names  # queue wait, per request
+            assert "server.batch" in names     # shared model-thread span
+            (root,) = build_tree(trace["spans"])
+            assert root["name"] == "server.request"
+
+    def test_slow_request_log_captures_span_trees(self):
+        stub = StubRecommender(delay=0.05)
+        # Threshold zero: every request is "slow" — and the log must
+        # capture traces even though the client never asked for one.
+        server = RecommenderServer(
+            stub, coalesce=False, slow_request_seconds=0.0, slow_request_log_size=2
+        )
+        with ServerThread(server) as (host, port):
+            with RecommenderClient(host, port) as client:
+                for i in range(3):
+                    client.recommend(make_item(i), 2)
+                payload = client.metrics()
+        entries = payload["slow_requests"]
+        assert len(entries) == 2  # deque bound: only the latest kept
+        for entry in entries:
+            assert entry["op"] == "recommend"
+            assert entry["seconds"] >= 0.05
+            assert any(s["name"] == "server.execute" for s in entry["spans"])
+        assert server.stats.slow_requests == 3
+
+    def test_slow_threshold_validation(self):
+        with pytest.raises(ValueError, match="slow_request_seconds"):
+            RecommenderServer(StubRecommender(), slow_request_seconds=-1.0)

@@ -284,3 +284,63 @@ class TestWorkerOps:
         )
         item = ytube_stream.items_in_partition(2)[0]
         assert _apply_op(service.shards[0], "probed_users", (item,)) == set()
+
+
+class TestWorkerObservability:
+    """Metrics and spans must cross the worker process boundary."""
+
+    def test_obs_registries_merge_across_the_pool(self, process_service):
+        # Each worker ships its registry as a plain dump over the reply
+        # queue ("obs" op); the service merges them into one view.
+        pool = process_service._ensure_pool()
+        dumps = pool.map("obs")
+        assert len(dumps) == 2
+        from repro.obs import MetricsRegistry
+
+        merged = process_service.obs_registry()
+        shard_labels = {
+            counter.labels["shard"]
+            for counter in merged.counters()
+            if counter.name == "shard.queries"
+        }
+        assert shard_labels == {"0", "1"}
+        # The merged totals equal the per-worker dumps folded by hand —
+        # the round trip through the queue loses nothing.
+        by_hand = MetricsRegistry()
+        for dump in dumps:
+            by_hand.merge(MetricsRegistry.from_dict(dump))
+        assert by_hand.to_dict() == merged.to_dict()
+        # The module's serving traffic ran inside the workers.
+        total_items = sum(
+            counter.value
+            for counter in merged.counters()
+            if counter.name == "shard.items_served"
+        )
+        assert total_items > 0
+
+    def test_spans_propagate_through_worker_processes(
+        self, process_service, sequential_twin, stream_slice
+    ):
+        from repro.obs import Trace, use_trace
+
+        items, _, _ = stream_slice
+        trace = Trace()
+        with use_trace(trace):
+            traced = process_service.recommend_batch(items[:4], 5)
+        # Tracing is purely observational: bit-identical results.
+        assert traced == sequential_twin.recommend_batch(items[:4], 5)
+        names = trace.span_names()
+        # Worker-side spans were shipped back over the reply queue and
+        # grafted into the caller's trace, shard work included.
+        assert "worker.recommend_batch" in names
+        assert "shard.scan" in names
+        worker_shards = {
+            entry["tags"]["shard"]
+            for entry in trace.spans()
+            if entry["name"] == "worker.recommend_batch"
+        }
+        assert worker_shards == {"0", "1"}
+        # One consistent trace id: worker spans carry the caller's.
+        untraced = process_service.recommend_batch(items[:4], 5)
+        assert untraced == traced
+        assert len(trace) == len(trace.spans())  # no spans leaked after exit
