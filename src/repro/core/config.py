@@ -13,8 +13,12 @@ SHARD_STRATEGIES = ("hash", "block")
 #: another in the calling thread, ``"thread"`` fans out on a
 #: ``ThreadPoolExecutor`` (GIL-bound — parallelism limited to NumPy
 #: sections), ``"process"`` hosts every shard in its own OS process
-#: (:mod:`repro.serve.workers`) for real CPU parallelism.
-SERVE_BACKENDS = ("sequential", "thread", "process")
+#: (:mod:`repro.serve.workers`) for real CPU parallelism, ``"shmem"``
+#: keeps the per-shard processes but maps the read-mostly shard state
+#: into shared-memory segments instead of copying it — workers attach
+#: zero-copy views and a serve window costs one message per shard
+#: (:mod:`repro.serve.shmem`).
+SERVE_BACKENDS = ("sequential", "thread", "process", "shmem")
 
 
 @dataclass(frozen=True)
@@ -62,8 +66,10 @@ class SsRecConfig:
             under the thread backend; 0 or 1 = sequential fan-out.
         serve_backend: how the sharded facade fans queries out —
             ``"sequential"`` (in the calling thread), ``"thread"``
-            (GIL-bound thread pool) or ``"process"`` (one OS process per
-            shard; see :mod:`repro.serve.workers`).  Results are
+            (GIL-bound thread pool), ``"process"`` (one OS process per
+            shard; see :mod:`repro.serve.workers`) or ``"shmem"``
+            (processes attaching zero-copy shared-memory views of the
+            shard state; see :mod:`repro.serve.shmem`).  Results are
             bit-identical across backends; only the cost profile differs.
         result_cache: serve through the ``*-cached`` execution-plan
             variants (:mod:`repro.exec.cache`) — an exact LRU memo of

@@ -283,6 +283,26 @@ class VectorizedMatcher:
         """Row order of the score arrays."""
         return list(self._user_ids)
 
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The dense score-state arrays, by name.
+
+        This is the read-mostly state the shared-memory backend
+        (:mod:`repro.serve.shmem`) publishes into segments — the stacked
+        per-user count matrices and smoothed interest columns that
+        dominate a shard's footprint.  The property tests round-trip
+        these through publish/attach and assert bitwise equality; the
+        mapping exposes the *live* arrays (no copies), so callers must
+        not mutate through it.
+        """
+        return {
+            "producer_counts": self._producer_counts,
+            "entity_counts": self._entity_counts,
+            "n_long": self._n_long,
+            "n_tokens": self._n_tokens,
+            "long_dist": self._long_dist,
+            "short_dist": self._short_dist,
+        }
+
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------

@@ -260,11 +260,13 @@ class FanoutOp(ServeOp):
     """Broadcast one query (or window) to every shard of a service.
 
     The backend dispatch lives here — ``"process"`` routes through the
-    worker pool (shards live in their own OS processes), the in-process
-    backends warm the shared expanded-query cache once and fan out via
-    the service's sequential-or-threaded runner.  Per-shard results come
-    back in shard order under every backend, so the merge downstream is
-    deterministic.
+    worker pool (shards live in their own OS processes), ``"shmem"``
+    sends each worker one batched message naming the published segment
+    epoch (:meth:`~repro.serve.shmem.ShmemWorkerPool.serve_item` /
+    ``serve_batch``), the in-process backends warm the shared
+    expanded-query cache once and fan out via the service's
+    sequential-or-threaded runner.  Per-shard results come back in shard
+    order under every backend, so the merge downstream is deterministic.
     """
 
     def __init__(self, service) -> None:
@@ -280,6 +282,20 @@ class FanoutOp(ServeOp):
                 "recommend", item, k, trace_ctx=trace_context()
             )
             return
+        if service.backend == "shmem":
+            from repro.obs.trace import trace_context
+
+            # Warm the parent's expansion memo at this stream position,
+            # exactly as the in-process backends do: the memo is part of
+            # the published state, and expansions are memoized at their
+            # *first* computation — skipping the warm here would let a
+            # republished segment recompute an old item's expansion at a
+            # later expander state, silently breaking bit-parity.
+            service.scorer.expanded_query(item)
+            ctx.per_shard = service._ensure_pool().serve_item(
+                item, k, trace_ctx=trace_context()
+            )
+            return
         service.scorer.expanded_query(item)
         ctx.per_shard = service._fan_out(
             self._traced(lambda shard: shard.recommend(item, k))
@@ -293,6 +309,15 @@ class FanoutOp(ServeOp):
 
             ctx.per_shard = service._ensure_pool().map(
                 "recommend_batch", items, k, trace_ctx=trace_context()
+            )
+            return
+        if service.backend == "shmem":
+            from repro.obs.trace import trace_context
+
+            for item in items:  # warm the published memo (see run_item)
+                service.scorer.expanded_query(item)
+            ctx.per_shard = service._ensure_pool().serve_batch(
+                items, k, trace_ctx=trace_context()
             )
             return
         for item in items:

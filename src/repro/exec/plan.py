@@ -419,6 +419,22 @@ def _build_default_registry() -> PlanRegistry:
         description="hash scan shards, one OS worker process per shard",
     ))
     registry.register(ExecPlan(
+        name="sharded-scan-shmem",
+        candidate_source="full-scan",
+        placement=Placement.sharded("hash", backend="shmem"),
+        anchor="scan-item",
+        description="hash scan shards served from shared-memory segments "
+        "(zero-copy worker views)",
+    ))
+    registry.register(ExecPlan(
+        name="sharded-index-shmem",
+        candidate_source="cppse-probe",
+        placement=Placement.sharded("block", backend="shmem"),
+        anchor="sharded-index-block",
+        description="block CPPse shards over shared-memory fan-out "
+        "(epoch copy-on-publish)",
+    ))
+    registry.register(ExecPlan(
         name="oracle-item",
         candidate_source="full-scan",
         scoring="oracle-reference",

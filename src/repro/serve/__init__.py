@@ -15,6 +15,10 @@ stack:
 - :mod:`repro.serve.workers` — :class:`ShardWorkerPool`, one spawn-safe
   OS process per shard (queue transport, collect/restart lifecycle) for
   the process backend;
+- :mod:`repro.serve.shmem` — :class:`ShmemWorkerPool`, the shared-memory
+  fan-out: shard state published once into epoch-versioned segments,
+  stateless workers attaching zero-copy read-only views, one batched
+  message per shard per serve window;
 - :mod:`repro.serve.snapshot` — versioned save/load of the full trained
   state so a server warm-starts without retraining;
 - :mod:`repro.serve.protocol` — the length-prefixed, versioned JSON
@@ -44,6 +48,16 @@ from repro.serve.service import ShardedRecommender
 from repro.serve.shard import RecommenderShard, ShardMetrics
 from repro.serve.sharding import ShardPlan, UserSharder, hash_shard, merge_top_k
 from repro.serve.workers import ShardWorkerError, ShardWorkerPool
+from repro.serve.shmem import (
+    SEGMENT_PREFIX,
+    SegmentManifest,
+    ShardPublisher,
+    ShmemError,
+    ShmemWorkerPool,
+    attach_state,
+    live_segment_names,
+    publish_state,
+)
 from repro.serve.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
@@ -79,6 +93,14 @@ __all__ = [
     "merge_top_k",
     "ShardWorkerError",
     "ShardWorkerPool",
+    "SEGMENT_PREFIX",
+    "SegmentManifest",
+    "ShardPublisher",
+    "ShmemError",
+    "ShmemWorkerPool",
+    "attach_state",
+    "live_segment_names",
+    "publish_state",
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
     "save_snapshot",

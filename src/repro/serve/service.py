@@ -35,16 +35,21 @@ shard, which runs its own Algorithm-2 maintenance cadence.
 
 **Backends.** ``SsRecConfig.serve_backend`` (or the ``backend`` argument)
 selects how the fan-out runs: ``"sequential"`` in the calling thread,
-``"thread"`` on a ``ThreadPoolExecutor`` (GIL-bound), or ``"process"``
+``"thread"`` on a ``ThreadPoolExecutor`` (GIL-bound), ``"process"``
 with every shard hosted in its own OS process by a
 :class:`~repro.serve.workers.ShardWorkerPool` — shards shipped through
-the snapshot pickle path, requests/replies over queues.  Results are
-bit-identical across all three backends (asserted by the conformance
-suite and ``bench_shard_scaling``); only the cost profile differs.  Under
-the process backend the worker copies are authoritative: every mutation
-is forwarded to them in order, and the parent pulls the live shard state
-back before snapshots and on :meth:`close` (so a closed or pickled
-service is always current).
+the snapshot pickle path, requests/replies over queues — or ``"shmem"``
+with stateless worker processes attaching zero-copy shared-memory views
+of the shard state (:class:`~repro.serve.shmem.ShmemWorkerPool`).
+Results are bit-identical across all backends (asserted by the
+conformance suite and ``bench_shard_scaling``); only the cost profile
+differs.  Authority differs by backend: under ``"process"`` the worker
+copies are authoritative — every mutation is forwarded to them in order,
+and the parent pulls the live shard state back before snapshots and on
+:meth:`close` — while under ``"shmem"`` the *parent's* shards stay
+authoritative, mutations apply locally at zero IPC cost, and dirty
+shards are republished (epoch-bumped copy-on-publish) at the next serve
+window.
 
 Typical usage::
 
@@ -88,8 +93,9 @@ class ShardedRecommender:
         workers: fan-out threads of the thread backend; 0/1 = sequential.
             Defaults to the config's ``serve_workers``.  The process
             backend always runs one worker process per shard.
-        backend: fan-out backend (``"sequential"``, ``"thread"`` or
-            ``"process"``); defaults to the config's ``serve_backend``.
+        backend: fan-out backend (``"sequential"``, ``"thread"``,
+            ``"process"`` or ``"shmem"``); defaults to the config's
+            ``serve_backend``.
             For backward compatibility, ``workers > 1`` upgrades the
             default ``"sequential"`` to ``"thread"``.
     """
@@ -233,18 +239,32 @@ class ShardedRecommender:
         return self._pool is not None
 
     def _ensure_pool(self):
-        """Start the shard worker processes on first use (process backend).
+        """Start the worker processes on first use (process/shmem backends).
 
         Lazy start keeps construction cheap and lets a freshly unpickled
         service (snapshots drop live pools) respawn transparently on its
-        next operation.  From the first start on, every mutation routes to
-        the workers, so the worker copies stay the single authority.
+        next operation.  Authority then depends on the backend: process
+        workers hold the single authoritative copies (every mutation
+        routes to them), shmem workers are stateless readers of segments
+        the parent republishes.
         """
         if self._pool is None:
-            from repro.serve.workers import ShardWorkerPool  # local: spawn-safe import
+            if self.backend == "shmem":
+                from repro.serve.shmem import ShmemWorkerPool  # local: spawn-safe
 
-            self._pool = ShardWorkerPool(self.shards)
+                self._pool = ShmemWorkerPool(self.shards)
+            else:
+                from repro.serve.workers import ShardWorkerPool  # local: spawn-safe
+
+                self._pool = ShardWorkerPool(self.shards)
         return self._pool
+
+    def _parent_authoritative(self) -> bool:
+        """True when the parent's shard objects are the source of truth
+        even while a pool is active (the shmem backend)."""
+        return self._pool is None or getattr(
+            self._pool, "parent_authoritative", False
+        )
 
     def _fan_out(self, call: Callable[[RecommenderShard], object]) -> list:
         """Run ``call`` on every shard; threaded under the thread backend.
@@ -280,8 +300,8 @@ class ShardedRecommender:
         the shared-object invariant the in-process backends maintain
         (an update through either view is seen by both).
         """
-        if self._pool is None:
-            return
+        if self._pool is None or self._parent_authoritative():
+            return  # shmem: the parent never went stale
         self.shards = self._pool.collect_all()
         for shard in self.shards:
             for profile in shard.profiles:
@@ -293,9 +313,11 @@ class ShardedRecommender:
         Each worker's live state is collected and a fresh process resumes
         from it, bit-compatibly — the conformance harness replays this to
         prove restarts are invisible in results.  No-op on the in-process
-        backends (they have no workers to restart).
+        backends (they have no workers to restart).  Shmem workers are
+        stateless, so their restart is a plain respawn — the next serve
+        window re-attaches the current epoch.
         """
-        if self.backend == "process":
+        if self.backend in ("process", "shmem"):
             self._ensure_pool().restart_all()
 
     def close(self) -> None:
@@ -382,7 +404,10 @@ class ShardedRecommender:
         every worker's copy of the shared state (with the parent's
         entity annotation shipped along, so workers need no extractor);
         request ordering per worker matches the in-process call order, so
-        the worker state evolves bit-identically.
+        the worker state evolves bit-identically.  Under the shmem
+        backend the parent mutation *is* the authoritative one — no
+        round trips; every shard is marked dirty so the next serve
+        window republishes the advanced shared state.
         """
         if self.backend == "process":
             # Spawn before the parent-side mutation: workers must start
@@ -399,6 +424,8 @@ class ShardedRecommender:
                 mentions,
                 tuple(item.entities),
             )
+        elif self.backend == "shmem" and self._pool_active():
+            self._pool.invalidate()  # shared scorer state moved: all stale
 
     #: ``observe`` is the serving-layer name for the same operation.
     observe = observe_item
@@ -423,6 +450,8 @@ class ShardedRecommender:
         # The shard store recorded the event on the shared profile object;
         # mark the global view dirty too so any mirror of it stays fresh.
         self.profiles.touch()
+        if self.backend == "shmem" and self._pool_active():
+            self._pool.invalidate(shard_id)  # republish this shard only
 
     def run_maintenance(self) -> int:
         """Flush every shard's pending Algorithm-2 work; returns profiles
@@ -430,7 +459,10 @@ class ShardedRecommender:
         self.exec_epoch += 1  # Algorithm-2 flush: orphan cached results
         if self.backend == "process" and self._pool_active():
             return sum(self._pool.map("maintenance"))
-        return sum(shard.run_maintenance() for shard in self.shards)
+        refreshed = sum(shard.run_maintenance() for shard in self.shards)
+        if self.backend == "shmem" and self._pool_active() and refreshed:
+            self._pool.invalidate()  # index state moved: republish
+        return refreshed
 
     # ------------------------------------------------------------------
     # Introspection
@@ -441,7 +473,7 @@ class ShardedRecommender:
 
     @property
     def n_users(self) -> int:
-        if self._pool_active():
+        if self._pool_active() and not self._parent_authoritative():
             return sum(self._pool.map("n_users"))
         return sum(shard.n_users for shard in self.shards)
 
@@ -449,9 +481,18 @@ class ShardedRecommender:
         """One summary row per shard (latency percentiles, candidate and
         maintenance counts), plus the user count.  With live worker
         processes the rows come from the workers — serving happens there,
-        so that is where the counters accumulate."""
+        so that is where the counters accumulate.  Under the shmem split
+        (serving in workers, maintenance in the parent) each row combines
+        the worker's serve counters with the parent's maintenance and
+        user counts."""
         if self._pool_active():
-            return self._pool.map("metrics")
+            rows = self._pool.map("metrics")
+            if self._parent_authoritative():
+                for row, shard in zip(rows, self.shards):
+                    row["users"] = shard.n_users
+                    row["maintenance_runs"] = shard.metrics.maintenance_runs
+                    row["profiles_refreshed"] = shard.metrics.profiles_refreshed
+            return rows
         rows = []
         for shard in self.shards:
             row = {"shard_id": shard.shard_id, "users": shard.n_users}
@@ -474,6 +515,14 @@ class ShardedRecommender:
         if self._pool_active():
             for dump in self._pool.map("obs"):
                 registry.merge(MetricsRegistry.from_dict(dump))
+            if self._parent_authoritative():
+                # Shmem split: serve counters live in the workers (merged
+                # above), maintenance counters in the parent's shards —
+                # counters sum, and the parent's fresher gauges win by
+                # merge order.  The publisher adds segment/epoch telemetry.
+                for shard in self.shards:
+                    registry.merge(shard.obs_registry())
+                registry.merge(self._pool.publisher.obs_registry())
         else:
             for shard in self.shards:
                 registry.merge(shard.obs_registry())

@@ -232,6 +232,28 @@ class RecommenderShard:
         return ranked_lists
 
     # ------------------------------------------------------------------
+    # Publication (shared-memory backend)
+    # ------------------------------------------------------------------
+    def prepare_for_publish(self) -> None:
+        """Settle every lazily-deferred write before a read-only publish.
+
+        The shared-memory backend (:mod:`repro.serve.shmem`) hands workers
+        *read-only* views of this shard's arrays, so any write a worker
+        would have performed lazily at serve time must happen here, in the
+        parent, first — at the **same stream position** the worker would
+        have performed it, which is what keeps the published copy
+        bit-identical to in-process serving:
+
+        - pending index maintenance is flushed (mirroring the lazy flush
+          at the top of :meth:`recommend`/:meth:`recommend_batch`);
+        - the matcher is synced, so a worker-side ``sync()`` takes the
+          O(1) version fast path instead of refreshing rows in place.
+        """
+        if self.index is not None and self._maintenance_pending:
+            self.run_maintenance()
+        self.matcher.sync()
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def obs_registry(self) -> MetricsRegistry:

@@ -78,6 +78,12 @@ def save_snapshot(recommender, path) -> Path:
         "created_unix": time.time(),
         "config": trained.config.to_dict(),
         "use_index": bool(getattr(recommender, "use_index", trained.use_index)),
+        # Informational: the backend the service ran under at save time.
+        # Segments/pools are runtime artifacts — never persisted; a
+        # loaded shmem service republishes lazily on its first serve.
+        "serve_backend": str(
+            getattr(recommender, "backend", trained.config.serve_backend)
+        ),
         "seed": trained.seed,
         "n_categories": trained.bihmm.n_categories,
         "n_users": len(trained.profiles),

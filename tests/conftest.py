@@ -6,6 +6,8 @@ session-scoped fixtures (mutating tests build their own instances).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.config import SsRecConfig
@@ -13,6 +15,32 @@ from repro.core.ssrec import SsRecRecommender
 from repro.datasets.mlens import MLensConfig, generate_mlens
 from repro.datasets.partitions import partition_interactions
 from repro.datasets.ytube import YTubeConfig, generate_ytube
+from repro.serve.shmem import SEGMENT_PREFIX, live_segment_names
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    """Suite-wide guard: every test leaves zero live shared-memory segments.
+
+    The shmem backend's whole contract is explicit segment lifecycle
+    (publish → retire/close); a leaked segment means a publisher or
+    attachment outlived its owner — the class of bug CPython's
+    resource-tracker warnings hint at but don't fail on.  Segment names
+    embed the publishing process's pid and publishing only ever happens
+    in the parent (workers are readers), so the guard scopes itself to
+    *this* process's segments — segments that predate the test or belong
+    to concurrent unrelated runs on the same host are tolerated; only
+    segments created and left behind by this test fail it.
+    """
+    mine = f"{SEGMENT_PREFIX}{os.getpid():x}-"
+    before = set(live_segment_names())
+    yield
+    leaked = [
+        name
+        for name in live_segment_names()
+        if name.startswith(mine) and name not in before
+    ]
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"
 
 
 @pytest.fixture(scope="session")

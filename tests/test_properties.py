@@ -19,6 +19,7 @@ from repro.exec.cache import ResultCache
 from repro.index.hashing import ChainedHashTable
 from repro.index.signature import BlockUniverse, QuerySignature
 from repro.serve.sharding import merge_top_k
+from repro.serve.shmem import ShardPublisher, attach_state, publish_state
 
 
 class TestHashTableModel:
@@ -336,6 +337,127 @@ class TestResultCacheEpochInvalidation:
         rec.recommend(item, 5)
         assert rec.result_cache_stats()["hits"] == 1  # no new hit after flush
         assert rec.result_cache_stats()["misses"] == 2
+
+
+_SHMEM_DTYPES = st.sampled_from(
+    ["float64", "float32", "int64", "int32", "uint16", "uint8", "bool"]
+)
+
+
+@st.composite
+def _shmem_states(draw):
+    """A pickleable state graph mixing scalars with numpy arrays of drawn
+    dtypes and shapes (including empty arrays and 2-D layouts)."""
+    state = {"tag": draw(st.integers(min_value=0, max_value=10_000))}
+    for i in range(draw(st.integers(min_value=1, max_value=4))):
+        dtype = np.dtype(draw(_SHMEM_DTYPES))
+        shape = tuple(
+            draw(st.lists(st.integers(min_value=0, max_value=7),
+                          min_size=1, max_size=2))
+        )
+        rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31 - 1)))
+        if dtype.kind == "f":
+            array = rng.standard_normal(shape).astype(dtype)
+        elif dtype.kind == "b":
+            array = rng.random(shape) < 0.5
+        else:
+            array = rng.integers(0, 200, size=shape).astype(dtype)
+        state[f"arr{i}"] = array
+    return state
+
+
+class TestShmemPublishRoundTrip:
+    """publish_state/attach_state is a bitwise-faithful, zero-copy codec:
+    whatever array dtypes and shapes go in, byte-identical read-only
+    views come out of the mapped segment."""
+
+    @staticmethod
+    def _assert_bitwise(attached, original):
+        assert set(attached) == set(original)
+        for key, value in original.items():
+            got = attached[key]
+            if isinstance(value, np.ndarray):
+                assert got.dtype == value.dtype and got.shape == value.shape
+                assert got.tobytes() == value.tobytes()
+                if got.nbytes:
+                    assert not got.flags.owndata      # aliases the segment
+                    assert not got.flags.writeable    # torn-write protection
+            else:
+                assert got == value
+
+    @settings(max_examples=25, deadline=None)
+    @given(state=_shmem_states(), epoch=st.integers(min_value=1, max_value=10**6))
+    def test_round_trip_bitwise_equal(self, state, epoch):
+        manifest, shm = publish_state(state, epoch=epoch)
+        try:
+            attachment = attach_state(manifest)
+            try:
+                assert attachment.manifest == manifest
+                self._assert_bitwise(attachment.state, state)
+            finally:
+                attachment.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_matcher_state_arrays_round_trip(self, fitted_ssrec):
+        """The non-randomized end of the contract: the real matcher's
+        live arrays survive the segment codec bit-for-bit."""
+        state = dict(fitted_ssrec.matcher.state_arrays())
+        manifest, shm = publish_state(state, epoch=1)
+        try:
+            attachment = attach_state(manifest)
+            try:
+                self._assert_bitwise(attachment.state, state)
+            finally:
+                attachment.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestShmemEpochProtocol:
+    """Interleaved publishes across shards: per-shard epochs are strictly
+    monotone, and a reader attached to the previous epoch still sees its
+    complete old state after a republish retires the segment under it —
+    copy-on-publish means no torn reads, ever."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),          # shard id
+                st.integers(min_value=0, max_value=2**31 - 1),  # state seed
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_monotone_epochs_and_no_torn_reads(self, ops):
+        publisher = ShardPublisher()
+        held: dict[int, tuple[object, np.ndarray]] = {}  # shard -> (attachment, copy)
+        try:
+            last_epoch: dict[int, int] = {}
+            for shard_id, seed in ops:
+                array = np.random.default_rng(seed).standard_normal(8)
+                manifest = publisher.publish(shard_id, {"arr": array})
+                assert manifest.epoch == last_epoch.get(shard_id, 0) + 1
+                assert publisher.epoch(shard_id) == manifest.epoch
+                last_epoch[shard_id] = manifest.epoch
+                if shard_id in held:
+                    # The republish above just retired (unlinked) the
+                    # segment this attachment maps — its view must still
+                    # read the complete pre-republish bits.
+                    old_attachment, old_copy = held.pop(shard_id)
+                    assert np.array_equal(old_attachment.state["arr"], old_copy)
+                    old_attachment.close()
+                attachment = attach_state(manifest)
+                assert attachment.state["arr"].tobytes() == array.tobytes()
+                held[shard_id] = (attachment, array.copy())
+        finally:
+            for attachment, _ in held.values():
+                attachment.close()
+            publisher.close()
 
 
 class TestHistogramMergeAlgebra:

@@ -189,6 +189,30 @@ class TestPoolLifecycle:
         pool.close()
         service._pool = None  # closed manually; nothing left to collect
 
+    def test_collect_all_with_dead_worker_fails_fast(self, fitted_ssrec):
+        """Regression: collect_all used to block on the raw reply queue,
+        so a worker dying mid-collection hung the parent for the full
+        reply timeout (or forever when the worker died *inside* a queue
+        write, leaving a torn frame no timeout-get could see).  The pump
+        thread plus liveness polling must surface the death in bounded
+        time, and close() must not hang on the dead worker either."""
+        trained = copy.deepcopy(fitted_ssrec)
+        service = ShardedRecommender.from_trained(
+            trained, n_shards=2, strategy="hash", use_index=False, backend="process"
+        )
+        pool = service._ensure_pool()
+        assert len(pool.collect_all()) == 2  # healthy path first
+        pool._workers[0].process.terminate()
+        pool._workers[0].process.join(timeout=10)
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="died"):
+            pool.collect_all()
+        assert time.monotonic() - started < pool.reply_timeout / 2
+        started = time.monotonic()
+        pool.close()
+        assert time.monotonic() - started < 30
+        service._pool = None  # closed manually; nothing left to collect
+
     def test_closed_pool_rejects_requests(self, fitted_ssrec):
         trained = copy.deepcopy(fitted_ssrec)
         service = ShardedRecommender.from_trained(

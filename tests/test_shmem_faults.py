@@ -1,0 +1,190 @@
+"""Fault injection for the shared-memory IPC layer.
+
+Every fault a segment-based fan-out can hit mid-flight — a worker killed
+inside a serve window, a segment unlinked under a live reader, a stale
+epoch manifest — must surface as a *typed* error
+(:class:`ShardWorkerError` / :class:`ShmemError`) in bounded time.
+Never a hang, never a silently wrong answer.
+
+CI replays this battery under both ``spawn`` and ``forkserver`` start
+methods (the ``REPRO_SHMEM_START_METHOD`` environment variable, read by
+:class:`ShmemWorkerPool` at construction).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.serve import ShardedRecommender
+from repro.serve.shmem import (
+    SegmentManifest,
+    ShmemError,
+    ShmemWorkerPool,
+    live_segment_names,
+)
+from repro.serve.workers import ShardWorkerError
+
+
+@pytest.fixture
+def service(fitted_ssrec, ytube_stream):
+    """A warmed two-shard shmem service (segments published, workers
+    attached) plus a probe item; closed after each test."""
+    service = ShardedRecommender.from_trained(
+        fitted_ssrec, n_shards=2, strategy="hash", use_index=False, backend="shmem"
+    )
+    item = ytube_stream.items_in_partition(2)[0]
+    baseline = service.recommend(item, 6)  # spawn + publish + attach
+    yield service, item, baseline
+    service.close()
+
+
+def _kill(pool, index: int) -> None:
+    worker = pool._workers[index]
+    worker.process.terminate()
+    worker.process.join(timeout=10)
+
+
+class TestWorkerDeath:
+    def test_kill_mid_window_raises_typed_error_fast(self, service):
+        service, item, _ = service
+        pool = service._pool
+        _kill(pool, 0)
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="died"):
+            service.recommend(item, 6)
+        # Liveness polling, not the full reply timeout, surfaces it.
+        assert time.monotonic() - started < pool.reply_timeout / 2
+        assert not pool.alive
+
+    def test_kill_in_fanout_reply_gap_raises_fast(self, service):
+        """The request is already enqueued when the worker dies — the
+        exact window where a naive queue read blocks forever."""
+        service, item, _ = service
+        pool = service._pool
+        worker = pool._workers[1]
+        manifest = pool.publisher.manifest(service.shards[1].shard_id)
+        payload = pickle.dumps(("item", item, 6), protocol=pickle.HIGHEST_PROTOCOL)
+        seq = pool._send(worker, "serve", (manifest, payload))
+        _kill(pool, 1)
+        started = time.monotonic()
+        with pytest.raises(ShardWorkerError, match="died"):
+            pool._reply_from(worker, 1, seq)
+        assert time.monotonic() - started < pool.reply_timeout / 2
+
+    def test_killed_worker_recovers_by_restart(self, service):
+        service, item, baseline = service
+        pool = service._pool
+        _kill(pool, 0)
+        with pytest.raises(ShardWorkerError, match="died"):
+            service.recommend(item, 6)
+        # Shmem workers are stateless: a plain respawn fully recovers —
+        # the fresh worker re-attaches the current epoch on first use.
+        pool.restart(0)
+        assert service.recommend(item, 6) == baseline
+
+
+class TestSegmentUnlink:
+    def test_unlink_under_live_reader_serves_then_fails_reattach(self, service):
+        """POSIX semantics, both halves: existing mappings survive the
+        unlink (attached workers keep serving the complete old state),
+        while any *new* attach of the vanished name is a typed error."""
+        service, item, baseline = service
+        pool = service._pool
+        for shm in pool.publisher._segments.values():
+            shm.unlink()  # yank every segment name out from under the pool
+        # Attached workers still hold valid mappings: same answer.
+        assert service.recommend(item, 6) == baseline
+        # A respawned worker has no mapping and must re-attach — which
+        # now fails loudly instead of serving stale or garbage state.
+        pool.restart_all()
+        with pytest.raises(ShmemError, match="vanished"):
+            service.recommend(item, 6)
+
+    def test_republish_recovers_from_vanished_segments(self, service):
+        service, item, baseline = service
+        pool = service._pool
+        for shm in pool.publisher._segments.values():
+            shm.unlink()
+        pool.restart_all()
+        with pytest.raises(ShmemError, match="vanished"):
+            service.recommend(item, 6)
+        # Copy-on-publish is the recovery path too: republishing fresh
+        # segments (epoch bump) brings the pool back bit-identically.
+        pool.invalidate()
+        assert service.recommend(item, 6) == baseline
+
+
+class TestStaleEpoch:
+    def test_stale_epoch_manifest_is_shmem_error(self, service):
+        service, item, _ = service
+        pool = service._pool
+        worker = pool._workers[0]
+        current = pool.publisher.manifest(service.shards[0].shard_id)
+        stale = SegmentManifest(
+            name=current.name,
+            epoch=current.epoch + 5,
+            nbytes=current.nbytes,
+            checksum=current.checksum,
+        )
+        payload = pickle.dumps(("item", item, 6), protocol=pickle.HIGHEST_PROTOCOL)
+        seq = pool._send(worker, "serve", (stale, payload))
+        with pytest.raises(ShmemError, match="stale manifest"):
+            pool._reply_from(worker, 0, seq)
+        # The worker survives the bad manifest and keeps serving the
+        # real epoch afterwards.
+        assert service.recommend(item, 6)
+
+    def test_shmem_error_is_a_shard_worker_error(self):
+        # One except-clause catches the whole worker failure family.
+        assert issubclass(ShmemError, ShardWorkerError)
+
+
+class TestErrorKindRouting:
+    def test_non_shmem_worker_errors_stay_generic(self, service):
+        """The typed re-raise must not over-claim: a generic worker
+        failure (unknown op) is a ShardWorkerError, not a ShmemError."""
+        service, _, _ = service
+        pool = service._pool
+        with pytest.raises(ShardWorkerError, match="unknown shmem worker op") as info:
+            pool.call(0, "teleport")
+        assert not isinstance(info.value, ShmemError)
+        # The worker survives a failed request.
+        assert pool.call(0, "ping") == "pong"
+
+
+class TestStartMethods:
+    def test_forkserver_pool_serves_identically(self, service):
+        """The battery's CI matrix runs spawn and forkserver; prove the
+        forkserver pool is wire-compatible in-tree too."""
+        service, item, baseline = service
+        pool = ShmemWorkerPool(service.shards, start_method="forkserver")
+        try:
+            got = pool.serve_item(item, 6)
+        finally:
+            pool.close()
+        from repro.serve.sharding import merge_top_k
+
+        assert merge_top_k(got, 6) == baseline
+
+    def test_fork_is_rejected(self, service):
+        service, _, _ = service
+        with pytest.raises(ValueError, match="start_method"):
+            ShmemWorkerPool(service.shards, start_method="fork")
+
+
+class TestNoLeakOnFailure:
+    def test_faulted_pool_close_leaves_no_segments(self, service):
+        service, item, _ = service
+        pool = service._pool
+        names = [
+            pool.publisher.manifest(s.shard_id).name for s in service.shards
+        ]
+        _kill(pool, 0)
+        with pytest.raises(ShardWorkerError):
+            service.recommend(item, 6)
+        service.close()
+        live = set(live_segment_names())
+        assert not (set(names) & live)
