@@ -20,6 +20,13 @@ SHARD_STRATEGIES = ("hash", "block")
 #: (:mod:`repro.serve.shmem`).
 SERVE_BACKENDS = ("sequential", "thread", "process", "shmem")
 
+#: Scoring backends of the serving paths: ``"vectorized"`` is the NumPy
+#: batch scorer (:class:`~repro.core.matching.VectorizedMatcher`),
+#: ``"native"`` the fused compiled kernels (:mod:`repro.core.kernels`,
+#: numba-backed — an optional extra; serving falls back to the
+#: vectorized path, bit-identically, when the kernels are unavailable).
+SCORING_BACKENDS = ("vectorized", "native")
+
 
 @dataclass(frozen=True)
 class SsRecConfig:
@@ -78,6 +85,14 @@ class SsRecConfig:
             serving (conformance-enforced); only repeated deliveries get
             cheaper.
         result_cache_size: LRU capacity of the plan-level result cache.
+        scoring: scoring backend of the serving paths — ``"vectorized"``
+            (the NumPy batch scorer) or ``"native"`` (the fused
+            numba kernels of :mod:`repro.core.kernels`; selects the
+            ``*-native`` execution plans).  Native scores agree with
+            vectorized within the 1e-9 tie discipline (scalar vs SIMD
+            ``log``, ULP-level only); when the compiled kernels are
+            unavailable the native plans serve through the vectorized
+            pipeline bit-identically, with a one-time warning.
     """
 
     window_size: int = 5
@@ -105,6 +120,7 @@ class SsRecConfig:
     serve_backend: str = "sequential"
     result_cache: bool = False
     result_cache_size: int = 256
+    scoring: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
@@ -142,6 +158,10 @@ class SsRecConfig:
         if self.result_cache_size < 1:
             raise ValueError(
                 f"result_cache_size must be >= 1, got {self.result_cache_size}"
+            )
+        if self.scoring not in SCORING_BACKENDS:
+            raise ValueError(
+                f"scoring must be one of {SCORING_BACKENDS}, got {self.scoring!r}"
             )
 
     def with_options(self, **overrides) -> "SsRecConfig":

@@ -283,6 +283,17 @@ class VectorizedMatcher:
         """Row order of the score arrays."""
         return list(self._user_ids)
 
+    def user_id_array(self) -> np.ndarray:
+        """Row-aligned user ids as one cached integer array.
+
+        Shared by the selection path and the native kernels
+        (:mod:`repro.core.kernels`), which break score ties on user id —
+        never on the matcher's internal row order.
+        """
+        if self._user_id_array is None or self._user_id_array.size != len(self._user_ids):
+            self._user_id_array = np.asarray(self._user_ids, dtype=np.int64)
+        return self._user_id_array
+
     def state_arrays(self) -> dict[str, np.ndarray]:
         """The dense score-state arrays, by name.
 
@@ -484,9 +495,7 @@ class VectorizedMatcher:
         if k == 0 or scores.size == 0:
             return []
         k = min(int(k), scores.size)
-        if self._user_id_array is None or self._user_id_array.size != len(self._user_ids):
-            self._user_id_array = np.asarray(self._user_ids)
-        user_ids = self._user_id_array
+        user_ids = self.user_id_array()
         if k < scores.size // 2:
             kth_best = np.partition(scores, scores.size - k)[scores.size - k]
             candidates = np.flatnonzero(scores >= kth_best)
