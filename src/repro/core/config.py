@@ -27,6 +27,15 @@ SERVE_BACKENDS = ("sequential", "thread", "process", "shmem")
 #: vectorized path, bit-identically, when the kernels are unavailable).
 SCORING_BACKENDS = ("vectorized", "native")
 
+#: Near-duplicate collapse modes of the serving paths
+#: (:mod:`repro.exec.dedup`): ``"off"`` scores every delivery,
+#: ``"exact"`` collapses uploads whose resolved scorer inputs are
+#: provably identical (bit-identical results, conformance-enforced),
+#: ``"approx"`` additionally collapses near-duplicate entity sets via
+#: MinHash/banded LSH at a Jaccard threshold — collapsed members get the
+#: representative's served list (a measured accuracy trade).
+DEDUP_MODES = ("off", "exact", "approx")
+
 
 @dataclass(frozen=True)
 class SsRecConfig:
@@ -93,6 +102,20 @@ class SsRecConfig:
             ``log``, ULP-level only); when the compiled kernels are
             unavailable the native plans serve through the vectorized
             pipeline bit-identically, with a one-time warning.
+        dedup: near-duplicate upload collapse ahead of scoring — ``"off"``,
+            ``"exact"`` (provable-equality collapse; results stay
+            bit-identical to undeduped serving, conformance-enforced) or
+            ``"approx"`` (MinHash/LSH collapse at the Jaccard threshold
+            below; collapsed members receive the representative's list —
+            see :mod:`repro.exec.dedup`).  Selects the ``*-dedup``
+            execution plans.
+        dedup_threshold: minimum exact Jaccard similarity (τ) for an
+            approximate merge; candidates below it are rejected (counted
+            as ``false_merge_checks``).
+        dedup_bands: LSH bands of the approximate mode's MinHash index.
+        dedup_rows: signature rows per band (the MinHash signature has
+            ``dedup_bands * dedup_rows`` slots; the candidate S-curve is
+            ``1 - (1 - J^rows)^bands``).
     """
 
     window_size: int = 5
@@ -121,6 +144,10 @@ class SsRecConfig:
     result_cache: bool = False
     result_cache_size: int = 256
     scoring: str = "vectorized"
+    dedup: str = "off"
+    dedup_threshold: float = 0.6
+    dedup_bands: int = 8
+    dedup_rows: int = 4
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
@@ -163,6 +190,18 @@ class SsRecConfig:
             raise ValueError(
                 f"scoring must be one of {SCORING_BACKENDS}, got {self.scoring!r}"
             )
+        if self.dedup not in DEDUP_MODES:
+            raise ValueError(
+                f"dedup must be one of {DEDUP_MODES}, got {self.dedup!r}"
+            )
+        if not (0.0 < self.dedup_threshold <= 1.0):
+            raise ValueError(
+                f"dedup_threshold must be in (0, 1], got {self.dedup_threshold}"
+            )
+        if self.dedup_bands < 1:
+            raise ValueError(f"dedup_bands must be >= 1, got {self.dedup_bands}")
+        if self.dedup_rows < 1:
+            raise ValueError(f"dedup_rows must be >= 1, got {self.dedup_rows}")
 
     def with_options(self, **overrides) -> "SsRecConfig":
         """Copy with the given fields replaced (configs are frozen)."""

@@ -74,6 +74,7 @@ class SsRecRecommender:
         self.exec_epoch = 0
         self._result_cache_enabled = self.config.result_cache
         self._scoring = self.config.scoring
+        self._dedup_mode = self.config.dedup
         self._compiled = None  # CompiledPlan, built lazily per current state
 
     # ------------------------------------------------------------------
@@ -309,6 +310,7 @@ class SsRecRecommender:
                 placement=Placement.local(),
                 cached=self._result_cache_enabled,
                 scoring=self._scoring,
+                dedup=self._dedup_mode,
             )
             self._compiled = compile_plan(plan, self)
         return self._compiled
@@ -349,6 +351,44 @@ class SsRecRecommender:
         if compiled is None or compiled.result_cache is None:
             return None
         return compiled.result_cache.stats.as_dict()
+
+    def set_dedup(self, mode: str) -> "SsRecRecommender":
+        """Switch serving to (or from) a ``*-dedup`` plan variant.
+
+        ``"exact"`` collapses provably-identical queries only (results
+        stay bit-identical to undeduped serving; conformance-enforced);
+        ``"approx"`` additionally collapses near-duplicate entity sets
+        at the config's Jaccard threshold — collapsed members receive
+        the representative's list; ``"off"`` restores plain serving.
+        See :mod:`repro.exec.dedup`.
+        """
+        from repro.core.config import DEDUP_MODES
+
+        if mode not in DEDUP_MODES:
+            raise ValueError(f"dedup must be one of {DEDUP_MODES}, got {mode!r}")
+        self._dedup_mode = mode
+        self._compiled = None
+        return self
+
+    def dedup_stats(self) -> dict | None:
+        """Collapse counters of the live dedup stage (None when serving
+        without dedup)."""
+        compiled = self._compiled
+        if compiled is None or compiled.dedup_state is None:
+            return None
+        return compiled.dedup_state.stats.as_dict()
+
+    def obs_registry(self):
+        """The compiled plan's telemetry (cache hit/miss counters, dedup
+        collapse counters) as a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the same surface
+        the sharded facade exposes, so the server's ``metrics`` route and
+        ``python -m repro.obs summarize`` work against either."""
+        if self._compiled is not None:
+            return self._compiled.obs_registry()
+        from repro.obs.metrics import MetricsRegistry  # local: keeps core light
+
+        return MetricsRegistry()
 
     def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
         """Top-``k`` ``(user_id, score)`` for an incoming item (Eq. 3 order).

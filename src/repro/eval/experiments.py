@@ -1112,6 +1112,237 @@ def run_result_cache(
     )
 
 
+@dataclass
+class DedupResult:
+    """Deduplicated-vs-anchor serving over one near-duplicate scenario.
+
+    Attributes:
+        scenario: replayed scenario name.
+        seed: scenario generator seed.
+        k: recommendation depth per query.
+        window_size: uploads per served window.
+        n_windows: windows served.
+        n_served: items served per replica (redeliveries included).
+        anchor_seconds: serve-loop wall clock of the dedup-off anchor.
+        exact_seconds: serve-loop wall clock of the exact-mode replica.
+        exact_stats: collapse counters of the exact-mode replica.
+        exact_parity_ok: every exact-mode ranked list equalled the
+            anchor's, bitwise (the mode's contract — CI exits non-zero
+            when this is False).
+        default_tau: the Jaccard threshold the config defaults to (its
+            sweep row is the one the recall gate reads).
+        approx: one row per swept threshold:
+            ``{"tau", "seconds", "recall", "stats"}``.
+    """
+
+    scenario: str
+    seed: int
+    k: int
+    window_size: int
+    n_windows: int
+    n_served: int
+    anchor_seconds: float
+    exact_seconds: float
+    exact_stats: dict
+    exact_parity_ok: bool
+    default_tau: float
+    approx: list
+
+    @property
+    def anchor_items_per_sec(self) -> float:
+        return self.n_served / self.anchor_seconds if self.anchor_seconds else 0.0
+
+    @property
+    def exact_items_per_sec(self) -> float:
+        return self.n_served / self.exact_seconds if self.exact_seconds else 0.0
+
+    @property
+    def exact_speedup(self) -> float:
+        return (
+            self.exact_items_per_sec / self.anchor_items_per_sec
+            if self.anchor_items_per_sec
+            else 0.0
+        )
+
+    @property
+    def exact_collapse_rate(self) -> float:
+        return float(self.exact_stats.get("collapse_rate", 0.0))
+
+    def approx_at(self, tau: float) -> dict | None:
+        """The sweep row for ``tau`` (None when not swept)."""
+        for row in self.approx:
+            if abs(row["tau"] - tau) < 1e-9:
+                return row
+        return None
+
+    @property
+    def default_recall(self) -> float:
+        """Oracle-judged recall@k at the config-default threshold."""
+        row = self.approx_at(self.default_tau)
+        return float(row["recall"]) if row else 0.0
+
+    def to_text(self) -> str:
+        lines = [
+            "Near-duplicate collapse — deduplicated vs anchor serving "
+            f"({self.scenario!r}, seed {self.seed})",
+            f"  windows={self.n_windows} items_served={self.n_served} "
+            f"k={self.k} window={self.window_size}",
+            f"  anchor: {self.anchor_items_per_sec:9.1f} items/sec "
+            f"({self.anchor_seconds:.3f}s)",
+            f"  exact:  {self.exact_items_per_sec:9.1f} items/sec "
+            f"({self.exact_seconds:.3f}s)  speedup: {self.exact_speedup:.2f}x  "
+            f"collapse_rate: {self.exact_collapse_rate:.1%} "
+            f"(collapsed={self.exact_stats.get('collapsed', 0)} "
+            f"groups={self.exact_stats.get('groups', 0)})",
+            f"  exact parity: "
+            f"{'bit-identical' if self.exact_parity_ok else 'BROKEN'}",
+            "  approx sweep (tau  recall@k  collapse_rate  items/sec):",
+        ]
+        for row in self.approx:
+            stats = row["stats"]
+            rate = float(stats.get("collapse_rate", 0.0))
+            ips = self.n_served / row["seconds"] if row["seconds"] else 0.0
+            marker = " *" if abs(row["tau"] - self.default_tau) < 1e-9 else ""
+            lines.append(
+                f"    {row['tau']:.2f}  {row['recall']:8.4f}  "
+                f"{rate:13.1%}  {ips:9.1f}{marker}"
+            )
+        lines.append("  (* = config-default threshold)")
+        return "\n".join(lines)
+
+
+def run_dedup(
+    base: Dataset | None = None,
+    scenario: str = "mutated_retry",
+    seed: int = 7,
+    k: int = 30,
+    window_size: int = 16,
+    max_events: int = 4800,
+    fit_seed: int = 1,
+    config: SsRecConfig | None = None,
+    taus: Sequence[float] | None = None,
+) -> DedupResult:
+    """Measure the ``*-dedup`` execution plans on near-duplicate traffic.
+
+    Replicas of one trained scan-mode recommender replay the same
+    scenario stream (observes and updates applied to all): a dedup-off
+    anchor serves every delivered upload from scratch, an exact-mode
+    replica collapses bit-identical resolved queries, and one
+    approx-mode replica per swept Jaccard threshold collapses
+    near-duplicates onto group representatives.  Exact-mode output is
+    compared to the anchor's bitwise (its contract); approx-mode output
+    is judged by recall@k against the anchor — the fraction of the
+    anchor's top-k audience each approx list retains, averaged over
+    every served upload.
+
+    The replica serve order rotates per window so no replica
+    systematically benefits from warmed CPU caches — the same
+    discipline ``run_result_cache`` uses, generalized past two
+    replicas.
+    """
+    from repro.sim import ScenarioGenerator  # local: keeps eval import-light
+
+    generator = ScenarioGenerator(base=base, seed=seed, max_events=max_events)
+    scn = generator.generate(scenario)
+    cfg = (config or SsRecConfig()).with_options(
+        maintenance_interval=scn.maintenance_interval
+    )
+    default_tau = cfg.dedup_threshold
+    if taus is None:
+        taus = (0.4, default_tau, 0.8)
+    taus = sorted({round(float(t), 9) for t in taus})
+    template = SsRecRecommender(config=cfg, use_index=False, seed=fit_seed)
+    template.fit(scn.dataset, scn.train_interactions)
+
+    anchor = copy.deepcopy(template)
+    exact = copy.deepcopy(template).set_dedup("exact")
+    approx_replicas = []
+    for tau in taus:
+        replica = copy.deepcopy(template)
+        replica.config = cfg.with_options(dedup_threshold=tau)
+        approx_replicas.append((tau, replica.set_dedup("approx")))
+    replicas = [anchor, exact, *(rep for _, rep in approx_replicas)]
+
+    seconds = [0.0] * len(replicas)
+    recall_sums = dict.fromkeys(taus, 0.0)
+    n_windows = 0
+    n_served = 0
+    exact_parity_ok = True
+
+    def serve(recommender, window) -> tuple[list, float]:
+        started = time.perf_counter()
+        ranked = [recommender.recommend(item, k) for item in window]
+        return ranked, time.perf_counter() - started
+
+    window: list = []
+    for event in scn.events:
+        if event.kind == "upload":
+            item = event.payload
+            for replica in replicas:
+                replica.observe_item(item)
+            window.append(item)
+            if len(window) < window_size:
+                continue
+            # Absorb accumulated updates *untimed* in every replica, so
+            # the timed loops isolate the serving machinery.
+            for replica in replicas:
+                replica.matcher.sync()
+            results: list = [None] * len(replicas)
+            # Rotate who serves first each window.
+            offset = n_windows % len(replicas)
+            for step in range(len(replicas)):
+                position = (offset + step) % len(replicas)
+                ranked, secs = serve(replicas[position], window)
+                results[position] = ranked
+                seconds[position] += secs
+            want = results[0]
+            exact_parity_ok = exact_parity_ok and results[1] == want
+            for tau_index, tau in enumerate(taus):
+                got = results[2 + tau_index]
+                for anchor_ranked, approx_ranked in zip(want, got):
+                    anchor_users = {user for user, _ in anchor_ranked}
+                    if not anchor_users:
+                        recall_sums[tau] += 1.0
+                        continue
+                    approx_users = {user for user, _ in approx_ranked}
+                    recall_sums[tau] += (
+                        len(anchor_users & approx_users) / len(anchor_users)
+                    )
+            n_served += len(window)
+            n_windows += 1
+            window = []
+        else:
+            interaction = event.payload
+            payload_item = scn.item_payload(interaction)
+            for replica in replicas:
+                replica.update(interaction, payload_item)
+
+    approx_rows = []
+    for tau_index, (tau, replica) in enumerate(approx_replicas):
+        approx_rows.append(
+            {
+                "tau": tau,
+                "seconds": seconds[2 + tau_index],
+                "recall": recall_sums[tau] / n_served if n_served else 0.0,
+                "stats": replica.dedup_stats() or {},
+            }
+        )
+    return DedupResult(
+        scenario=scenario,
+        seed=int(seed),
+        k=int(k),
+        window_size=int(window_size),
+        n_windows=n_windows,
+        n_served=n_served,
+        anchor_seconds=seconds[0],
+        exact_seconds=seconds[1],
+        exact_stats=exact.dedup_stats() or {},
+        exact_parity_ok=exact_parity_ok,
+        default_tau=default_tau,
+        approx=approx_rows,
+    )
+
+
 def run_batch_throughput(
     dataset: Dataset,
     batch_sizes: Sequence[int] = (1, 16, 64),

@@ -7,7 +7,9 @@ every recommend path.
 - :mod:`repro.exec.compile` — ``compile_plan`` / ``as_executor`` and the
   shared ``coerce_k`` request prologue;
 - :mod:`repro.exec.cache` — the plan-level exact result cache backing the
-  ``*-cached`` plan variants.
+  ``*-cached`` plan variants;
+- :mod:`repro.exec.dedup` — the near-duplicate collapse memo backing the
+  ``*-dedup`` plan variants (exact and MinHash/LSH-approximate modes).
 
 See docs/ARCHITECTURE.md §10 for the operator diagram and the
 how-to-add-a-plan recipe.
@@ -15,10 +17,12 @@ how-to-add-a-plan recipe.
 
 from repro.exec.cache import CacheStats, ResultCache
 from repro.exec.compile import CompiledPlan, as_executor, coerce_k, compile_plan
+from repro.exec.dedup import DedupGroup, DedupState, DedupStats
 from repro.exec.ops import (
     CandidateOp,
     CppseKnnOp,
     CppseProbeCandidateOp,
+    DedupOp,
     ExecContext,
     FanoutOp,
     FullScanCandidateOp,
@@ -53,6 +57,10 @@ __all__ = [
     "CompiledPlan",
     "CppseKnnOp",
     "CppseProbeCandidateOp",
+    "DedupGroup",
+    "DedupOp",
+    "DedupState",
+    "DedupStats",
     "ExecContext",
     "ExecPlan",
     "FanoutOp",

@@ -23,10 +23,12 @@ from collections.abc import Sequence
 from repro.core.config import SsRecConfig
 from repro.datasets.schema import SocialItem
 from repro.exec.cache import ResultCache
+from repro.exec.dedup import DedupState
 from repro.obs.hooks import active_hooks
 from repro.exec.ops import (
     CppseKnnOp,
     CppseProbeCandidateOp,
+    DedupOp,
     ExecContext,
     FanoutOp,
     FullScanCandidateOp,
@@ -65,6 +67,8 @@ class CompiledPlan:
         owner: the bound facade (state holder).
         ops: the stage list, applied in order.
         result_cache: the plan-level cache (None for uncached plans).
+        dedup_state: the near-duplicate collapse memo (None when the
+            plan's ``dedup`` axis is ``"off"``).
     """
 
     def __init__(
@@ -73,11 +77,13 @@ class CompiledPlan:
         owner,
         ops: Sequence[ServeOp],
         result_cache: ResultCache | None = None,
+        dedup_state: DedupState | None = None,
     ) -> None:
         self.plan = plan
         self.owner = owner
         self.ops = list(ops)
         self.result_cache = result_cache
+        self.dedup_state = dedup_state
 
     def run_item(self, item: SocialItem, k: int | None = None) -> RankedList:
         """Top-``k`` ``(user_id, score)`` for one item."""
@@ -141,6 +147,46 @@ class CompiledPlan:
                 out[position] = result
         return out  # type: ignore[return-value]
 
+    def obs_registry(self):
+        """This pipeline's stage telemetry as a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Exposes the result cache's hit/miss/eviction counters (plus a
+        ``cache.hit_rate`` gauge) and the dedup stage's collapse counters
+        under the plan's name, so the facades' merged registries — and
+        through them the server's ``metrics`` route and ``python -m
+        repro.obs summarize`` — report cache and dedup behavior without a
+        side channel.  Counters snapshot the live stats objects; the
+        registry is rebuilt per call, so merging it repeatedly into an
+        aggregate view cannot double-count.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan_name = self.plan.name
+        if self.result_cache is not None:
+            stats = self.result_cache.stats
+            registry.counter("cache.hits", plan=plan_name).inc(stats.hits)
+            registry.counter("cache.misses", plan=plan_name).inc(stats.misses)
+            registry.counter("cache.evictions", plan=plan_name).inc(stats.evictions)
+            registry.gauge("cache.hit_rate", plan=plan_name).set(stats.hit_rate)
+        if self.dedup_state is not None:
+            stats = self.dedup_state.stats
+            mode = self.plan.dedup
+            registry.counter("dedup.collapsed", plan=plan_name, mode=mode).inc(
+                stats.collapsed
+            )
+            registry.counter("dedup.groups", plan=plan_name, mode=mode).inc(
+                stats.groups
+            )
+            registry.counter(
+                "dedup.false_merge_checks", plan=plan_name, mode=mode
+            ).inc(stats.false_merge_checks)
+            registry.gauge("dedup.collapse_rate", plan=plan_name, mode=mode).set(
+                stats.collapse_rate
+            )
+        return registry
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stages = " -> ".join(type(op).__name__ for op in self.ops)
         return f"CompiledPlan({self.plan.name!r}: {stages})"
@@ -166,7 +212,10 @@ def _use_native(plan: ExecPlan) -> bool:
 
 
 def compile_plan(
-    plan: ExecPlan, owner, result_cache: ResultCache | None = None
+    plan: ExecPlan,
+    owner,
+    result_cache: ResultCache | None = None,
+    dedup_state: DedupState | None = None,
 ) -> CompiledPlan:
     """Build the operator pipeline for ``plan`` over ``owner``'s state.
 
@@ -178,6 +227,10 @@ def compile_plan(
         result_cache: reuse an existing cache for cached plans; a fresh
             one sized by ``config.result_cache_size`` is created when
             omitted.
+        dedup_state: reuse an existing collapse memo for ``*-dedup``
+            plans; a fresh one parameterized by the owner's config
+            (``dedup_threshold``/``dedup_bands``/``dedup_rows``, sized by
+            ``result_cache_size``) is created when omitted.
     """
     if plan.is_sharded:
         if not hasattr(owner, "shards"):
@@ -210,11 +263,29 @@ def compile_plan(
         else:
             serve = [VectorizedScoreOp(owner), TopKSelectOp(owner)]
 
+    # Dedup wraps the serve stages first — ahead of scoring, and ahead of
+    # the fan-out on sharded plans, so one collapse saves every shard's
+    # pass.  The result cache (id-keyed, the cheapest lookup) wraps
+    # outermost: a redelivered id short-circuits before dedup even has to
+    # resolve the item's expanded query.
+    dedup: DedupState | None = None
+    if plan.dedup != "off":
+        config = owner.config
+        dedup = dedup_state or DedupState(
+            plan.dedup,
+            threshold=config.dedup_threshold,
+            n_bands=config.dedup_bands,
+            n_rows=config.dedup_rows,
+            max_groups=config.result_cache_size,
+        )
+        serve = [DedupOp(dedup, owner, serve)]
     cache: ResultCache | None = None
     if plan.cached:
         cache = result_cache or ResultCache(owner.config.result_cache_size)
         serve = [ResultCacheOp(cache, owner, serve)]
-    return CompiledPlan(plan, owner, [*prologue, *serve], result_cache=cache)
+    return CompiledPlan(
+        plan, owner, [*prologue, *serve], result_cache=cache, dedup_state=dedup
+    )
 
 
 class _RecommenderExecutor:

@@ -21,6 +21,8 @@ The stage vocabulary:
 :class:`MergeOp`       merge per-shard partial lists into the global top-k
 :class:`ResultCacheOp` memoize final ranked lists around an inner stage
                        list (the ``*-cached`` plans)
+:class:`DedupOp`       collapse near-duplicate uploads onto one scoring
+                       pass ahead of ScoreOp (the ``*-dedup`` plans)
 =====================  ==================================================
 
 One deliberate fusion: :class:`CppseKnnOp` is a ScoreOp *and* performs the
@@ -42,6 +44,7 @@ from collections.abc import Sequence
 
 from repro.datasets.schema import SocialItem
 from repro.exec.cache import CacheKey, ResultCache
+from repro.exec.dedup import DedupGroup, DedupKey, DedupState
 
 RankedList = list[tuple[int, float]]
 
@@ -488,4 +491,128 @@ class ResultCacheOp(ServeOp):
                 if entry is None:  # evicted within the window (tiny cache)
                     entry = list(computed[key])
                 results[position] = entry
+        ctx.ranked = results
+
+
+# ----------------------------------------------------------------------
+# Near-duplicate collapse
+# ----------------------------------------------------------------------
+class DedupOp(ServeOp):
+    """Collapse near-duplicate uploads onto one scoring pass (``*-dedup``).
+
+    Wraps an inner stage list ahead of its ScoreOp, exactly like
+    :class:`ResultCacheOp` — but keyed on *content similarity* instead of
+    the full item signature, so redeliveries under fresh item ids (and,
+    in approximate mode, mutated retries and cross-producer reposts)
+    skip the Eq. 2-4 pass too.  The two strictness modes and their
+    soundness arguments live in :mod:`repro.exec.dedup`.
+
+    Exact mode resolves every item's expanded query through the owner's
+    scorer to build its key.  On sharded owners that doubles as the
+    pre-fan-out expansion warm :class:`FanoutOp` performs (the memo is
+    populated at the same stream position either way), and it is the
+    reason dedup sits *above* the fan-out: one collapse saves the scoring
+    pass on every shard at once.
+
+    ``run_batch`` collapses within the window as well: members of a group
+    founded earlier in the same window are resolved from the founder's
+    freshly computed list, preserving first-occurrence compute order.
+    """
+
+    def __init__(self, state: DedupState, owner, inner: Sequence[ServeOp]) -> None:
+        self.state = state
+        self.owner = owner
+        self.inner = list(inner)
+
+    def _exact_key(self, item: SocialItem, k: int) -> DedupKey:
+        return self.state.exact_key(
+            item, self.owner.scorer.expanded_query(item), k, self.owner.exec_epoch
+        )
+
+    def run_item(self, ctx: ExecContext) -> None:
+        if self.state.mode == "exact":
+            key = self._exact_key(ctx.items[0], ctx.k)
+            hit = self.state.lookup_exact(key)
+            if hit is not None:
+                ctx.ranked = [hit]
+                return
+            for op in self.inner:
+                op.run_item(ctx)
+            self.state.store_exact(key, ctx.ranked[0])
+            return
+        self.state.sync_epoch(self.owner.exec_epoch)
+        group, collapsed = self.state.group_for(ctx.items[0], ctx.k)
+        if collapsed and group.ranked is not None:
+            ctx.ranked = [list(group.ranked)]
+            return
+        for op in self.inner:
+            op.run_item(ctx)
+        group.ranked = list(ctx.ranked[0])
+
+    def run_batch(self, ctx: ExecContext) -> None:
+        if self.state.mode == "exact":
+            self._run_batch_exact(ctx)
+        else:
+            self._run_batch_approx(ctx)
+
+    def _run_batch_exact(self, ctx: ExecContext) -> None:
+        keys = [self._exact_key(item, ctx.k) for item in ctx.items]
+        results: list[RankedList | None] = [None] * len(ctx.items)
+        miss_positions: list[int] = []
+        missing_keys: set[DedupKey] = set()
+        for position, key in enumerate(keys):
+            if key in missing_keys:
+                continue  # in-window duplicate content: resolved below
+            hit = self.state.lookup_exact(key)
+            if hit is not None:
+                results[position] = hit
+            else:
+                miss_positions.append(position)
+                missing_keys.add(key)
+        computed: dict[DedupKey, RankedList] = {}
+        if miss_positions:
+            sub = ExecContext([ctx.items[i] for i in miss_positions], ctx.k)
+            for op in self.inner:
+                op.run_batch(sub)
+            assert sub.ranked is not None
+            for position, ranked in zip(miss_positions, sub.ranked):
+                self.state.store_exact(keys[position], ranked)
+                computed[keys[position]] = ranked
+                results[position] = ranked
+        for position, key in enumerate(keys):
+            if results[position] is None:
+                entry = self.state.lookup_exact(key)
+                if entry is None:  # evicted within the window (tiny memo)
+                    entry = list(computed[key])
+                results[position] = entry
+        ctx.ranked = results
+
+    def _run_batch_approx(self, ctx: ExecContext) -> None:
+        self.state.sync_epoch(self.owner.exec_epoch)
+        results: list[RankedList | None] = [None] * len(ctx.items)
+        miss_positions: list[int] = []
+        founders: list[DedupGroup] = []
+        pending: list[tuple[int, DedupGroup]] = []
+        for position, item in enumerate(ctx.items):
+            group, collapsed = self.state.group_for(item, ctx.k)
+            if collapsed:
+                if group.ranked is not None:
+                    results[position] = list(group.ranked)
+                else:  # collapsed onto an in-window founder, still pending
+                    pending.append((position, group))
+            else:
+                miss_positions.append(position)
+                founders.append(group)
+        if miss_positions:
+            sub = ExecContext([ctx.items[i] for i in miss_positions], ctx.k)
+            for op in self.inner:
+                op.run_batch(sub)
+            assert sub.ranked is not None
+            for group, ranked in zip(founders, sub.ranked):
+                group.ranked = list(ranked)
+            for position, ranked in zip(miss_positions, sub.ranked):
+                results[position] = ranked
+        for position, group in pending:
+            assert group.ranked is not None
+            results[position] = list(group.ranked)
         ctx.ranked = results

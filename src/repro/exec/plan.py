@@ -22,6 +22,11 @@ placement           ``local`` (one process) or ``sharded(strategy,
                     backend)`` (fan-out + merge)
 cached              plan-level :class:`~repro.exec.cache.ResultCache`
                     wrapped around scoring (the ``*-cached`` variants)
+dedup               near-duplicate upload collapse ahead of scoring
+                    (:mod:`repro.exec.dedup`): ``off``, ``exact``
+                    (bit-identical, conformance-anchored) or ``approx``
+                    (MinHash/LSH at a Jaccard threshold; the ``*-dedup``
+                    variants)
 ==================  =====================================================
 
 :class:`PlanRegistry` maps stable names ("scan-item",
@@ -38,7 +43,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.core.config import SERVE_BACKENDS, SHARD_STRATEGIES, SsRecConfig
+from repro.core.config import (
+    DEDUP_MODES,
+    SERVE_BACKENDS,
+    SHARD_STRATEGIES,
+    SsRecConfig,
+)
 
 CANDIDATE_SOURCES = ("full-scan", "cppse-probe")
 SCORINGS = ("vectorized", "native", "oracle-reference")
@@ -100,6 +110,15 @@ class ExecPlan:
             conformance replay drives (compiled plans serve both).
         placement: local or sharded placement.
         cached: wrap scoring in a plan-level result cache.
+        dedup: near-duplicate upload collapse ahead of scoring —
+            ``"off"``, ``"exact"`` (provable-equality collapse; results
+            stay bit-identical, so these plans anchor bit-for-bit) or
+            ``"approx"`` (MinHash/LSH collapse at a Jaccard threshold;
+            collapsed members receive the representative's list, so
+            approximate plans are judged by the recall gate in
+            ``bench_dedup``, not the conformance catalog).  Sits above
+            the fan-out on sharded plans — one collapse saves the
+            scoring pass on every shard.
         transport: ``"inproc"`` (a library call) or ``"wire"`` (served by
             :class:`repro.serve.server.RecommenderServer` over the framed
             JSON protocol; the conformance harness stands up a live
@@ -127,6 +146,7 @@ class ExecPlan:
     batching: str = "item"
     placement: Placement = field(default_factory=Placement.local)
     cached: bool = False
+    dedup: str = "off"
     transport: str = "inproc"
     description: str = ""
     conformance: bool = True
@@ -145,6 +165,8 @@ class ExecPlan:
             raise ValueError(f"scoring must be one of {SCORINGS}, got {self.scoring!r}")
         if self.batching not in BATCHINGS:
             raise ValueError(f"batching must be one of {BATCHINGS}, got {self.batching!r}")
+        if self.dedup not in DEDUP_MODES:
+            raise ValueError(f"dedup must be one of {DEDUP_MODES}, got {self.dedup!r}")
         if self.transport not in TRANSPORTS:
             raise ValueError(f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
         if self.anchor_within_ties and self.anchor is None:
@@ -184,7 +206,7 @@ class ExecPlan:
         takes them as arguments; everything else round-trips through
         ``SsRecConfig.to_dict``/``from_dict`` (property-tested).
         """
-        overrides: dict = {"result_cache": self.cached}
+        overrides: dict = {"result_cache": self.cached, "dedup": self.dedup}
         if self.config_derivable:  # oracle-reference has no config spelling
             overrides["scoring"] = self.scoring
         if self.is_sharded:
@@ -200,7 +222,7 @@ class ExecPlan:
     def axes(self) -> tuple:
         """The identity tuple :meth:`PlanRegistry.for_config` matches on."""
         return (self.candidate_source, self.scoring, self.batching, self.placement,
-                self.cached, self.transport)
+                self.cached, self.transport, self.dedup)
 
     def describe(self) -> str:
         """One-line rendering for ``--list-paths`` and the docs."""
@@ -216,6 +238,8 @@ class ExecPlan:
         else:
             judge = f"bit-identical to {self.anchor}"
         flags = "cached " if self.cached else ""
+        if self.dedup != "off":
+            flags += f"dedup({self.dedup}) "
         if self.is_wire:
             flags += "wire "
             judge += " through the wire"
@@ -318,6 +342,7 @@ class PlanRegistry:
             batching=batching,
             cached=config.result_cache if cached is None else bool(cached),
             scoring=config.scoring,
+            dedup=config.dedup,
         )
 
     def for_axes(
@@ -327,6 +352,7 @@ class PlanRegistry:
         batching: str = "item",
         cached: bool = False,
         scoring: str = "vectorized",
+        dedup: str = "off",
     ) -> ExecPlan:
         """The plan at an explicit axis point (registered name when one
         matches, synthesized otherwise).  The sharded facade uses this to
@@ -339,6 +365,7 @@ class PlanRegistry:
             placement,
             bool(cached),
             "inproc",
+            dedup,
         )
         for plan in self._plans.values():
             if plan.axes() == axes:
@@ -353,6 +380,7 @@ class PlanRegistry:
         placement: Placement,
         cached: bool,
         transport: str = "inproc",
+        dedup: str = "off",
     ) -> ExecPlan:
         """An unregistered-but-valid plan, named systematically."""
         parts = ["index" if candidate_source == "cppse-probe" else "scan"]
@@ -366,6 +394,10 @@ class PlanRegistry:
             parts.append("native")
         if cached:
             parts.append("cached")
+        if dedup == "exact":
+            parts.append("dedup")
+        elif dedup == "approx":
+            parts.append("dedup-approx")
         return ExecPlan(
             name="-".join(p for p in parts if p),
             candidate_source=candidate_source,
@@ -373,6 +405,7 @@ class PlanRegistry:
             batching=batching,
             placement=placement,
             cached=cached,
+            dedup=dedup,
             transport=transport,
             description="synthesized from config (not a registered path)",
             conformance=False,
@@ -542,6 +575,34 @@ def _build_default_registry() -> PlanRegistry:
         transport="wire",
         anchor="index-item",
         description="network-served CPPse-index, per-request dispatch",
+    ))
+    # The *-dedup family: near-duplicate collapse ahead of scoring
+    # (repro.exec.dedup).  Exact mode keys on the resolved scorer inputs,
+    # so a collapse is provably the same query — these plans anchor
+    # bit-for-bit, like the cached family.  The sharded variant stays on
+    # scan shards for the same reason the cached one does: no shard-local
+    # Algorithm-2 state, so a pre-fan-out collapse cannot perturb
+    # maintenance cadence relative to the anchor.
+    for base in ("scan-item", "scan-batch", "index-item", "index-batch",
+                 "sharded-scan-hash"):
+        plan = registry.get(base)
+        registry.register(replace(
+            plan,
+            name=f"{base}-dedup",
+            dedup="exact",
+            anchor=plan.anchor or plan.name,
+            description=f"{plan.description} + exact near-duplicate collapse",
+        ))
+    # Approximate mode trades exactness for collapse coverage (mutated
+    # retries, cross-producer reposts), so it is judged by bench_dedup's
+    # recall gate rather than the bitwise conformance catalog.
+    registry.register(ExecPlan(
+        name="scan-item-dedup-approx",
+        candidate_source="full-scan",
+        dedup="approx",
+        conformance=False,
+        description="per-item scan behind MinHash/LSH near-duplicate "
+        "collapse (collapsed members get the representative's list)",
     ))
     return registry
 

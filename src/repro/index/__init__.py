@@ -15,6 +15,9 @@ Components:
   which makes their relevance an upper bound (Def. 2, Lemmas 1-2).
 - :mod:`repro.index.cppse` — :class:`CPPseIndex`: build, the Algorithm 1
   branch-and-bound KNN, and the Algorithm 2 dynamic maintenance.
+- :mod:`repro.index.minhash` — MinHash signatures and banded LSH over
+  entity sets: the similarity machinery of the near-duplicate collapse
+  stage (:mod:`repro.exec.dedup`).
 """
 
 from repro.index.hashing import ChainedHashTable, pair_key, shift_add_xor_hash
@@ -22,6 +25,7 @@ from repro.index.blocks import UserBlock, one_pass_clustering, block_statistics
 from repro.index.signature import BlockUniverse, QuerySignature, UserVector
 from repro.index.sigtree import SignatureTree, LeafEntry, InternalNode
 from repro.index.cppse import CPPseIndex
+from repro.index.minhash import LSHIndex, MinHasher, jaccard
 
 __all__ = [
     "ChainedHashTable",
@@ -37,4 +41,7 @@ __all__ = [
     "LeafEntry",
     "InternalNode",
     "CPPseIndex",
+    "LSHIndex",
+    "MinHasher",
+    "jaccard",
 ]

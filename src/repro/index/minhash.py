@@ -1,0 +1,151 @@
+"""MinHash signatures and banded LSH over entity sets (dedup machinery).
+
+The near-duplicate collapse stage (:mod:`repro.exec.dedup`) needs a
+cheap, deterministic similarity sketch of an item's *declared entity
+set*: two uploads whose sets overlap above a Jaccard threshold should
+land in the same candidate bucket without comparing every pair.  The
+classic answer is MinHash + banded LSH:
+
+- :class:`MinHasher` draws ``n_hashes`` universal hash functions
+  ``h_i(x) = (a_i * x + b_i) mod p`` over a Mersenne prime and keeps, per
+  function, the minimum over the set.  ``P[min-hash collision] =
+  Jaccard(A, B)``, so the sketch is an unbiased similarity estimator.
+- :class:`LSHIndex` slices the signature into ``n_bands`` bands of
+  ``n_rows`` values; a set is a *candidate* match of another when any
+  whole band collides.  The S-curve ``1 - (1 - J^rows)^bands`` makes
+  near-duplicates almost certain candidates and unrelated sets almost
+  certain non-candidates — callers still verify candidates with the
+  exact :func:`jaccard` (banding only prunes the comparison space, it
+  never decides a merge by itself).
+
+Both pieces follow the encoding conventions of
+:mod:`repro.index.signature`: ids are plain ints, construction is
+deterministic in the seed, and signatures are value objects (tuples)
+safe to use as dict keys.  Determinism and permutation-invariance over
+mention order are property-tested (``tests/test_index_minhash.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+#: Mersenne prime 2^31 - 1: coefficients and reduced ids stay < 2^31, so
+#: ``a * x + b`` fits comfortably in uint64 without overflow.
+_PRIME = np.uint64(2_147_483_647)
+
+#: Min-hash value of the empty set (no element can reach the prime).
+EMPTY_SLOT = int(_PRIME)
+
+
+def jaccard(a: Iterable[int], b: Iterable[int]) -> float:
+    """Exact Jaccard similarity of two entity-id collections (as sets).
+
+    Two empty sets are identical by convention (1.0) — an upload with no
+    declared entities is a duplicate of another empty upload, not of
+    every upload.
+    """
+    sa, sb = set(int(x) for x in a), set(int(x) for x in b)
+    if not sa and not sb:
+        return 1.0
+    union = len(sa | sb)
+    return len(sa & sb) / union if union else 0.0
+
+
+class MinHasher:
+    """``n_hashes`` seeded universal hash functions over entity ids.
+
+    Args:
+        n_hashes: signature length (``bands * rows`` for banded LSH).
+        seed: coefficient seed; equal seeds draw equal hash families, so
+            signatures are comparable across processes and runs.
+    """
+
+    def __init__(self, n_hashes: int, seed: int = 0) -> None:
+        if n_hashes < 1:
+            raise ValueError(f"n_hashes must be >= 1, got {n_hashes}")
+        self.n_hashes = int(n_hashes)
+        self.seed = int(seed)
+        rng = np.random.default_rng(self.seed)
+        prime = int(_PRIME)
+        self._a = rng.integers(1, prime, size=self.n_hashes, dtype=np.uint64)
+        self._b = rng.integers(0, prime, size=self.n_hashes, dtype=np.uint64)
+
+    def signature(self, entity_ids: Iterable[int]) -> tuple[int, ...]:
+        """The MinHash signature of a *set* of entity ids.
+
+        Duplicated mentions and mention order cannot move the signature:
+        the ids are deduplicated first and each slot takes a minimum,
+        which is permutation-invariant by construction.  The empty set
+        maps to the all-:data:`EMPTY_SLOT` signature.
+        """
+        unique = np.unique(np.asarray(list(entity_ids), dtype=np.int64))
+        if unique.size == 0:
+            return (EMPTY_SLOT,) * self.n_hashes
+        xs = unique.astype(np.uint64) % _PRIME
+        hashed = (self._a[:, None] * xs[None, :] + self._b[:, None]) % _PRIME
+        return tuple(int(v) for v in hashed.min(axis=1))
+
+
+class LSHIndex:
+    """Banded locality-sensitive index over MinHash signatures.
+
+    Args:
+        n_bands: bands the signature is sliced into.
+        n_rows: rows (signature slots) per band; signatures must have
+            exactly ``n_bands * n_rows`` slots.
+
+    Stored references are opaque to the index — callers add whatever
+    group handle they resolve candidates back through.
+    """
+
+    def __init__(self, n_bands: int, n_rows: int) -> None:
+        if n_bands < 1:
+            raise ValueError(f"n_bands must be >= 1, got {n_bands}")
+        if n_rows < 1:
+            raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+        self.n_bands = int(n_bands)
+        self.n_rows = int(n_rows)
+        self._buckets: dict[tuple[int, tuple[int, ...]], list] = {}
+
+    @property
+    def n_hashes(self) -> int:
+        return self.n_bands * self.n_rows
+
+    def _bands(self, signature: Sequence[int]) -> list[tuple[int, tuple[int, ...]]]:
+        if len(signature) != self.n_hashes:
+            raise ValueError(
+                f"signature must have {self.n_hashes} slots "
+                f"({self.n_bands} bands x {self.n_rows} rows), got {len(signature)}"
+            )
+        rows = self.n_rows
+        return [
+            (band, tuple(signature[band * rows : (band + 1) * rows]))
+            for band in range(self.n_bands)
+        ]
+
+    def add(self, signature: Sequence[int], ref) -> None:
+        """File ``ref`` under every band bucket of ``signature``."""
+        for key in self._bands(signature):
+            self._buckets.setdefault(key, []).append(ref)
+
+    def candidates(self, signature: Sequence[int]) -> list:
+        """Every stored ref sharing at least one whole band, deduplicated
+        in first-stored order (so the oldest matching group wins ties)."""
+        seen: dict[int, None] = {}
+        out: list = []
+        for key in self._bands(signature):
+            for ref in self._buckets.get(key, ()):
+                if id(ref) not in seen:
+                    seen[id(ref)] = None
+                    out.append(ref)
+        return out
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def __len__(self) -> int:
+        """Number of non-empty band buckets (a size gauge, not a count
+        of stored refs)."""
+        return len(self._buckets)

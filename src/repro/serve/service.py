@@ -173,6 +173,7 @@ class ShardedRecommender:
         self.exec_epoch = 0
         self._result_cache_enabled = self.config.result_cache
         self._scoring = self.config.scoring
+        self._dedup_mode = self.config.dedup
         self._compiled = None  # CompiledPlan, built lazily per current state
 
     # ------------------------------------------------------------------
@@ -365,6 +366,7 @@ class ShardedRecommender:
                 placement=Placement.sharded(self.plan.strategy, self.backend),
                 cached=self._result_cache_enabled,
                 scoring=self._scoring,
+                dedup=self._dedup_mode,
             )
             self._compiled = compile_plan(exec_plan, self)
         return self._compiled
@@ -407,6 +409,30 @@ class ShardedRecommender:
         if compiled is None or compiled.result_cache is None:
             return None
         return compiled.result_cache.stats.as_dict()
+
+    def set_dedup(self, mode: str) -> "ShardedRecommender":
+        """Switch serving to (or from) a ``*-dedup`` plan variant.
+
+        The collapse stage sits *above* the fan-out (it wraps the
+        fan-out/merge pipeline), so one collapsed upload saves the
+        scoring pass on every shard at once.  Modes as in
+        :meth:`SsRecRecommender.set_dedup`.
+        """
+        from repro.core.config import DEDUP_MODES
+
+        if mode not in DEDUP_MODES:
+            raise ValueError(f"dedup must be one of {DEDUP_MODES}, got {mode!r}")
+        self._dedup_mode = mode
+        self._compiled = None
+        return self
+
+    def dedup_stats(self) -> dict | None:
+        """Collapse counters of the live dedup stage (None when serving
+        without dedup)."""
+        compiled = self._compiled
+        if compiled is None or compiled.dedup_state is None:
+            return None
+        return compiled.dedup_state.stats.as_dict()
 
     def recommend(self, item: SocialItem, k: int | None = None) -> list[tuple[int, float]]:
         """Global top-``k`` ``(user_id, score)`` — identical to the single
@@ -552,6 +578,11 @@ class ShardedRecommender:
         else:
             for shard in self.shards:
                 registry.merge(shard.obs_registry())
+        if self._compiled is not None:
+            # Plan-level stage telemetry (result-cache hit rate, dedup
+            # collapse counters) lives above the fan-out, in the parent's
+            # compiled pipeline.
+            registry.merge(self._compiled.obs_registry())
         return registry
 
     def balance_stats(self) -> dict:

@@ -350,6 +350,13 @@ class ConformanceRunner:
                 recommender.set_scoring("native")
             if plan.cached:
                 recommender.enable_result_cache()
+            if plan.dedup != "off":
+                # The *-dedup plans: exact mode must reproduce the anchor
+                # bit for bit (a collapse is provably the same query);
+                # replaying approx plans here would just document their
+                # divergence — they are gated by bench_dedup's recall
+                # instead and stay out of the catalog.
+                recommender.set_dedup(plan.dedup)
             states[name] = _PathState(name, plan, recommender)
         return states
 

@@ -27,6 +27,14 @@ of the catalog's adversarial shapes:
                             out of timestamp order
 ``maintenance_storm``       interactions re-grouped into bursts sized to
                             straddle the Algorithm-2 maintenance cadence
+``mutated_retry``           at-least-once redelivery where retries may
+                            arrive under a *fresh item id* with a
+                            one-entity jitter of the declared set (the
+                            near-duplicate surface the dedup stage
+                            collapses), shuffled out of order
+``cross_producer_repost``   uploads reposted under another existing
+                            producer id (fresh item id, identical
+                            content), plus some exact redelivery
 ==========================  ====================================================
 
 Every scenario is deterministic in ``(seed, name)``: generation draws from
@@ -64,6 +72,8 @@ SCENARIOS: tuple[str, ...] = (
     "skewed_producers",
     "duplicate_out_of_order",
     "maintenance_storm",
+    "mutated_retry",
+    "cross_producer_repost",
 )
 
 
@@ -520,4 +530,132 @@ class ScenarioGenerator:
             {},
             f"interaction bursts straddling a maintenance interval of {interval}",
             interval,
+        )
+
+    @staticmethod
+    def _jitter_entities(rng, entities, universe) -> tuple[int, ...]:
+        """One add/drop/replace mutation of a declared entity tuple,
+        drawing additions from the dataset's entity universe.  Add/drop
+        keeps the Jaccard against the original at n/(n+1) or (n-1)/n —
+        above the default collapse threshold for typical set sizes —
+        while replace lands near 0.5, probing both sides of τ."""
+        current = list(dict.fromkeys(int(e) for e in entities))
+        outside = [e for e in universe if e not in set(current)]
+        ops = []
+        if len(current) >= 2:
+            ops.append("drop")
+        if outside:
+            ops.append("add")
+        if current and outside:
+            ops.append("replace")
+        if not ops:
+            return tuple(current)
+        op = ops[int(rng.integers(len(ops)))]
+        if op == "drop":
+            del current[int(rng.integers(len(current)))]
+        elif op == "add":
+            current.append(int(outside[int(rng.integers(len(outside)))]))
+        else:
+            current[int(rng.integers(len(current)))] = int(
+                outside[int(rng.integers(len(outside)))]
+            )
+        return tuple(current)
+
+    def _perturb_mutated_retry(self, rng, events, syn):
+        """At-least-once redelivery under *mutated* retries: each upload's
+        geometric retry chain (p=0.5) redelivers either the exact payload
+        or a near-duplicate under a **fresh item id** whose entity set is
+        jittered by one add/drop/replace, then delivery is locally
+        shuffled out of timestamp order.
+
+        This is the surface the dedup stage exists for: the exact result
+        cache collapses only the same-id redeliveries, exact dedup also
+        collapses fresh ids whose resolved scorer inputs coincide, and
+        approximate dedup collapses the jittered near-duplicates too
+        (``benchmarks/bench_dedup.py`` measures the recall that trade
+        costs).  Mutated retries get fresh ids on purpose — reusing the
+        id with different entities would collide with the scorer's
+        frozen-per-id query cache and make the stream ill-defined.
+        """
+        universe = sorted({int(e) for it in syn.items for e in it.entities})
+        next_item = max(it.item_id for it in syn.items) + 1
+        extra: dict[int, SocialItem] = {}
+        duplicated: list[StreamEvent] = []
+        for event in events:
+            duplicated.append(event)
+            if event.kind != "upload":
+                continue
+            item = event.payload
+            while rng.random() < 0.50:  # geometric retry chain
+                if rng.random() < 0.5:  # exact redelivery
+                    duplicated.append(StreamEvent(event.timestamp, "upload", item))
+                    continue
+                mutated = SocialItem(
+                    item_id=next_item,
+                    category=item.category,
+                    producer=item.producer,
+                    entities=self._jitter_entities(rng, item.entities, universe),
+                    text=item.text,
+                    timestamp=item.timestamp,
+                )
+                extra[next_item] = mutated
+                next_item += 1
+                duplicated.append(StreamEvent(event.timestamp, "upload", mutated))
+        block = 8
+        out: list[StreamEvent] = []
+        for start in range(0, len(duplicated), block):
+            chunk = duplicated[start : start + block]
+            order = rng.permutation(len(chunk))
+            out.extend(chunk[i] for i in order)
+        return (
+            out,
+            extra,
+            "geometric upload retries (p=0.5) where half the redeliveries "
+            "carry a fresh id and a one-entity jitter, shuffled in blocks of 8",
+            25,
+        )
+
+    def _perturb_cross_producer_repost(self, rng, events, syn):
+        """Repost a share of the uploads under another existing producer
+        (fresh item id, identical category/entities/text), with a little
+        exact redelivery on top.
+
+        A repost is the same *content* from a different author — the
+        exact dedup key (producer included) correctly refuses to collapse
+        it, while approximate dedup (producer-free by design) does; the
+        two modes' treatment of this stream is what separates their
+        collapse rates in ``bench_dedup``.
+        """
+        producers = sorted(set(syn.producer_ids))
+        next_item = max(it.item_id for it in syn.items) + 1
+        extra: dict[int, SocialItem] = {}
+        out: list[StreamEvent] = []
+        for event in events:
+            out.append(event)
+            if event.kind != "upload":
+                continue
+            item = event.payload
+            if rng.random() < 0.15:  # at-least-once flavor
+                out.append(StreamEvent(event.timestamp, "upload", item))
+            if len(producers) > 1 and rng.random() < 0.35:
+                pid = item.producer
+                while pid == item.producer:
+                    pid = int(producers[int(rng.integers(len(producers)))])
+                repost = SocialItem(
+                    item_id=next_item,
+                    category=item.category,
+                    producer=pid,
+                    entities=item.entities,
+                    text=item.text,
+                    timestamp=item.timestamp,
+                )
+                extra[next_item] = repost
+                next_item += 1
+                out.append(StreamEvent(event.timestamp, "upload", repost))
+        return (
+            out,
+            extra,
+            "35% of uploads reposted under another existing producer "
+            "(fresh ids, identical content) + 15% exact redelivery",
+            25,
         )

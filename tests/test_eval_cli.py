@@ -14,6 +14,7 @@ class _StubResult:
 
     text: str = "stub output"
     total_divergences: int = 0
+    exact_parity_ok: bool = True
 
     def to_text(self) -> str:
         return self.text
@@ -155,9 +156,34 @@ class TestDispatch:
     def test_all_experiments_covered(self):
         assert set(ALL_EXPERIMENTS) == {
             "table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "batch", "sharded", "cache", "conformance",
-            "serve", "loadgen",
+            "fig10", "fig11", "batch", "sharded", "cache", "dedup",
+            "conformance", "serve", "loadgen",
         }
+
+    def test_cache_dispatch(self, monkeypatch, capsys, fake_datasets):
+        datasets, _ = fake_datasets
+        recorder = _Recorder()
+        monkeypatch.setattr(ex, "run_result_cache", recorder)
+        assert main(["cache", "--dataset", "MLens", "--seed", "11"]) == 0
+        assert recorder.kwargs["base"] is datasets["MLens"]
+        assert recorder.kwargs["seed"] == 11
+
+    def test_dedup_dispatch(self, monkeypatch, capsys, fake_datasets):
+        datasets, _ = fake_datasets
+        recorder = _Recorder(result=_StubResult(exact_parity_ok=True))
+        monkeypatch.setattr(ex, "run_dedup", recorder)
+        assert main(["dedup", "--dataset", "MLens", "--seed", "11"]) == 0
+        assert "stub output" in capsys.readouterr().out
+        assert recorder.kwargs["base"] is datasets["MLens"]
+        assert recorder.kwargs["seed"] == 11
+
+    def test_dedup_nonzero_exit_on_exact_divergence(
+        self, monkeypatch, capsys, fake_datasets
+    ):
+        recorder = _Recorder(result=_StubResult(exact_parity_ok=False))
+        monkeypatch.setattr(ex, "run_dedup", recorder)
+        # CI gates on this: an exact-mode divergence must fail the process.
+        assert main(["dedup"]) == 1
 
 
 class TestConformanceCommand:

@@ -1,0 +1,356 @@
+"""Near-duplicate collapse stage: exactness, approx grouping, epoch rules."""
+
+import copy
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import SsRecConfig
+from repro.core.ssrec import SsRecRecommender
+from repro.datasets.schema import SocialItem
+from repro.exec.dedup import DedupState
+from repro.serve.service import ShardedRecommender
+
+
+def _item(item_id: int, category: int = 0, producer: int = 0, entities=(1, 2)) -> SocialItem:
+    return SocialItem(
+        item_id=item_id,
+        category=category,
+        producer=producer,
+        entities=tuple(entities),
+        text="",
+        timestamp=float(item_id),
+    )
+
+
+def _near_duplicate(item: SocialItem, *, item_id: int, producer: int | None = None,
+                    entities=None) -> SocialItem:
+    """A fresh-id re-upload of ``item`` with optionally jittered fields."""
+    return SocialItem(
+        item_id=item_id,
+        category=item.category,
+        producer=item.producer if producer is None else producer,
+        entities=item.entities if entities is None else tuple(entities),
+        text=item.text,
+        timestamp=item.timestamp,
+    )
+
+
+class TestDedupStateUnit:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="mode"):
+            DedupState("off")
+        with pytest.raises(ValueError, match="threshold"):
+            DedupState("approx", threshold=0.0)
+        with pytest.raises(ValueError, match="max_groups"):
+            DedupState("exact", max_groups=0)
+
+    def test_exact_store_lookup_roundtrip(self):
+        state = DedupState("exact")
+        key = state.exact_key(_item(1), [(1, 0.5)], 5, epoch=0)
+        assert state.lookup_exact(key) is None
+        state.store_exact(key, [(3, 0.5), (1, 0.25)])
+        assert state.lookup_exact(key) == [(3, 0.5), (1, 0.25)]
+        assert state.stats.collapsed == 1 and state.stats.groups == 1
+
+    def test_exact_hits_return_copies(self):
+        state = DedupState("exact")
+        key = state.exact_key(_item(1), [(1, 0.5)], 5, epoch=0)
+        state.store_exact(key, [(3, 0.5)])
+        first = state.lookup_exact(key)
+        first.append((999, -1.0))
+        assert state.lookup_exact(key) == [(3, 0.5)]
+
+    def test_exact_key_partitions(self):
+        """Same declared entities, different resolved expansion / k /
+        epoch / producer / category — all distinct keys."""
+        state = DedupState("exact")
+        base = state.exact_key(_item(1), [(1, 0.5)], 5, epoch=0)
+        state.store_exact(base, [(3, 0.5)])
+        assert state.lookup_exact(
+            state.exact_key(_item(1), [(1, 0.75)], 5, epoch=0)) is None
+        assert state.lookup_exact(
+            state.exact_key(_item(1), [(1, 0.5)], 6, epoch=0)) is None
+        assert state.lookup_exact(
+            state.exact_key(_item(1), [(1, 0.5)], 5, epoch=1)) is None
+        assert state.lookup_exact(
+            state.exact_key(_item(1, producer=9), [(1, 0.5)], 5, epoch=0)) is None
+        assert state.lookup_exact(
+            state.exact_key(_item(1, category=3), [(1, 0.5)], 5, epoch=0)) is None
+        # ...but a *different id* with the same scorer inputs is a hit.
+        assert state.lookup_exact(
+            state.exact_key(_item(42), [(1, 0.5)], 5, epoch=0)) == [(3, 0.5)]
+
+    def test_exact_lru_eviction(self):
+        state = DedupState("exact", max_groups=2)
+        keys = [state.exact_key(_item(i), [(i, 1.0)], 5, epoch=0) for i in range(3)]
+        for i, key in enumerate(keys):
+            state.store_exact(key, [(i, 0.0)])
+        assert state.lookup_exact(keys[0]) is None  # oldest retired
+        assert state.lookup_exact(keys[2]) == [(2, 0.0)]
+
+    def test_approx_collapse_and_false_merge_accounting(self):
+        state = DedupState("approx", threshold=0.6)
+        state.sync_epoch(0)
+        founder, collapsed = state.group_for(_item(1, entities=(1, 2, 3)), 5)
+        assert not collapsed
+        founder.ranked = [(7, 1.0)]
+        # Jaccard 3/4 >= 0.6, same category: collapses (producer differs).
+        group, collapsed = state.group_for(
+            _item(2, producer=9, entities=(1, 2, 3, 4)), 5)
+        assert collapsed and group is founder
+        # Jaccard 1/5 < 0.6: LSH may candidate it, but the verifier must
+        # reject — either way it founds its own group.
+        _, collapsed = state.group_for(_item(3, entities=(3, 10, 11)), 5)
+        assert not collapsed
+        assert state.stats.collapsed == 1
+        assert state.stats.groups == 2
+
+    def test_approx_category_mismatch_never_merges(self):
+        state = DedupState("approx", threshold=0.5)
+        state.sync_epoch(0)
+        state.group_for(_item(1, category=0, entities=(1, 2, 3)), 5)
+        _, collapsed = state.group_for(_item(2, category=1, entities=(1, 2, 3)), 5)
+        assert not collapsed
+        assert state.stats.false_merge_checks >= 1
+
+    def test_approx_k_mismatch_not_a_usable_result(self):
+        state = DedupState("approx", threshold=0.5)
+        state.sync_epoch(0)
+        state.group_for(_item(1, entities=(1, 2, 3)), 5)
+        _, collapsed = state.group_for(_item(2, entities=(1, 2, 3)), 6)
+        assert not collapsed  # identical content, different cut depth
+
+    def test_epoch_move_drops_groups_keeps_counters(self):
+        state = DedupState("approx", threshold=0.5)
+        state.sync_epoch(0)
+        state.group_for(_item(1, entities=(1, 2, 3)), 5)
+        state.group_for(_item(2, entities=(1, 2, 3)), 5)
+        assert state.stats.collapsed == 1
+        state.sync_epoch(1)
+        assert len(state) == 0
+        _, collapsed = state.group_for(_item(3, entities=(1, 2, 3)), 5)
+        assert not collapsed  # pre-epoch representative is gone
+        assert state.stats.collapsed == 1  # counters describe the run
+
+    def test_generation_reset_bounds_group_store(self):
+        state = DedupState("approx", threshold=0.99, max_groups=4)
+        state.sync_epoch(0)
+        for i in range(9):
+            state.group_for(_item(i, entities=(100 * i, 100 * i + 1)), 5)
+        assert len(state) <= 4
+
+
+@pytest.fixture()
+def dedup_pair(ytube_small, ytube_stream):
+    """(anchor, exact-dedup) twins fitted identically in scan mode."""
+    rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+    rec.fit(ytube_small, ytube_stream.training_interactions())
+    return rec, copy.deepcopy(rec).set_dedup("exact")
+
+
+class TestExactDedupServing:
+    def test_dedup_plan_selected(self, dedup_pair):
+        anchor, dedup = dedup_pair
+        assert anchor.executor().plan.name == "scan-item"
+        assert dedup.executor().plan.name == "scan-item-dedup"
+        assert dedup.dedup_stats() is not None
+        assert anchor.dedup_stats() is None
+
+    def test_rejects_unknown_mode(self, dedup_pair):
+        _, dedup = dedup_pair
+        with pytest.raises(ValueError, match="dedup"):
+            dedup.set_dedup("fuzzy")
+
+    def test_fresh_id_same_content_collapses_bit_identically(
+        self, dedup_pair, ytube_small
+    ):
+        """The case the result cache cannot collapse: a different item id
+        carrying the same category/producer/entities."""
+        anchor, dedup = dedup_pair
+        item = ytube_small.items[0]
+        reupload = _near_duplicate(item, item_id=10_000 + item.item_id)
+        for rec in (anchor, dedup):
+            rec.observe_item(reupload)
+        first = dedup.recommend(item, 7)
+        again = dedup.recommend(reupload, 7)
+        assert again == first == anchor.recommend(reupload, 7)
+        stats = dedup.dedup_stats()
+        assert stats["collapsed"] == 1 and stats["groups"] == 1
+
+    def test_update_invalidates(self, dedup_pair, ytube_small, ytube_stream):
+        anchor, dedup = dedup_pair
+        item = ytube_small.items[0]
+        dedup.recommend(item, 7)
+        inter = ytube_stream.partitions[2][0]
+        for rec in (anchor, dedup):
+            rec.update(inter, ytube_small.item(inter.item_id))
+        assert dedup.recommend(item, 7) == anchor.recommend(item, 7)
+        stats = dedup.dedup_stats()
+        assert stats["collapsed"] == 0 and stats["groups"] == 2  # post-update recompute
+
+    def test_observe_does_not_invalidate(self, dedup_pair, ytube_small):
+        anchor, dedup = dedup_pair
+        item, other = ytube_small.items[0], ytube_small.items[1]
+        first = dedup.recommend(item, 7)
+        for rec in (anchor, dedup):
+            rec.observe_item(other)
+        assert dedup.recommend(item, 7) == first == anchor.recommend(item, 7)
+        assert dedup.dedup_stats()["collapsed"] == 1
+
+    def test_batch_collapses_within_window(self, dedup_pair, ytube_small):
+        anchor, dedup = dedup_pair
+        a, b = ytube_small.items[0], ytube_small.items[1]
+        window = [a, b, _near_duplicate(a, item_id=9_001), a, b]
+        for rec in (anchor, dedup):
+            rec.observe_item(window[2])
+        assert dedup.recommend_batch(window, 6) == anchor.recommend_batch(window, 6)
+        assert dedup.dedup_stats()["groups"] == 2  # one compute per content
+
+    def test_composes_with_result_cache(self, dedup_pair, ytube_small):
+        """Cache outermost, dedup inside: a redelivered id short-circuits
+        at the cache; a fresh-id duplicate falls through and collapses."""
+        anchor, dedup = dedup_pair
+        dedup.enable_result_cache()
+        assert dedup.executor().plan.name == "scan-item-cached-dedup"
+        item = ytube_small.items[0]
+        reupload = _near_duplicate(item, item_id=9_002)
+        for rec in (anchor, dedup):
+            rec.observe_item(reupload)
+        want = [anchor.recommend(it, 6) for it in (item, item, reupload)]
+        got = [dedup.recommend(it, 6) for it in (item, item, reupload)]
+        assert got == want
+        assert dedup.result_cache_stats()["hits"] == 1  # the redelivered id
+        assert dedup.dedup_stats()["collapsed"] == 1  # the fresh-id duplicate
+
+    def test_config_field_enables_dedup(self, ytube_small, ytube_stream):
+        rec = SsRecRecommender(
+            config=SsRecConfig(dedup="exact"), use_index=False, seed=1
+        )
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        assert rec.executor().plan.name == "scan-item-dedup"
+
+    def test_snapshot_keeps_mode_drops_memo(self, dedup_pair, ytube_small, tmp_path):
+        anchor, dedup = dedup_pair
+        item = ytube_small.items[0]
+        dedup.recommend(item, 7)
+        dedup.save(tmp_path / "snap")
+        restored = SsRecRecommender.load(tmp_path / "snap")
+        assert restored.executor().plan.name == "scan-item-dedup"
+        stats = restored.dedup_stats()
+        assert stats["collapsed"] == 0 and stats["groups"] == 0  # memo starts cold
+        assert restored.recommend(item, 7) == anchor.recommend(item, 7)
+
+    def test_obs_registry_exposes_collapse_counters(self, dedup_pair, ytube_small):
+        _, dedup = dedup_pair
+        item = ytube_small.items[0]
+        dedup.recommend(item, 7)
+        dedup.recommend(_near_duplicate(item, item_id=9_003), 7)
+        dump = dedup.obs_registry().to_dict()
+        counters = {metric["name"] for metric in dump["counters"]}
+        gauges = {metric["name"] for metric in dump["gauges"]}
+        assert {"dedup.collapsed", "dedup.groups"} <= counters
+        assert "dedup.collapse_rate" in gauges
+
+
+class TestApproxDedupServing:
+    def test_near_duplicate_collapses_onto_representative(
+        self, ytube_small, ytube_stream
+    ):
+        rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        rec.set_dedup("approx")
+        assert rec.executor().plan.name == "scan-item-dedup-approx"
+        item = next(it for it in ytube_small.items if len(it.entities) >= 3)
+        jittered = _near_duplicate(
+            item, item_id=9_100, entities=item.entities + (max(item.entities) + 1,)
+        )
+        rec.observe_item(jittered)
+        first = rec.recommend(item, 7)
+        assert rec.recommend(jittered, 7) == first  # representative's list
+        stats = rec.dedup_stats()
+        assert stats["collapsed"] == 1 and stats["groups"] == 1
+
+    def test_within_window_members_resolve_after_founder(
+        self, ytube_small, ytube_stream
+    ):
+        rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        rec.set_dedup("approx")
+        item = next(it for it in ytube_small.items if len(it.entities) >= 3)
+        jittered = _near_duplicate(
+            item, item_id=9_101, entities=item.entities + (max(item.entities) + 1,)
+        )
+        rec.observe_item(jittered)
+        ranked = rec.recommend_batch([item, jittered, item], 6)
+        assert ranked[1] == ranked[0] and ranked[2] == ranked[0]
+        assert rec.dedup_stats()["groups"] == 1
+
+    def test_update_drops_group_store(self, ytube_small, ytube_stream):
+        rec = SsRecRecommender(config=SsRecConfig(), use_index=False, seed=1)
+        rec.fit(ytube_small, ytube_stream.training_interactions())
+        rec.set_dedup("approx")
+        item = ytube_small.items[0]
+        rec.recommend(item, 7)
+        inter = ytube_stream.partitions[2][0]
+        rec.update(inter, ytube_small.item(inter.item_id))
+        rec.recommend(item, 7)
+        stats = rec.dedup_stats()
+        assert stats["collapsed"] == 0 and stats["groups"] == 2
+
+
+class TestShardedDedup:
+    def test_sharded_dedup_parity_and_stats(self, fresh_ssrec, ytube_small):
+        # fresh_ssrec, not fitted_ssrec: this test observes an item, and the
+        # collapse assertion needs a cold expansion memo — a session-scoped
+        # recommender may have frozen items[0]'s expansion pre-drift.
+        with ShardedRecommender.from_trained(
+            fresh_ssrec, n_shards=2, strategy="hash"
+        ) as service:
+            service.set_dedup("exact")
+            assert service.executor().plan.name == "sharded-scan-hash-dedup"
+            item = ytube_small.items[0]
+            reupload = _near_duplicate(item, item_id=9_200)
+            service.observe_item(reupload)
+            first = service.recommend(item, 6)
+            assert service.recommend(reupload, 6) == first
+            assert service.dedup_stats()["collapsed"] == 1
+
+
+class TestExactDedupBitParityProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        serves=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),  # item index
+                st.sampled_from(["serve", "reupload", "update"]),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        k=st.integers(min_value=1, max_value=9),
+    )
+    def test_any_interleaving_is_bit_identical(
+        self, fitted_ssrec, ytube_small, ytube_stream, serves, k
+    ):
+        """Exact mode's contract, property-tested: under arbitrary
+        interleavings of serves, fresh-id re-uploads and profile updates,
+        deduplicated output equals the anchor's bit for bit."""
+        anchor = copy.deepcopy(fitted_ssrec)
+        dedup = copy.deepcopy(fitted_ssrec).set_dedup("exact")
+        updates = ytube_stream.partitions[2]
+        next_id = max(it.item_id for it in ytube_small.items) + 1
+        for step, (index, action) in enumerate(serves):
+            item = ytube_small.items[index]
+            if action == "update":
+                inter = updates[step % len(updates)]
+                payload = ytube_small.item(inter.item_id)
+                anchor.update(inter, payload)
+                dedup.update(inter, payload)
+                continue
+            if action == "reupload":
+                item = _near_duplicate(item, item_id=next_id)
+                next_id += 1
+                anchor.observe_item(item)
+                dedup.observe_item(item)
+            assert dedup.recommend(item, k) == anchor.recommend(item, k)

@@ -1,0 +1,132 @@
+"""MinHash signatures and banded LSH: determinism, invariance, banding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.minhash import EMPTY_SLOT, LSHIndex, MinHasher, jaccard
+
+entity_sets = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=0, max_size=24
+)
+
+
+class TestMinHasherProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(entities=entity_sets, seed=st.integers(min_value=0, max_value=2**16))
+    def test_signature_deterministic_under_fixed_seed(self, entities, seed):
+        a = MinHasher(n_hashes=16, seed=seed)
+        b = MinHasher(n_hashes=16, seed=seed)
+        assert a.signature(entities) == b.signature(entities)
+
+    @settings(max_examples=60, deadline=None)
+    @given(entities=entity_sets, shuffle_seed=st.randoms(use_true_random=False))
+    def test_signature_permutation_and_duplication_invariant(
+        self, entities, shuffle_seed
+    ):
+        hasher = MinHasher(n_hashes=16, seed=3)
+        want = hasher.signature(entities)
+        shuffled = list(entities) + list(entities)  # duplicates...
+        shuffle_seed.shuffle(shuffled)  # ...in arbitrary order
+        assert hasher.signature(shuffled) == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(entities=entity_sets)
+    def test_signature_shape_and_range(self, entities):
+        hasher = MinHasher(n_hashes=32, seed=0)
+        sig = hasher.signature(entities)
+        assert len(sig) == 32
+        assert all(0 <= slot <= EMPTY_SLOT for slot in sig)
+
+    def test_empty_set_signs_to_empty_slots(self):
+        hasher = MinHasher(n_hashes=8, seed=0)
+        assert hasher.signature([]) == (EMPTY_SLOT,) * 8
+
+    def test_different_seeds_differ(self):
+        entities = list(range(20))
+        assert MinHasher(16, seed=0).signature(entities) != MinHasher(
+            16, seed=1
+        ).signature(entities)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        a=st.sets(st.integers(min_value=0, max_value=200), max_size=30),
+        b=st.sets(st.integers(min_value=0, max_value=200), max_size=30),
+    )
+    def test_identical_sets_always_collide_distinct_rarely(self, a, b):
+        """Signature equality tracks set equality: equal sets always
+        match; the estimator is symmetric either way."""
+        hasher = MinHasher(n_hashes=24, seed=5)
+        sig_a, sig_b = hasher.signature(a), hasher.signature(b)
+        if a == b:
+            assert sig_a == sig_b
+        matches = sum(x == y for x, y in zip(sig_a, sig_b))
+        matches_rev = sum(
+            x == y for x, y in zip(hasher.signature(b), hasher.signature(a))
+        )
+        assert matches == matches_rev
+
+
+class TestJaccard:
+    def test_known_values(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+        assert jaccard({1, 2}, {3, 4}) == 0.0
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_empty_vs_empty_is_identical(self):
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard(set(), {1}) == 0.0
+
+
+class TestLSHIndex:
+    def test_band_shape_validated(self):
+        lsh = LSHIndex(n_bands=4, n_rows=4)
+        with pytest.raises(ValueError, match="signature"):
+            lsh.add((1, 2, 3), "ref")  # 3 slots cannot fill 4x4 bands
+
+    def test_identical_signatures_are_candidates(self):
+        hasher = MinHasher(n_hashes=16, seed=0)
+        lsh = LSHIndex(n_bands=4, n_rows=4)
+        sig = hasher.signature([1, 2, 3])
+        lsh.add(sig, "first")
+        assert lsh.candidates(sig) == ["first"]
+
+    def test_disjoint_sets_not_candidates(self):
+        hasher = MinHasher(n_hashes=16, seed=0)
+        lsh = LSHIndex(n_bands=4, n_rows=4)
+        lsh.add(hasher.signature(range(0, 20)), "low")
+        assert lsh.candidates(hasher.signature(range(1000, 1020))) == []
+
+    def test_candidates_deduped_in_first_stored_order(self):
+        hasher = MinHasher(n_hashes=16, seed=0)
+        lsh = LSHIndex(n_bands=4, n_rows=4)
+        sig = hasher.signature([7, 8, 9])
+        lsh.add(sig, "a")
+        lsh.add(sig, "b")
+        assert lsh.candidates(sig) == ["a", "b"]  # each once, insert order
+
+    def test_clear_and_len(self):
+        hasher = MinHasher(n_hashes=16, seed=0)
+        lsh = LSHIndex(n_bands=4, n_rows=4)
+        assert len(lsh) == 0
+        lsh.add(hasher.signature([1]), "x")
+        assert len(lsh) == 4  # one non-empty bucket per band
+        lsh.clear()
+        assert len(lsh) == 0
+        assert lsh.candidates(hasher.signature([1])) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        base=st.sets(
+            st.integers(min_value=0, max_value=500), min_size=8, max_size=16
+        )
+    )
+    def test_near_duplicates_usually_bucket_together(self, base):
+        """A one-element perturbation of an 8+-element set keeps Jaccard
+        >= 8/9 — with 8 bands of 4 rows such pairs should collide in at
+        least one band essentially always at this similarity."""
+        hasher = MinHasher(n_hashes=32, seed=11)
+        lsh = LSHIndex(n_bands=8, n_rows=4)
+        lsh.add(hasher.signature(base), "base")
+        perturbed = set(base)
+        perturbed.add(max(base) + 1)
+        assert "base" in lsh.candidates(hasher.signature(perturbed))

@@ -94,12 +94,17 @@ class TestStreamIntegrity:
                 assert item.producer == inter.producer
 
     def test_upload_ids_unique_except_redelivery(self, catalog):
-        """Uploads are delivered exactly once — except in the
-        duplicate/out-of-order scenario, whose at-least-once transport
-        redelivers uploads on purpose (the cached plans' bench surface)."""
+        """Uploads are delivered exactly once — except in the scenarios
+        whose at-least-once transport redelivers uploads on purpose:
+        duplicate/out-of-order (the cached plans' bench surface) and the
+        mutated-retry / cross-producer-repost pair (the dedup stage's,
+        which mix exact redeliveries with fresh-id near-duplicates)."""
+        redelivering = {
+            "duplicate_out_of_order", "mutated_retry", "cross_producer_repost",
+        }
         for name, scenario in catalog.items():
             ids = [it.item_id for it in scenario.uploads()]
-            if name == "duplicate_out_of_order":
+            if name in redelivering:
                 assert len(ids) > len(set(ids)), name  # redelivery happened
             else:
                 assert len(ids) == len(set(ids)), name
